@@ -1,0 +1,46 @@
+package newgame
+
+// One benchmark per reproduced table/figure (see DESIGN.md §3). Each bench
+// regenerates its experiment end-to-end, so `go test -bench=.` is the full
+// reproduction sweep with per-experiment wall time. Results are checked for
+// structural sanity (an experiment returning an error fails the bench).
+
+import (
+	"testing"
+
+	"newgame/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e := experiments.Find(id)
+	if e == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := e.Run()
+		if r.Title == "error" {
+			b.Fatalf("experiment failed: %s", r.Text)
+		}
+	}
+}
+
+func BenchmarkFig01ClosureLoop(b *testing.B)     { benchExperiment(b, "fig1") }
+func BenchmarkFig02OldVsNew(b *testing.B)        { benchExperiment(b, "fig2") }
+func BenchmarkFig03CareAbouts(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig04MISvsSIS(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkFig05SADPSigma(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFig06aMinIA(b *testing.B)          { benchExperiment(b, "fig6a") }
+func BenchmarkFig06bTempInversion(b *testing.B)  { benchExperiment(b, "fig6b") }
+func BenchmarkFig06cGateWire(b *testing.B)       { benchExperiment(b, "fig6c") }
+func BenchmarkFig07MCAsymmetry(b *testing.B)     { benchExperiment(b, "fig7") }
+func BenchmarkFig08TBC(b *testing.B)             { benchExperiment(b, "fig8") }
+func BenchmarkFig09AgingAVS(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkFig10FFInterdep(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11PBAvsGBA(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12CornerExplosion(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13AVSTypical(b *testing.B)      { benchExperiment(b, "fig13") }
+
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+func BenchmarkLowPower(b *testing.B) { benchExperiment(b, "lowpower") }

@@ -1,0 +1,105 @@
+// Command closure runs the full timing-closure loop (paper Figure 1) on a
+// generated SoC block under the old- or new-goal-post signoff recipe and
+// prints the per-iteration convergence table.
+//
+// Usage:
+//
+//	closure -recipe new -period 600 -gates 1400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+	"newgame/internal/power"
+	"newgame/internal/report"
+	"newgame/internal/sta"
+	"newgame/internal/variation"
+)
+
+func main() {
+	recipeName := flag.String("recipe", "old", "signoff recipe: old, new")
+	period := flag.Float64("period", 560, "functional clock period, ps")
+	gates := flag.Int("gates", 1400, "combinational gate count")
+	ffs := flag.Int("ffs", 96, "flip-flop count")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	stack := parasitics.Stack16()
+	var recipe core.Recipe
+	switch *recipeName {
+	case "new":
+		libs := core.GenerateNewLibs(liberty.Node16)
+		for _, l := range []*liberty.Library{libs.SlowHot, libs.SlowCold, libs.FastCold} {
+			variation.CharacterizeLVF(l, 0.02, 2000, 5)
+		}
+		recipe = core.NewGoalPosts(libs, stack)
+	default:
+		recipe = core.OldGoalPosts(liberty.Node16, stack)
+	}
+
+	lib := recipe.Scenarios[0].Lib
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "soc", Inputs: 24, Outputs: 24, FFs: *ffs, Gates: *gates,
+		MaxDepth: 13, Seed: *seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0, 0.4, 0.6},
+	})
+	e := &core.Engine{
+		D: d, Recipe: recipe, BasePeriod: *period, ClockPort: d.Port("clk"),
+		Parasitics: sta.NewNetBinder(stack, *seed),
+	}
+	powerOf := func() power.Report {
+		cons := sta.NewConstraints()
+		cons.AddClock("clk", *period, d.Port("clk"))
+		a, err := sta.New(d, cons, sta.Config{Lib: lib, Parasitics: sta.NewNetBinder(stack, *seed)})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "closure:", err)
+			os.Exit(1)
+		}
+		if err := a.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, "closure:", err)
+			os.Exit(1)
+		}
+		return power.Compute(a, lib, power.DefaultConfig())
+	}
+	pBefore := powerOf()
+	t0 := time.Now()
+	res, err := e.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "closure:", err)
+		os.Exit(1)
+	}
+	pAfter := powerOf()
+	fmt.Printf("recipe %s on %s (%d cells), period %.0f ps\n\n",
+		recipe.Name, d.Name, len(d.Cells), *period)
+	tb := report.NewTable("closure iterations",
+		"iter", "setup WNS", "hold WNS", "setup viol", "hold viol", "drc", "noise", "fixes")
+	for _, it := range res.Iterations {
+		var fixes []string
+		for _, f := range it.Fixes {
+			if f.Changed > 0 {
+				fixes = append(fixes, fmt.Sprintf("%s:%d", f.Pass, f.Changed))
+			}
+		}
+		tb.Row(it.Index, it.MergedSetupWNS, it.MergedHoldWNS,
+			it.Breakdown.SetupEndpoints, it.Breakdown.HoldEndpoints,
+			it.Breakdown.MaxTran+it.Breakdown.MaxCap, it.Breakdown.Noise,
+			strings.Join(fixes, " "))
+	}
+	tb.Render(os.Stdout)
+	fmt.Printf("\nclosed=%v in %s | leakage cost %.0f nW, area cost %.1f um2\n",
+		res.Closed, time.Since(t0).Round(time.Millisecond), res.LeakageDelta, res.AreaDelta)
+	fmt.Printf("power: %.1f -> %.1f uW total (leak %.1f -> %.1f uW, clock share %.0f%%)\n",
+		pBefore.Total/1000, pAfter.Total/1000, pBefore.Leakage/1000, pAfter.Leakage/1000,
+		100*pAfter.ClockFrac)
+	if !res.Closed {
+		os.Exit(2)
+	}
+}

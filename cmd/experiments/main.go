@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's figures and tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig4
+//	experiments -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"newgame/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			fmt.Printf("\n######## %s: %s ########\n", e.ID, e.Title)
+			r := e.Run()
+			fmt.Print(r.Text)
+		}
+		return
+	}
+	e := experiments.Find(*run)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+		os.Exit(1)
+	}
+	r := e.Run()
+	fmt.Print(r.Text)
+	if r.Title == "error" {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,73 @@
+// Command libgen characterizes a standard-cell library from the built-in
+// device model at a chosen node and PVT corner, optionally fills LVF sigma
+// tables from Monte Carlo, and writes it in the Liberty-style text format
+// (readable back with liberty.ParseLib).
+//
+// Usage:
+//
+//	libgen -node 16 -process ssg -voltage 0.72 -temp 125 -lvf -o n16_ssg.lib
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"newgame/internal/liberty"
+	"newgame/internal/variation"
+)
+
+func main() {
+	node := flag.Int("node", 16, "technology node: 16, 28, 65")
+	process := flag.String("process", "tt", "process corner: tt, ss, ff, ssg, ffg, fsg, sfg")
+	voltage := flag.Float64("voltage", 0, "supply voltage, V (0 = node nominal)")
+	temp := flag.Float64("temp", 85, "temperature, C")
+	lvf := flag.Bool("lvf", false, "characterize LVF sigma tables (Monte Carlo)")
+	vtSigma := flag.Float64("vtsigma", 0.02, "local Vt sigma for LVF characterization, V")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var tech liberty.TechParams
+	switch *node {
+	case 28:
+		tech = liberty.Node28
+	case 65:
+		tech = liberty.Node65
+	default:
+		tech = liberty.Node16
+	}
+	corners := map[string]liberty.ProcessCorner{
+		"tt": liberty.TT, "ss": liberty.SS, "ff": liberty.FF,
+		"ssg": liberty.SSG, "ffg": liberty.FFG, "fsg": liberty.FSG, "sfg": liberty.SFG,
+	}
+	pc, ok := corners[*process]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "libgen: unknown process %q\n", *process)
+		os.Exit(1)
+	}
+	v := *voltage
+	if v == 0 {
+		v = tech.VDDNominal
+	}
+	lib := liberty.Generate(tech, liberty.PVT{Process: pc, Voltage: v, Temp: *temp}, liberty.GenOptions{})
+	if *lvf {
+		variation.CharacterizeLVF(lib, *vtSigma, 6000, 1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "libgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := liberty.WriteLib(w, lib); err != nil {
+		fmt.Fprintln(os.Stderr, "libgen:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d cells to %s\n", len(lib.Cells()), *out)
+	}
+}

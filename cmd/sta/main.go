@@ -1,0 +1,194 @@
+// Command sta runs static timing analysis on a generated benchmark circuit
+// and prints a signoff-style report: endpoint slacks, worst paths (GBA and
+// PBA), design rule violations and noise.
+//
+// Usage:
+//
+//	sta -circuit c5315 -period 700 -corner ssg -beol rcw -derate lvf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"newgame/internal/circuits"
+	"newgame/internal/em"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/power"
+	"newgame/internal/report"
+	"newgame/internal/sta"
+	"newgame/internal/variation"
+)
+
+func main() {
+	circuit := flag.String("circuit", "soc", "circuit: soc, c5315, c7552, aes, mpeg2, chain")
+	libFile := flag.String("lib", "", "Liberty file to analyze with (overrides -corner/-derate library generation; SI/noise need device data and are disabled)")
+	period := flag.Float64("period", 700, "clock period, ps")
+	corner := flag.String("corner", "ssg", "process corner: tt, ssg, ffg")
+	beol := flag.String("beol", "rcw", "BEOL corner: typ, cw, cb, rcw, rcb, ccw, ccb")
+	derate := flag.String("derate", "aocv", "derating: none, flat, aocv, pocv, lvf")
+	si := flag.Bool("si", true, "enable SI delta-delay analysis")
+	mis := flag.Bool("mis", true, "enable multi-input-switching derates")
+	paths := flag.Int("paths", 5, "worst paths to report")
+	flag.Parse()
+
+	var lib *liberty.Library
+	if *libFile != "" {
+		f, err := os.Open(*libFile)
+		if err != nil {
+			fatal(err)
+		}
+		lib, err = liberty.ParseLib(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		*si = false // parsed libraries carry no device model for the noise engine
+	} else {
+		lib = buildLibrary(*corner, *derate)
+	}
+	d := buildCircuit(lib, *circuit)
+	stack := parasitics.Stack16()
+
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", *period, d.Port("clk"))
+	cfg := sta.Config{
+		Lib:        lib,
+		Parasitics: sta.NewNetBinder(stack, 1),
+		Scaling:    stack.Corner(beolKind(*beol), 3),
+		Derate:     derater(*derate),
+		MIS:        *mis,
+	}
+	if *si {
+		cfg.SI = sta.DefaultSI()
+	}
+	a, err := sta.New(d, cons, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		fatal(err)
+	}
+
+	st := d.Stats()
+	fmt.Printf("design %s: %d cells, %d nets | corner %s/%s, derate %s, period %.0f ps\n\n",
+		d.Name, st.Cells, st.Nets, *corner, *beol, *derate, *period)
+
+	tb := report.NewTable("summary", "check", "WNS (ps)", "TNS (ps)", "violating endpoints")
+	for _, k := range []sta.CheckKind{sta.Setup, sta.Hold} {
+		n := 0
+		for _, e := range a.EndpointSlacks(k) {
+			if e.Slack < 0 {
+				n++
+			}
+		}
+		tb.Row(k.String(), a.WorstSlack(k), a.TNS(k), n)
+	}
+	tb.Render(os.Stdout)
+
+	drc := a.DRCViolations()
+	noise := a.NoiseViolations()
+	binder := cfg.Parasitics
+	emViols := em.Check(a, lib, stack, binder, em.DefaultConfig())
+	fmt.Printf("\nDRC: %d violations, noise: %d, EM: %d\n", len(drc), len(noise), len(emViols))
+	pw := power.Compute(a, lib, power.DefaultConfig())
+	fmt.Printf("power: %.1f uW (leakage %.1f, data %.1f, clock %.1f — clock share %.0f%%)\n\n",
+		pw.Total/1000, pw.Leakage/1000, pw.DynamicData/1000, pw.DynamicClock/1000, 100*pw.ClockFrac)
+
+	// Endpoint slack histogram.
+	var slacks []float64
+	for _, e := range a.EndpointSlacks(sta.Setup) {
+		slacks = append(slacks, e.Slack)
+	}
+	if len(slacks) > 4 {
+		idx := make([]float64, len(slacks))
+		for i := range idx {
+			idx[i] = float64(i)
+		}
+		fmt.Print(report.Series("setup endpoint slacks, worst-first", idx, slacks, 48, 8))
+		fmt.Println()
+	}
+
+	fmt.Printf("worst %d setup paths (GBA vs PBA):\n", *paths)
+	for i, p := range a.WorstPaths(sta.Setup, *paths) {
+		r := a.PBA(p)
+		fmt.Printf("%2d. %-40s depth=%2d  GBA slack %8.1f  PBA slack %8.1f (recovered %.1f)\n",
+			i+1, p.Endpoint.Name(), p.Depth(), p.GBASlack, r.Slack, r.Pessimism)
+	}
+}
+
+func buildLibrary(corner, derate string) *liberty.Library {
+	var pvt liberty.PVT
+	switch corner {
+	case "tt":
+		pvt = liberty.PVT{Process: liberty.TT, Voltage: 0.80, Temp: 85}
+	case "ffg":
+		pvt = liberty.PVT{Process: liberty.FFG, Voltage: 0.88, Temp: -30}
+	default:
+		pvt = liberty.PVT{Process: liberty.SSG, Voltage: 0.72, Temp: 125}
+	}
+	lib := liberty.Generate(liberty.Node16, pvt, liberty.GenOptions{})
+	if derate == "lvf" || derate == "pocv" {
+		variation.CharacterizeLVF(lib, 0.02, 2000, 7)
+	}
+	return lib
+}
+
+func buildCircuit(lib *liberty.Library, name string) *netlist.Design {
+	switch name {
+	case "c5315":
+		return circuits.C5315(lib)
+	case "c7552":
+		return circuits.C7552(lib)
+	case "aes":
+		return circuits.AES(lib)
+	case "mpeg2":
+		return circuits.MPEG2(lib)
+	case "chain":
+		return circuits.Chain(lib, circuits.ChainSpec{Stages: 20, Vt: liberty.SVT})
+	default:
+		return circuits.SoCBlock(lib)
+	}
+}
+
+func beolKind(s string) parasitics.CornerKind {
+	switch s {
+	case "cw":
+		return parasitics.CWorst
+	case "cb":
+		return parasitics.CBest
+	case "rcb":
+		return parasitics.RCBest
+	case "ccw":
+		return parasitics.CcWorst
+	case "ccb":
+		return parasitics.CcBest
+	case "typ":
+		return parasitics.Typical
+	default:
+		return parasitics.RCWorst
+	}
+}
+
+func derater(s string) sta.Derater {
+	switch s {
+	case "flat":
+		return sta.DefaultFlatOCV()
+	case "aocv":
+		return sta.DefaultAOCV()
+	case "pocv":
+		return sta.DefaultPOCV()
+	case "lvf":
+		return sta.DefaultLVF()
+	default:
+		return sta.NoDerate{}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sta:", err)
+	os.Exit(1)
+}

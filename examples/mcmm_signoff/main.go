@@ -1,0 +1,91 @@
+// mcmm_signoff: the corner super-explosion in practice. Enumerates the full
+// scenario space for a wide-voltage-range 16nm-class SOC, analyzes a block
+// under a representative subset, prunes dominated scenarios, and closes
+// timing under the surviving MCMM set.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/mcmm"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+)
+
+func main() {
+	stack := parasitics.Stack16()
+
+	// The full space a central engineering team stares down.
+	sp := mcmm.Space{
+		Modes: mcmm.DefaultModes(),
+		PVTs: mcmm.VoltageTempGrid(
+			[]float64{0.50, 0.60, 0.72, 0.80, 0.90, 1.00},
+			[]float64{-30, 25, 125}),
+		BEOLs:           append([]parasitics.CornerKind{parasitics.Typical}, parasitics.AllCorners...),
+		MaskShiftCombos: 8, // three double-patterned layers
+	}
+	fmt.Printf("full scenario space: %d views\n", sp.Count())
+
+	// Analyze a block at a handful of candidate corners to get the WNS
+	// observations observational pruning needs.
+	libFor := func(p mcmm.PVTCorner) *liberty.Library {
+		return liberty.Generate(liberty.Node16,
+			liberty.PVT{Process: p.Process, Voltage: p.Voltage, Temp: p.Temp},
+			liberty.GenOptions{})
+	}
+	candidates := mcmm.VoltageTempGrid([]float64{0.60, 0.72}, []float64{-30, 125})
+	seedLib := libFor(candidates[0])
+	d := circuits.Block(seedLib, circuits.BlockSpec{
+		Name: "mcmm_blk", Inputs: 12, Outputs: 12, FFs: 48, Gates: 600,
+		Seed: 77, ClockBufferLevels: 2,
+	})
+	binder := sta.NewNetBinder(stack, 77)
+
+	var results []mcmm.ScenarioResult
+	for _, pc := range candidates {
+		lib := libFor(pc)
+		cons := sta.NewConstraints()
+		cons.AddClock("clk", 900, d.Port("clk"))
+		a, err := sta.New(d, cons, sta.Config{
+			Lib: lib, Parasitics: binder,
+			Scaling: stack.Corner(parasitics.RCWorst, 3),
+			Derate:  sta.DefaultAOCV(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := a.Run(); err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, mcmm.ScenarioResult{
+			Scenario: mcmm.Scenario{
+				Mode: mcmm.DefaultModes()[0], PVT: pc, BEOL: parasitics.RCWorst,
+			},
+			SetupWNS: a.WorstSlack(sta.Setup),
+			HoldWNS:  a.WorstSlack(sta.Hold),
+		})
+		fmt.Printf("  %-18s setup WNS %8.1f  hold WNS %8.1f\n",
+			pc.Name, a.WorstSlack(sta.Setup), a.WorstSlack(sta.Hold))
+	}
+	keep, pruned := mcmm.PruneDominated(results, 10)
+	fmt.Printf("observational pruning: kept %d of %d analyzed corners (%d dominated)\n\n",
+		len(keep), len(results), len(pruned))
+
+	// Close timing under the production MCMM recipe.
+	libs := core.GenerateNewLibs(liberty.Node16)
+	recipe := core.NewGoalPosts(libs, stack)
+	recipe.UsePBA = false // keep the demo fast
+	e := &core.Engine{
+		D: d, Recipe: recipe, BasePeriod: 700, ClockPort: d.Port("clk"),
+		Parasitics: binder,
+	}
+	res, err := e.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.String())
+}

@@ -1,0 +1,53 @@
+// mis_spice: the transistor-level multi-input-switching study of the
+// paper's Figure 4, run on the built-in mini-SPICE: a 28nm-class NAND2 with
+// an FO3 load, the second input's arrival offset swept, arc delay measured
+// at each point — showing the MIS speed-up on falling inputs and slow-down
+// on rising ones, at nominal and 80% supply.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"newgame/internal/report"
+	"newgame/internal/spice"
+)
+
+func main() {
+	for _, scale := range []float64{1.0, 0.8} {
+		for _, rising := range []bool{false, true} {
+			cfg := spice.MISConfig{Tech: spice.Tech28, VDDScale: scale, InputRising: rising}
+			sis, err := cfg.ArcDelay(math.Inf(1))
+			if err != nil {
+				log.Fatal(err)
+			}
+			edge := "falling"
+			if rising {
+				edge = "rising"
+			}
+			fmt.Printf("VDD %.2f V, %s input: SIS arc delay %.2f ps\n",
+				spice.Tech28.VDD*scale, edge, sis)
+			var xs, ys []float64
+			for _, off := range spice.DefaultOffsets() {
+				d, err := cfg.ArcDelay(off)
+				if err != nil {
+					continue // output suppressed at this offset
+				}
+				xs = append(xs, off)
+				ys = append(ys, d)
+			}
+			fmt.Print(report.Series(
+				fmt.Sprintf("arc delay vs IN1 offset (%s, %.2fV)", edge, spice.Tech28.VDD*scale),
+				xs, ys, 48, 9))
+			res, err := cfg.Run(nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("extreme MIS delay %.2f ps at offset %.0f ps -> MIS/SIS = %.2f\n\n",
+				res.MIS, res.AtOffset, res.Ratio)
+		}
+	}
+	fmt.Println("paper Figure 4: MIS < ~50% of SIS for falling inputs (hold-critical),")
+	fmt.Println("MIS > ~110% of SIS for rising inputs (setup-critical).")
+}

@@ -1,0 +1,3 @@
+module newgame
+
+go 1.22

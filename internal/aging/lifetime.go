@@ -1,0 +1,150 @@
+package aging
+
+import (
+	"math"
+
+	"newgame/internal/units"
+)
+
+// LifetimeConfig drives the closed-loop AVS lifetime simulation.
+type LifetimeConfig struct {
+	BTI BTIModel
+	// Years is the product lifetime (10 in the paper's Figure 9).
+	Years float64
+	// Steps is the number of simulation intervals.
+	Steps int
+	// VMin/VMax bound the AVS supply range.
+	VMin, VMax units.Volt
+	// VStep is the AVS regulator granularity.
+	VStep units.Volt
+	// GuardbandPs is the delay margin AVS maintains versus the target.
+	GuardbandPs units.Ps
+}
+
+// DefaultLifetime is the 10-year, 16nm-class configuration.
+func DefaultLifetime() LifetimeConfig {
+	return LifetimeConfig{
+		BTI: DefaultBTI, Years: 10, Steps: 40,
+		VMin: 0.55, VMax: 1.05, VStep: 0.0125, GuardbandPs: 2,
+	}
+}
+
+// LifetimeResult summarizes one closed-loop simulation.
+type LifetimeResult struct {
+	// AvgPower is the time-averaged power over the lifetime.
+	AvgPower float64
+	// FinalV / InitialV are the AVS supply at end / start of life.
+	FinalV, InitialV units.Volt
+	// FinalDvt is the accumulated threshold shift, V.
+	FinalDvt units.Volt
+	// Met reports whether the frequency target was met across the whole
+	// lifetime within the AVS range.
+	Met bool
+}
+
+// Simulate runs the AVS/aging chicken-egg loop for a sized circuit: at each
+// interval, AVS picks the lowest supply meeting the delay target given the
+// aging accumulated so far; the interval's stress at that supply then adds
+// aging for the next interval. Higher supply → faster aging → higher
+// supply: the loop the signoff corner must anticipate (paper §3.3).
+func (cfg LifetimeConfig) Simulate(c CircuitModel) LifetimeResult {
+	target := c.TargetDelay() - cfg.GuardbandPs
+	dt := cfg.Years / float64(cfg.Steps)
+	dvt := 0.0
+	res := LifetimeResult{Met: true}
+	powerSum := 0.0
+	v := cfg.VMin
+	for step := 0; step < cfg.Steps; step++ {
+		// AVS: smallest grid voltage meeting target at current aging.
+		v = cfg.VMin
+		for v <= cfg.VMax && c.Delay(v, dvt) > target {
+			v += cfg.VStep
+		}
+		if v > cfg.VMax {
+			v = cfg.VMax
+			res.Met = false
+		}
+		if step == 0 {
+			res.InitialV = v
+		}
+		powerSum += c.Power(v, dvt)
+		// Accumulate aging: convert existing ΔVt to equivalent stress time
+		// at the present voltage, then advance by dt.
+		eq := cfg.BTI.EquivalentStressYears(dvt, v, c.Temp)
+		dvt = cfg.BTI.DeltaVt(eq+dt, v, c.Temp)
+	}
+	res.AvgPower = powerSum / float64(cfg.Steps)
+	res.FinalV = v
+	res.FinalDvt = dvt
+	return res
+}
+
+// SignoffCorner is one assumed end-of-life ΔVt used at signoff.
+type SignoffCorner struct {
+	Index int
+	// AssumedDvt is the aging allowance designed for, V.
+	AssumedDvt units.Volt
+}
+
+// DefaultCorners returns the 7 aging signoff corners of Figure 9, from "no
+// aging" (corner 1, underestimation) to a heavily padded allowance
+// (corner 7, overestimation).
+func DefaultCorners() []SignoffCorner {
+	dvts := []float64{0, 0.010, 0.020, 0.030, 0.040, 0.055, 0.070}
+	out := make([]SignoffCorner, len(dvts))
+	for i, d := range dvts {
+		out[i] = SignoffCorner{Index: i + 1, AssumedDvt: d}
+	}
+	return out
+}
+
+// CornerOutcome is one point of the Figure 9 trade-off curve.
+type CornerOutcome struct {
+	Corner SignoffCorner
+	// AreaPct / PowerPct are normalized to the best-power feasible corner
+	// (100 = reference).
+	AreaPct, PowerPct float64
+	// Raw values before normalization.
+	Area, AvgPower float64
+	Result         LifetimeResult
+}
+
+// SweepCorners sizes the circuit at each aging signoff corner (at the
+// signoff voltage), runs the lifetime AVS simulation, and returns the
+// area/power trade-off. Results are normalized to the *self-consistent*
+// corner — the one whose assumed end-of-life ΔVt comes closest to the ΔVt
+// its own closed-loop simulation actually accumulates — so both
+// underestimation (power > 100%) and overestimation (area > 100%) read as
+// overheads relative to the "correct" signoff, the framing of paper
+// Figure 9.
+func SweepCorners(cfg LifetimeConfig, c CircuitModel, signoffV units.Volt, corners []SignoffCorner) []CornerOutcome {
+	out := make([]CornerOutcome, 0, len(corners))
+	for _, k := range corners {
+		sized := c.SizeFor(signoffV, k.AssumedDvt)
+		r := cfg.Simulate(sized)
+		out = append(out, CornerOutcome{
+			Corner: k, Area: sized.Area(), AvgPower: r.AvgPower, Result: r,
+		})
+	}
+	// Reference: the self-consistent, lifetime-feasible corner.
+	refP, refA := math.Inf(1), 1.0
+	bestErr := math.Inf(1)
+	for _, o := range out {
+		if !o.Result.Met {
+			continue
+		}
+		errDvt := math.Abs(o.Result.FinalDvt - o.Corner.AssumedDvt)
+		if errDvt < bestErr {
+			bestErr = errDvt
+			refP, refA = o.AvgPower, o.Area
+		}
+	}
+	if math.IsInf(refP, 1) && len(out) > 0 {
+		refP, refA = out[len(out)-1].AvgPower, out[len(out)-1].Area
+	}
+	for i := range out {
+		out[i].PowerPct = 100 * out[i].AvgPower / refP
+		out[i].AreaPct = 100 * out[i].Area / refA
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package circuits synthesizes benchmark netlists: deterministic random
+// logic blocks with the topological character of the circuits the paper's
+// experiments use (c5315/c7552-scale ISCAS combinational blocks, AES- and
+// MPEG2-scale SoC blocks), plus small regular structures (chains, trees)
+// used by focused experiments. It also provides functional simulation so
+// optimization passes can be property-tested for logic preservation.
+package circuits
+
+import (
+	"fmt"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// AddCell instantiates a library master in the design, declaring pins from
+// the master's pin list.
+func AddCell(d *netlist.Design, lib *liberty.Library, name, master string) (*netlist.Cell, error) {
+	m := lib.Cell(master)
+	if m == nil {
+		return nil, fmt.Errorf("circuits: unknown master %q", master)
+	}
+	var decls []netlist.PinDecl
+	for _, p := range m.Pins {
+		if p.Input {
+			decls = append(decls, netlist.In(p.Name))
+		} else {
+			decls = append(decls, netlist.Out(p.Name))
+		}
+	}
+	return d.AddCell(name, master, decls...)
+}
+
+// connect wires a pin, panicking on structural misuse (generator-internal
+// errors are bugs, not runtime conditions).
+func connect(d *netlist.Design, c *netlist.Cell, pin string, n *netlist.Net) {
+	if err := d.Connect(c, pin, n); err != nil {
+		panic(err)
+	}
+}
+
+func mustNet(d *netlist.Design, name string) *netlist.Net {
+	n, err := d.AddNet(name)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func mustCell(d *netlist.Design, lib *liberty.Library, name, master string) *netlist.Cell {
+	c, err := AddCell(d, lib, name, master)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustPort(d *netlist.Design, name string, dir netlist.PinDir) *netlist.Port {
+	p, err := d.AddPort(name, dir)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Instantiate copies every cell and net of src into dst with the given
+// instance prefix, binding src's ports to the provided dst nets: portNets
+// maps a src port name to the dst net that should drive it (input ports) or
+// that it should drive (output ports). Ports without an entry get a fresh
+// internal net. This is the flattening step a hierarchical flow performs
+// when it needs the full-chip "flat truth" (paper Comment 3's flat vs
+// ETM-based analysis).
+func Instantiate(dst *netlist.Design, src *netlist.Design, prefix string, portNets map[string]*netlist.Net) error {
+	netOf := make(map[*netlist.Net]*netlist.Net, len(src.Nets))
+	for _, sp := range src.Ports {
+		if n, ok := portNets[sp.Name]; ok {
+			netOf[sp.Net] = n
+			continue
+		}
+		n, err := dst.AddNet(prefix + "/" + sp.Name)
+		if err != nil {
+			return err
+		}
+		netOf[sp.Net] = n
+	}
+	for _, sn := range src.Nets {
+		if _, done := netOf[sn]; done {
+			continue
+		}
+		n, err := dst.AddNet(prefix + "/" + sn.Name)
+		if err != nil {
+			return err
+		}
+		netOf[sn] = n
+	}
+	for _, sc := range src.Cells {
+		var decls []netlist.PinDecl
+		for _, p := range sc.Pins {
+			if p.Dir == netlist.Input {
+				decls = append(decls, netlist.In(p.Name))
+			} else {
+				decls = append(decls, netlist.Out(p.Name))
+			}
+		}
+		c, err := dst.AddCell(prefix+"/"+sc.Name, sc.TypeName, decls...)
+		if err != nil {
+			return err
+		}
+		for _, p := range sc.Pins {
+			if p.Net == nil {
+				continue
+			}
+			if err := dst.Connect(c, p.Name, netOf[p.Net]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

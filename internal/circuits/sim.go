@@ -1,0 +1,136 @@
+package circuits
+
+import (
+	"fmt"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// Simulator evaluates a design's combinational logic functionally: primary
+// inputs and flip-flop Q values in, net values and next-state out. It is
+// used to property-test that optimization moves (sizing, Vt swap, buffer
+// insertion) never change logic.
+type Simulator struct {
+	d   *netlist.Design
+	lib *liberty.Library
+	// order is a topological order of combinational cells.
+	order []*netlist.Cell
+}
+
+// NewSimulator builds the evaluation order. It fails on combinational
+// cycles or non-evaluatable masters.
+func NewSimulator(d *netlist.Design, lib *liberty.Library) (*Simulator, error) {
+	s := &Simulator{d: d, lib: lib}
+	// Kahn over combinational cells: a cell is ready when all its input
+	// nets are either sources (ports, FF Q) or outputs of ordered cells.
+	pending := map[*netlist.Cell]int{}
+	depNets := map[*netlist.Net][]*netlist.Cell{}
+	var queue []*netlist.Cell
+	for _, c := range d.Cells {
+		m := lib.Cell(c.TypeName)
+		if m == nil {
+			return nil, fmt.Errorf("circuits: unknown master %q", c.TypeName)
+		}
+		if m.IsSequential() {
+			continue
+		}
+		deps := 0
+		for _, p := range c.Inputs() {
+			n := p.Net
+			if n == nil {
+				return nil, fmt.Errorf("circuits: unconnected input %s", p.FullName())
+			}
+			if n.Driver != nil && !lib.Cell(n.Driver.Cell.TypeName).IsSequential() {
+				deps++
+				depNets[n] = append(depNets[n], c)
+			}
+		}
+		pending[c] = deps
+		if deps == 0 {
+			queue = append(queue, c)
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		s.order = append(s.order, c)
+		if out := c.Output(); out != nil && out.Net != nil {
+			for _, dep := range depNets[out.Net] {
+				pending[dep]--
+				if pending[dep] == 0 {
+					queue = append(queue, dep)
+				}
+			}
+		}
+	}
+	comb := 0
+	for _, c := range d.Cells {
+		if !lib.Cell(c.TypeName).IsSequential() {
+			comb++
+		}
+	}
+	if len(s.order) != comb {
+		return nil, fmt.Errorf("circuits: combinational cycle (%d of %d cells ordered)", len(s.order), comb)
+	}
+	return s, nil
+}
+
+// State maps flip-flop cells to their current Q values.
+type State map[*netlist.Cell]bool
+
+// Eval computes all net values given primary-input values and FF state.
+// Missing inputs default to false. It returns net values plus the
+// next-state (D values at each FF).
+func (s *Simulator) Eval(inputs map[string]bool, st State) (map[*netlist.Net]bool, State) {
+	val := make(map[*netlist.Net]bool, len(s.d.Nets))
+	for _, p := range s.d.Ports {
+		if p.Dir == netlist.Input {
+			val[p.Net] = inputs[p.Name]
+		}
+	}
+	for _, c := range s.d.Cells {
+		m := s.lib.Cell(c.TypeName)
+		if m.IsSequential() {
+			if q := c.Pin(m.FF.Q); q != nil && q.Net != nil {
+				val[q.Net] = st[c]
+			}
+		}
+	}
+	for _, c := range s.order {
+		m := s.lib.Cell(c.TypeName)
+		fn := liberty.LogicEval(m.Function)
+		if fn == nil {
+			continue
+		}
+		ins := liberty.FunctionInputs(m.Function)
+		args := make([]bool, len(ins))
+		for i, pin := range ins {
+			args[i] = val[c.Pin(pin).Net]
+		}
+		if out := c.Output(); out != nil && out.Net != nil {
+			val[out.Net] = fn(args)
+		}
+	}
+	next := State{}
+	for _, c := range s.d.Cells {
+		m := s.lib.Cell(c.TypeName)
+		if m.IsSequential() {
+			if dp := c.Pin(m.FF.Data); dp != nil && dp.Net != nil {
+				next[c] = val[dp.Net]
+			}
+		}
+	}
+	return val, next
+}
+
+// Outputs extracts primary-output values from a net valuation.
+func (s *Simulator) Outputs(val map[*netlist.Net]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, p := range s.d.Ports {
+		if p.Dir == netlist.Output {
+			out[p.Name] = val[p.Net]
+		}
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"newgame/internal/cts"
+	"newgame/internal/ir"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/opt"
+	"newgame/internal/parasitics"
+	"newgame/internal/place"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Engine runs the closure loop on one design under one recipe.
+type Engine struct {
+	D      *netlist.Design
+	Recipe Recipe
+	// BasePeriod is the functional-mode clock period, ps.
+	BasePeriod units.Ps
+	// ClockPort roots the clock.
+	ClockPort *netlist.Port
+	// Parasitics is the base binder (wrapped in an NDR store internally).
+	Parasitics func(*netlist.Net) *parasitics.Tree
+	// Place enables MinIA awareness (optional).
+	Place *place.Placement
+	// InputArrival is the external arrival window applied to every data
+	// input port (min = max). Zero selects the 30 ps default; unconstrained
+	// inputs would otherwise race every port-fed flip-flop's hold check,
+	// which no real SDC allows.
+	InputArrival units.Ps
+
+	store *opt.Store
+	uskew map[*netlist.Cell]units.Ps
+}
+
+// Breakdown categorizes the violations of one analysis pass — the "break
+// down timing failures" step of Figure 1.
+type Breakdown struct {
+	SetupEndpoints int
+	HoldEndpoints  int
+	MaxTran        int
+	MaxCap         int
+	Noise          int
+	// PBAReclassified counts setup endpoints whose violation vanished
+	// under path-based analysis (pessimism-only violations).
+	PBAReclassified int
+}
+
+// Total counts all violations.
+func (b Breakdown) Total() int {
+	return b.SetupEndpoints + b.HoldEndpoints + b.MaxTran + b.MaxCap + b.Noise
+}
+
+// ScenarioStatus is one scenario's timing after an iteration.
+type ScenarioStatus struct {
+	Name     string
+	SetupWNS units.Ps
+	HoldWNS  units.Ps
+	SetupTNS units.Ps
+}
+
+// Iteration is one trip around the Figure 1 loop.
+type Iteration struct {
+	Index     int
+	Scenarios []ScenarioStatus
+	// MergedSetupWNS/MergedHoldWNS across scenarios.
+	MergedSetupWNS, MergedHoldWNS units.Ps
+	Breakdown                     Breakdown
+	// Fixes applied this iteration, in order.
+	Fixes []opt.Report
+}
+
+// Result is the full closure run.
+type Result struct {
+	Recipe     string
+	Iterations []Iteration
+	// Closed reports whether the final signoff is clean.
+	Closed bool
+	// Final is the signoff state after the last iteration.
+	Final Iteration
+	// AreaDelta/LeakageDelta accumulate fix costs.
+	AreaDelta, LeakageDelta float64
+}
+
+// String renders the per-iteration convergence table.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "closure %s: %d iterations, closed=%v\n", r.Recipe, len(r.Iterations), r.Closed)
+	for _, it := range r.Iterations {
+		fmt.Fprintf(&b, "  iter %d: setupWNS=%8.1f holdWNS=%8.1f viol=%d\n",
+			it.Index, it.MergedSetupWNS, it.MergedHoldWNS, it.Breakdown.Total())
+	}
+	return b.String()
+}
+
+// skewScale converts useful-skew offsets (scheduled in the reference
+// scenario's time base) to a scenario library's time base: skew buffers
+// speed up and slow down with the corner like every other cell.
+func (e *Engine) skewScale(lib *liberty.Library) float64 {
+	ref := e.Recipe.Scenarios[0].Lib
+	den := ref.Tech.Req(liberty.SVT, 1, ref.PVT) * ref.Tech.CinUnit
+	num := lib.Tech.Req(liberty.SVT, 1, lib.PVT) * lib.Tech.CinUnit
+	if den <= 0 || num <= 0 {
+		return 1
+	}
+	return num / den
+}
+
+// analyzer builds the STA view for one scenario with the engine's current
+// netlist, NDR store and useful-skew schedule.
+func (e *Engine) analyzer(s Scenario) (*sta.Analyzer, error) {
+	cons := sta.NewConstraints()
+	ck := cons.AddClock("clk", e.BasePeriod*s.PeriodScale, e.ClockPort)
+	ck.SetupUncertainty = s.SetupUncertainty
+	ck.HoldUncertainty = s.HoldUncertainty
+	arrive := e.InputArrival
+	if arrive == 0 {
+		arrive = 30
+	}
+	for _, p := range e.D.Ports {
+		if p.Dir == netlist.Input && p != e.ClockPort {
+			cons.InputDelay[p] = sta.IODelay{Min: arrive, Max: arrive}
+		}
+	}
+	for ff, off := range e.uskew {
+		cons.ExtraCKLatency[ff] = off
+	}
+	cfg := sta.Config{
+		Lib: s.Lib, Parasitics: e.store.Fn(), Scaling: s.Scaling,
+		Derate: s.Derate, SI: s.SI, MIS: s.MIS,
+		CKLatencyScale: e.skewScale(s.Lib),
+	}
+	if s.DynamicIR && e.Place != nil {
+		droop := ir.Run(e.Place, s.Lib, ir.DefaultConfig())
+		cfg.CellDerate = droop.DerateFn()
+	}
+	a, err := sta.New(e.D, cons, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a, a.Run()
+}
+
+// survey runs every scenario and merges the results. It returns the
+// analyzers of the worst-setup, worst-hold and most-DRC-violating views so
+// the fix phase operates where the problems actually are.
+func (e *Engine) survey() (Iteration, *sta.Analyzer, *sta.Analyzer, *sta.Analyzer, error) {
+	it := Iteration{MergedSetupWNS: math.Inf(1), MergedHoldWNS: math.Inf(1)}
+	var worstSetup, worstHold, worstDRC *sta.Analyzer
+	wsv, whv := math.Inf(1), math.Inf(1)
+	maxDRC := 0
+	for _, s := range e.Recipe.Scenarios {
+		a, err := e.analyzer(s)
+		if err != nil {
+			return it, nil, nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		st := ScenarioStatus{Name: s.Name}
+		if s.ForSetup {
+			st.SetupWNS = a.WorstSlack(sta.Setup)
+			st.SetupTNS = a.TNS(sta.Setup)
+			if st.SetupWNS < wsv {
+				wsv, worstSetup = st.SetupWNS, a
+			}
+			if st.SetupWNS < it.MergedSetupWNS {
+				it.MergedSetupWNS = st.SetupWNS
+			}
+			for _, ep := range a.EndpointSlacks(sta.Setup) {
+				if ep.Slack < 0 {
+					it.Breakdown.SetupEndpoints++
+				}
+			}
+		} else {
+			st.SetupWNS = math.Inf(1)
+		}
+		if s.ForHold {
+			st.HoldWNS = a.WorstSlack(sta.Hold)
+			if st.HoldWNS < whv {
+				whv, worstHold = st.HoldWNS, a
+			}
+			if st.HoldWNS < it.MergedHoldWNS {
+				it.MergedHoldWNS = st.HoldWNS
+			}
+			for _, ep := range a.EndpointSlacks(sta.Hold) {
+				if ep.Slack < 0 {
+					it.Breakdown.HoldEndpoints++
+				}
+			}
+		} else {
+			st.HoldWNS = math.Inf(1)
+		}
+		drc := a.DRCViolations()
+		for _, v := range drc {
+			if v.Kind == "max_tran" {
+				it.Breakdown.MaxTran++
+			} else {
+				it.Breakdown.MaxCap++
+			}
+		}
+		noise := a.NoiseViolations()
+		it.Breakdown.Noise += len(noise)
+		if len(drc)+len(noise) > maxDRC {
+			maxDRC = len(drc) + len(noise)
+			worstDRC = a
+		}
+		it.Scenarios = append(it.Scenarios, st)
+	}
+	// PBA reclassification on the worst setup scenario.
+	if e.Recipe.UsePBA && worstSetup != nil {
+		n := e.Recipe.PBAEndpoints
+		if n == 0 {
+			n = 50
+		}
+		for _, p := range worstSetup.WorstPaths(sta.Setup, n) {
+			if p.GBASlack >= 0 {
+				break
+			}
+			if worstSetup.PBA(p).Slack >= 0 {
+				it.Breakdown.PBAReclassified++
+			}
+		}
+	}
+	return it, worstSetup, worstHold, worstDRC, nil
+}
+
+// Survey runs a single analysis pass over every scenario without fixing
+// anything — the "run STA, break down failures" step alone, also useful
+// for signoff-only comparisons between recipes.
+func (e *Engine) Survey() (Iteration, error) {
+	if e.store == nil {
+		e.store = opt.NewStore(e.Parasitics)
+	}
+	if e.uskew == nil {
+		e.uskew = map[*netlist.Cell]units.Ps{}
+	}
+	it, _, _, _, err := e.survey()
+	return it, err
+}
+
+// Close runs the Figure 1 loop to completion or iteration exhaustion.
+func (e *Engine) Close() (*Result, error) {
+	if err := e.Recipe.Validate(); err != nil {
+		return nil, err
+	}
+	if e.store == nil {
+		e.store = opt.NewStore(e.Parasitics)
+	}
+	if e.uskew == nil {
+		e.uskew = map[*netlist.Cell]units.Ps{}
+	}
+	res := &Result{Recipe: e.Recipe.Name}
+	for iter := 1; iter <= e.Recipe.MaxIterations; iter++ {
+		it, worstSetup, worstHold, worstDRC, err := e.survey()
+		if err != nil {
+			return nil, err
+		}
+		it.Index = iter
+		clean := it.MergedSetupWNS >= 0 && it.MergedHoldWNS >= 0 && it.Breakdown.Total() == 0
+		// PBA-only violations do not need fixing.
+		if e.Recipe.UsePBA && it.Breakdown.SetupEndpoints > 0 &&
+			it.Breakdown.SetupEndpoints <= it.Breakdown.PBAReclassified &&
+			it.MergedHoldWNS >= 0 &&
+			it.Breakdown.MaxTran+it.Breakdown.MaxCap+it.Breakdown.Noise == 0 {
+			clean = true
+		}
+		if clean {
+			res.Iterations = append(res.Iterations, it)
+			res.Closed = true
+			res.Final = it
+			if err := e.recoverMargin(res); err != nil {
+				return nil, err
+			}
+			return res, nil
+		}
+		// Fix phase: the Figure 1 ordering.
+		if worstSetup != nil && it.MergedSetupWNS < 0 {
+			ctx := &opt.Context{A: worstSetup, Lib: worstSetup.Cfg.Lib, Place: e.Place, Store: e.store}
+			vopts := opt.DefaultVtSwap()
+			vopts.MinIAAware = e.Recipe.MinIAAware
+			for _, fix := range []func() (opt.Report, error){
+				func() (opt.Report, error) { return opt.VtSwap(ctx, vopts) },
+				func() (opt.Report, error) { return opt.Resize(ctx, opt.DefaultResize()) },
+				func() (opt.Report, error) { return opt.FixDRC(ctx, opt.DefaultBuffer()) },
+				func() (opt.Report, error) { return opt.ApplyNDR(ctx, 30) },
+			} {
+				rep, err := fix()
+				if err != nil {
+					return nil, err
+				}
+				it.Fixes = append(it.Fixes, rep)
+				res.AreaDelta += rep.AreaDelta
+				res.LeakageDelta += rep.LeakageDelta
+				if ctx.A.WorstSlack(sta.Setup) >= 0 {
+					break
+				}
+			}
+			if e.Recipe.UseUsefulSkew && ctx.A.WorstSlack(sta.Setup) < 0 {
+				us, err := cts.ScheduleUsefulSkew(ctx.A, ctx.Lib, cts.DefaultUsefulSkew())
+				if err != nil {
+					return nil, err
+				}
+				for ff, off := range us.Offsets {
+					e.uskew[ff] = off
+				}
+				it.Fixes = append(it.Fixes, opt.Report{
+					Pass: "useful_skew", Changed: us.Adjusted,
+					WNSBefore: us.WNSBefore, WNSAfter: us.WNSAfter,
+				})
+			}
+		}
+		if worstHold != nil && it.MergedHoldWNS < 0 {
+			ctx := &opt.Context{A: worstHold, Lib: worstHold.Cfg.Lib, Store: e.store,
+				SetupGuard: worstSetup}
+			rep, err := opt.FixHold(ctx, 100)
+			if err != nil {
+				return nil, err
+			}
+			it.Fixes = append(it.Fixes, rep)
+			res.AreaDelta += rep.AreaDelta
+			res.LeakageDelta += rep.LeakageDelta
+		}
+		// DRC and noise closure run regardless of timing state (the "last
+		// set of manual noise and DRC fixes" never waits for slack), on the
+		// scenario that actually reports them.
+		if it.Breakdown.MaxTran+it.Breakdown.MaxCap > 0 || it.Breakdown.Noise > 0 {
+			a := worstDRC
+			if a == nil {
+				a = worstSetup
+			}
+			if a == nil {
+				a = worstHold
+			}
+			if a != nil {
+				ctx := &opt.Context{A: a, Lib: a.Cfg.Lib, Store: e.store}
+				if it.Breakdown.MaxTran+it.Breakdown.MaxCap > 0 {
+					rep, err := opt.FixDRC(ctx, opt.DefaultBuffer())
+					if err != nil {
+						return nil, err
+					}
+					it.Fixes = append(it.Fixes, rep)
+					res.AreaDelta += rep.AreaDelta
+					res.LeakageDelta += rep.LeakageDelta
+				}
+				if it.Breakdown.Noise > 0 {
+					rep, err := opt.FixNoise(ctx, 60)
+					if err != nil {
+						return nil, err
+					}
+					it.Fixes = append(it.Fixes, rep)
+				}
+			}
+		}
+		res.Iterations = append(res.Iterations, it)
+	}
+	// Final signoff after the last repair pass.
+	fin, _, _, _, err := e.survey()
+	if err != nil {
+		return nil, err
+	}
+	fin.Index = e.Recipe.MaxIterations + 1
+	res.Final = fin
+	res.Closed = fin.MergedSetupWNS >= 0 && fin.MergedHoldWNS >= 0 && fin.Breakdown.Total() == 0
+	if !res.Closed && e.Recipe.UsePBA &&
+		fin.MergedHoldWNS >= 0 &&
+		fin.Breakdown.SetupEndpoints <= fin.Breakdown.PBAReclassified &&
+		fin.Breakdown.MaxTran+fin.Breakdown.MaxCap+fin.Breakdown.Noise == 0 {
+		res.Closed = true
+	}
+	res.Iterations = append(res.Iterations, fin)
+	if res.Closed {
+		if err := e.recoverMargin(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// recoverMargin spends surplus slack on leakage and area once signoff is
+// clean, then re-verifies. Recovery uses the first setup scenario's view;
+// the conservative slack floor keeps every scenario met (confirmed by the
+// appended re-survey).
+func (e *Engine) recoverMargin(res *Result) error {
+	if !e.Recipe.RecoverAfterClose {
+		return nil
+	}
+	floor := e.Recipe.RecoverySlackFloor
+	if floor == 0 {
+		floor = 60
+	}
+	var setupScen *Scenario
+	for i := range e.Recipe.Scenarios {
+		if e.Recipe.Scenarios[i].ForSetup {
+			setupScen = &e.Recipe.Scenarios[i]
+			break
+		}
+	}
+	if setupScen == nil {
+		return nil
+	}
+	a, err := e.analyzer(*setupScen)
+	if err != nil {
+		return err
+	}
+	ctx := &opt.Context{A: a, Lib: setupScen.Lib, Place: e.Place, Store: e.store}
+	// Cross-scenario acceptance: every recovery batch must keep the whole
+	// MCMM survey clean, not just the recovery view (§2.3's ping-pong).
+	ctx.Verify = func() bool {
+		it, _, _, _, err := e.survey()
+		if err != nil {
+			return false
+		}
+		ok := it.MergedSetupWNS >= 0 && it.MergedHoldWNS >= 0 && it.Breakdown.Total() == 0
+		if !ok && e.Recipe.UsePBA &&
+			it.MergedHoldWNS >= 0 &&
+			it.Breakdown.SetupEndpoints <= it.Breakdown.PBAReclassified &&
+			it.Breakdown.MaxTran+it.Breakdown.MaxCap+it.Breakdown.Noise == 0 {
+			ok = true
+		}
+		return ok
+	}
+	leak, err := opt.LeakageRecovery(ctx, floor, 600)
+	if err != nil {
+		return err
+	}
+	area, err := opt.AreaRecovery(ctx, floor, 600)
+	if err != nil {
+		return err
+	}
+	res.LeakageDelta += leak.LeakageDelta + area.LeakageDelta
+	res.AreaDelta += leak.AreaDelta + area.AreaDelta
+	fin, _, _, _, err := e.survey()
+	if err != nil {
+		return err
+	}
+	fin.Index = res.Final.Index + 1
+	fin.Fixes = []opt.Report{leak, area}
+	res.Final = fin
+	res.Iterations = append(res.Iterations, fin)
+	res.Closed = fin.MergedSetupWNS >= 0 && fin.MergedHoldWNS >= 0 && fin.Breakdown.Total() == 0
+	if !res.Closed && e.Recipe.UsePBA &&
+		fin.MergedHoldWNS >= 0 &&
+		fin.Breakdown.SetupEndpoints <= fin.Breakdown.PBAReclassified &&
+		fin.Breakdown.MaxTran+fin.Breakdown.MaxCap+fin.Breakdown.Noise == 0 {
+		res.Closed = true
+	}
+	return nil
+}

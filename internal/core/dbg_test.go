@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+)
+
+func TestDbgHoldStuck(t *testing.T) {
+	recipe := OldGoalPosts(liberty.Node16, parasitics.Stack16())
+	e := engine(t, recipe, 560, 42)
+	if _, err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Build hold and setup analyzers on the final netlist.
+	mk := func(s Scenario) *sta.Analyzer {
+		a, err := e.analyzer(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	hold := mk(recipe.Scenarios[1])
+	setup := mk(recipe.Scenarios[0])
+	n := 0
+	for _, ep := range hold.EndpointSlacks(sta.Hold) {
+		if ep.Slack >= 0 || ep.Pin == nil {
+			continue
+		}
+		n++
+		if n > 8 {
+			break
+		}
+		fmt.Printf("hold %-14s slack=%7.1f | fast setup slack=%8.1f | slow setup slack=%8.1f | driver=%v\n",
+			ep.Name(), ep.Slack, hold.PinSetupSlack(ep.Pin), setup.PinSetupSlack(ep.Pin),
+			driverOf(ep))
+	}
+}
+
+func driverOf(ep sta.EndpointSlack) string {
+	if ep.Pin.Net == nil || ep.Pin.Net.Driver == nil {
+		if ep.Pin.Net != nil && ep.Pin.Net.Port != nil {
+			return "PORT:" + ep.Pin.Net.Port.Name
+		}
+		return "?"
+	}
+	return ep.Pin.Net.Driver.Cell.TypeName
+}

@@ -1,0 +1,186 @@
+// Package core is the timing-closure engine — the paper's subject turned
+// into an executable system. It assembles the repository's substrates into
+// the Figure 1 loop (analyze → break down failures → fix in the recommended
+// order → repeat), runs it under a signoff Recipe (the set of scenarios,
+// variation models and margins that define the "goal posts"), and ships
+// the old-versus-new goal-post configurations of Figure 2 so the paper's
+// decade of evolution can be measured on one design.
+package core
+
+import (
+	"fmt"
+
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Scenario is one signoff view the closure loop must satisfy.
+type Scenario struct {
+	Name string
+	// Lib is the corner library.
+	Lib *liberty.Library
+	// Scaling is the BEOL corner.
+	Scaling *parasitics.Scaling
+	// PeriodScale multiplies the base clock period (mode-dependent).
+	PeriodScale float64
+	// Derate is the OCV model for this view.
+	Derate sta.Derater
+	// SI/MIS analysis switches.
+	SI  sta.SIConfig
+	MIS bool
+	// ForSetup/ForHold select which checks this scenario participates in.
+	ForSetup, ForHold bool
+	// SetupUncertainty/HoldUncertainty are the flat margins for this view.
+	SetupUncertainty, HoldUncertainty units.Ps
+	// DynamicIR enables activity-driven supply-droop derating in this view
+	// (requires the engine to carry a placement) — Figure 2's "Dynamic IR"
+	// entry in the NEW goal posts.
+	DynamicIR bool
+}
+
+// Recipe is a plan-of-record signoff + closure methodology.
+type Recipe struct {
+	Name      string
+	Scenarios []Scenario
+	// MaxIterations is the repair/signoff iteration budget (five in the
+	// MacDonald flow of Figure 1).
+	MaxIterations int
+	// UsePBA re-times GBA-violating endpoints path-based before spending
+	// fixes on them (paper §1.3's pessimism-reduction-before-fixing).
+	UsePBA bool
+	// PBAEndpoints bounds the per-iteration PBA budget.
+	PBAEndpoints int
+	// UseUsefulSkew enables the last fix lever.
+	UseUsefulSkew bool
+	// MinIAAware gates placement-aware Vt swap.
+	MinIAAware bool
+	// RecoverAfterClose runs leakage and area recovery once timing is met
+	// ("margin is synonymous with overdesign, cost, and loss of
+	// competitiveness" — §1.3), then re-verifies signoff.
+	RecoverAfterClose bool
+	// RecoverySlackFloor is the slack a cell must keep after recovery
+	// moves (default 60 ps when zero).
+	RecoverySlackFloor units.Ps
+}
+
+// OldGoalPosts is the circa-65nm recipe: one functional mode at the
+// worst-case corner, flat OCV, C-worst-only extraction, no SI/MIS, GBA
+// only, generous flat margins ("1 mode, setup-hold, Cw only, NLDM" —
+// Figure 2's OLD column).
+func OldGoalPosts(tech liberty.TechParams, stack *parasitics.Stack) Recipe {
+	slow := liberty.Generate(tech, liberty.PVT{
+		Process: liberty.SS, Voltage: tech.VDDNominal * 0.9, Temp: 125,
+	}, liberty.GenOptions{})
+	fast := liberty.Generate(tech, liberty.PVT{
+		Process: liberty.FF, Voltage: tech.VDDNominal * 1.1, Temp: -30,
+	}, liberty.GenOptions{})
+	return Recipe{
+		Name: "old_goal_posts",
+		Scenarios: []Scenario{
+			{
+				Name: "func_ss_cw", Lib: slow,
+				Scaling:     stack.Corner(parasitics.CWorst, 3),
+				PeriodScale: 1, Derate: sta.DefaultFlatOCV(),
+				ForSetup: true, SetupUncertainty: 25,
+			},
+			{
+				Name: "func_ff_cb", Lib: fast,
+				Scaling:     stack.Corner(parasitics.CBest, 3),
+				PeriodScale: 1, Derate: sta.DefaultFlatOCV(),
+				ForHold: true, HoldUncertainty: 15,
+			},
+		},
+		MaxIterations:     5,
+		UseUsefulSkew:     true,
+		RecoverAfterClose: true,
+	}
+}
+
+// NewGoalPosts is the 16nm-class recipe: MCMM scenarios across global
+// corners, temperatures and BEOL corners, LVF statistical derating, SI and
+// MIS analysis, PBA pessimism reduction before fixing, MinIA-aware moves,
+// and tightened margins (Figure 2's NEW column). The LVF tables must have
+// been characterized into the libraries (internal/variation).
+func NewGoalPosts(libs NewLibs, stack *parasitics.Stack) Recipe {
+	si := sta.DefaultSI()
+	return Recipe{
+		Name: "new_goal_posts",
+		Scenarios: []Scenario{
+			{
+				Name: "func_ssg_rcw_hot", Lib: libs.SlowHot,
+				Scaling:     stack.Corner(parasitics.RCWorst, 3),
+				PeriodScale: 1, Derate: sta.DefaultLVF(), SI: si, MIS: true,
+				ForSetup: true, SetupUncertainty: 12, DynamicIR: true,
+			},
+			{
+				Name: "func_ssg_cw_cold", Lib: libs.SlowCold,
+				Scaling:     stack.Corner(parasitics.CWorst, 3),
+				PeriodScale: 1, Derate: sta.DefaultLVF(), SI: si, MIS: true,
+				ForSetup: true, SetupUncertainty: 12,
+			},
+			{
+				Name: "func_ffg_cb_cold", Lib: libs.FastCold,
+				Scaling:     stack.Corner(parasitics.CBest, 3),
+				PeriodScale: 1, Derate: sta.DefaultLVF(), SI: si, MIS: true,
+				ForHold: true, HoldUncertainty: 8,
+			},
+			{
+				Name: "scan_ssg_rcw", Lib: libs.SlowHot,
+				Scaling:     stack.Corner(parasitics.RCWorst, 3),
+				PeriodScale: 4, Derate: sta.DefaultLVF(), SI: si, MIS: true,
+				ForSetup: true, ForHold: true, SetupUncertainty: 12, HoldUncertainty: 8,
+			},
+		},
+		MaxIterations:     5,
+		UsePBA:            true,
+		PBAEndpoints:      50,
+		UseUsefulSkew:     true,
+		MinIAAware:        true,
+		RecoverAfterClose: true,
+	}
+}
+
+// NewLibs bundles the corner libraries the new recipe needs.
+type NewLibs struct {
+	SlowHot, SlowCold, FastCold *liberty.Library
+}
+
+// GenerateNewLibs builds the three corner libraries for the new recipe.
+// The caller typically runs variation.CharacterizeLVF on each afterwards.
+func GenerateNewLibs(tech liberty.TechParams) NewLibs {
+	return NewLibs{
+		SlowHot: liberty.Generate(tech, liberty.PVT{
+			Process: liberty.SSG, Voltage: tech.VDDNominal * 0.9, Temp: 125,
+		}, liberty.GenOptions{}),
+		SlowCold: liberty.Generate(tech, liberty.PVT{
+			Process: liberty.SSG, Voltage: tech.VDDNominal * 0.9, Temp: -30,
+		}, liberty.GenOptions{}),
+		FastCold: liberty.Generate(tech, liberty.PVT{
+			Process: liberty.FFG, Voltage: tech.VDDNominal * 1.1, Temp: -30,
+		}, liberty.GenOptions{}),
+	}
+}
+
+// Validate sanity-checks a recipe.
+func (r Recipe) Validate() error {
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("core: recipe %q has no scenarios", r.Name)
+	}
+	setup, hold := false, false
+	for _, s := range r.Scenarios {
+		if s.Lib == nil {
+			return fmt.Errorf("core: scenario %q has no library", s.Name)
+		}
+		if s.PeriodScale <= 0 {
+			return fmt.Errorf("core: scenario %q has period scale %v", s.Name, s.PeriodScale)
+		}
+		setup = setup || s.ForSetup
+		hold = hold || s.ForHold
+	}
+	if !setup || !hold {
+		return fmt.Errorf("core: recipe %q must cover both setup and hold", r.Name)
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Package cts provides clock tree synthesis and clock-domain analyses:
+// balanced buffer-tree construction, insertion delay and skew reporting
+// (including multi-corner skew, the MCMM clock problem of paper §1.2),
+// useful-skew scheduling (the optimization the paper's Figure 1 recipe
+// applies last), and clock jitter margin models (flat versus
+// cycle-to-cycle, paper §3.4).
+package cts
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Options tunes tree synthesis.
+type Options struct {
+	// BufMaster is the clock buffer cell (default BUF_X4_SVT).
+	BufMaster string
+	// MaxFanout bounds loads per buffer (default 8).
+	MaxFanout int
+}
+
+func (o *Options) fill() {
+	if o.BufMaster == "" {
+		o.BufMaster = liberty.CellName("BUF", 4, liberty.SVT)
+	}
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 8
+	}
+}
+
+// TreeInfo reports the synthesized tree.
+type TreeInfo struct {
+	Buffers int
+	Levels  int
+}
+
+// Synthesize replaces the flat clock net rooted at clockPort with a
+// balanced buffer tree: sinks (FF CK pins and pre-existing clock buffer
+// inputs) are grouped bottom-up under buffers until a single root level
+// drives from the port. The result is a realistic insertion delay and a
+// shared-trunk structure that CRPR can credit.
+func Synthesize(d *netlist.Design, lib *liberty.Library, clockPort *netlist.Port, opts Options) (*TreeInfo, error) {
+	opts.fill()
+	if lib.Cell(opts.BufMaster) == nil {
+		return nil, fmt.Errorf("cts: unknown buffer master %q", opts.BufMaster)
+	}
+	root := clockPort.Net
+	sinks := append([]*netlist.Pin(nil), root.Loads...)
+	if len(sinks) <= opts.MaxFanout {
+		return &TreeInfo{Buffers: 0, Levels: 0}, nil
+	}
+	info := &TreeInfo{}
+	// Detach every sink; cluster bottom-up until one level fits under the
+	// root.
+	for _, p := range sinks {
+		d.Disconnect(p)
+	}
+	level := sinks
+	for len(level) > opts.MaxFanout {
+		var next []*netlist.Pin
+		for lo := 0; lo < len(level); lo += opts.MaxFanout {
+			hi := lo + opts.MaxFanout
+			if hi > len(level) {
+				hi = len(level)
+			}
+			buf, err := d.AddCell(d.FreshName("ctsbuf"), opts.BufMaster,
+				netlist.In("A"), netlist.Out("Z"))
+			if err != nil {
+				return nil, err
+			}
+			net, err := d.AddNet(d.FreshName("ctsnet"))
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Connect(buf, "Z", net); err != nil {
+				return nil, err
+			}
+			for _, p := range level[lo:hi] {
+				if err := d.Connect(p.Cell, p.Name, net); err != nil {
+					return nil, err
+				}
+			}
+			next = append(next, buf.Pin("A"))
+			info.Buffers++
+		}
+		level = next
+		info.Levels++
+	}
+	for _, p := range level {
+		if err := d.Connect(p.Cell, p.Name, root); err != nil {
+			return nil, err
+		}
+	}
+	return info, nil
+}
+
+// InsertionDelays extracts per-FF clock arrival (late, leading edge) from a
+// run analyzer.
+func InsertionDelays(a *sta.Analyzer, lib *liberty.Library) map[*netlist.Cell]units.Ps {
+	out := map[*netlist.Cell]units.Ps{}
+	for _, c := range a.D.Cells {
+		m := lib.Cell(c.TypeName)
+		if m == nil || m.FF == nil {
+			continue
+		}
+		ck := c.Pin(m.FF.Clock)
+		if ck == nil {
+			continue
+		}
+		if t, ok := a.PinArrival(ck, 0, 1); ok { // rise, late
+			out[c] = t
+		} else if t, ok := a.PinArrival(ck, 1, 1); ok {
+			out[c] = t
+		}
+	}
+	return out
+}
+
+// Skew returns min/max insertion delay and their difference.
+func Skew(delays map[*netlist.Cell]units.Ps) (min, max, skew units.Ps) {
+	if len(delays) == 0 {
+		return 0, 0, 0
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, d := range delays {
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max, max - min
+}
+
+// MCMMSkew evaluates skew across a set of analyzers (one per corner) and
+// returns per-corner skew plus the worst cross-corner arrival spread per
+// flip-flop — the multi-corner CTS difficulty of paper §1.2 ("each of
+// hundreds of scenarios has different clock insertion delay").
+func MCMMSkew(analyzers []*sta.Analyzer, lib *liberty.Library) (perCorner []units.Ps, worstCross units.Ps) {
+	var all []map[*netlist.Cell]units.Ps
+	for _, a := range analyzers {
+		del := InsertionDelays(a, lib)
+		all = append(all, del)
+		_, _, sk := Skew(del)
+		perCorner = append(perCorner, sk)
+	}
+	if len(all) == 0 {
+		return nil, 0
+	}
+	for ff := range all[0] {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, del := range all {
+			if d, ok := del[ff]; ok {
+				if d < lo {
+					lo = d
+				}
+				if d > hi {
+					hi = d
+				}
+			}
+		}
+		if hi-lo > worstCross {
+			worstCross = hi - lo
+		}
+	}
+	return perCorner, worstCross
+}
+
+// ffsOf lists the sequential cells of a design in a stable order.
+func ffsOf(a *sta.Analyzer, lib *liberty.Library) []*netlist.Cell {
+	var out []*netlist.Cell
+	for _, c := range a.D.Cells {
+		if m := lib.Cell(c.TypeName); m != nil && m.FF != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

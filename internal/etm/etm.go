@@ -1,0 +1,230 @@
+// Package etm implements extracted timing models — the interface
+// abstraction behind hierarchical signoff (paper §4 Comment 3: "flat vs
+// ETM-based/hierarchical analysis and optimization ... affect design
+// schedule and QOR"). A block is analyzed once standalone; its interface
+// timing is condensed into per-port numbers (input setup/hold requirements,
+// clock-to-output delays, input capacitance); the top level then checks
+// inter-block paths against the models instead of re-analyzing block
+// internals.
+package etm
+
+import (
+	"fmt"
+	"math"
+
+	"newgame/internal/netlist"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Model is the interface timing abstraction of one block at one analysis
+// view.
+type Model struct {
+	Name string
+	// Period is the clock period the block was characterized at.
+	Period units.Ps
+	// InputSetup[p] is the latest allowed arrival of input p relative to
+	// the clock edge such that all internal setup checks pass:
+	// externalArrival ≤ InputSetup[p]. Derived from the block's
+	// required-time propagation. Ports that reach no constrained endpoint
+	// are absent.
+	InputSetup map[string]units.Ps
+	// InputHold[p] is the earliest allowed arrival of input p (an earlier
+	// transition races internal hold checks): externalEarlyArrival ≥
+	// InputHold[p]. Derived from the block's worst hold paths per port.
+	InputHold map[string]units.Ps
+	// OutLate/OutEarly are clock-to-output delays per output port.
+	OutLate, OutEarly map[string]units.Ps
+	// OutSlew is the late output slew per output port.
+	OutSlew map[string]units.Ps
+	// InputCap is the capacitive load each input presents, fF.
+	InputCap map[string]units.FF
+	// InternalSetupWNS/InternalHoldWNS record the block-internal signoff
+	// state at extraction (reg-to-reg paths the model hides).
+	InternalSetupWNS, InternalHoldWNS units.Ps
+}
+
+// Boundary fixes the characterization conditions at the block interface.
+// For the model to be *sound* (never more optimistic than flat analysis of
+// a composition), the block must be characterized under conditions at
+// least as harsh as any context it will be instantiated in: input slews no
+// faster than the real boundary slews and output loads no lighter than the
+// real downstream loads. This is exactly the boundary-condition discipline
+// commercial ETM flows impose.
+type Boundary struct {
+	// InputSlew is the transition time assumed at every data input, ps.
+	InputSlew units.Ps
+	// OutLoad is the capacitance assumed on every output port, fF.
+	OutLoad units.FF
+}
+
+// ConservativeBoundary is a harsh default: slow input edges, heavy output
+// loads.
+var ConservativeBoundary = Boundary{InputSlew: 80, OutLoad: 30}
+
+// ExtractWithBoundary characterizes the block standalone under the given
+// boundary conditions and extracts its model. The design is not modified;
+// a fresh analyzer is built from the prototype config.
+func ExtractWithBoundary(d *netlist.Design, clockPort *netlist.Port, period units.Ps,
+	cfg sta.Config, bc Boundary, name string) (*Model, error) {
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", period, clockPort)
+	cons.InputSlew = bc.InputSlew
+	cons.PortLoad = bc.OutLoad
+	a, err := sta.New(d, cons, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Run(); err != nil {
+		return nil, err
+	}
+	return Extract(a, name)
+}
+
+// Extract condenses a run analyzer into a Model. The analyzer's
+// constraints must define a clock; data input ports should carry zero
+// input delay so required times translate directly into allowed arrivals.
+// Soundness of the resulting model depends on the analyzer's boundary
+// conditions — use ExtractWithBoundary unless you have set them yourself.
+func Extract(a *sta.Analyzer, name string) (*Model, error) {
+	clk := a.Cons.DefaultClock()
+	if clk == nil {
+		return nil, fmt.Errorf("etm: block has no clock")
+	}
+	m := &Model{
+		Name: name, Period: clk.Period,
+		InputSetup: map[string]units.Ps{},
+		InputHold:  map[string]units.Ps{},
+		OutLate:    map[string]units.Ps{},
+		OutEarly:   map[string]units.Ps{},
+		OutSlew:    map[string]units.Ps{},
+		InputCap:   map[string]units.FF{},
+	}
+	m.InternalSetupWNS = a.WorstSlack(sta.Setup)
+	m.InternalHoldWNS = a.WorstSlack(sta.Hold)
+	clockPorts := map[*netlist.Port]bool{}
+	for _, r := range clk.Roots {
+		clockPorts[r] = true
+	}
+	for _, p := range a.D.Ports {
+		if clockPorts[p] {
+			continue
+		}
+		switch p.Dir {
+		case netlist.Input:
+			// Allowed external arrival = the port's worst downstream setup
+			// slack (port was analyzed with arrival 0).
+			if s := a.PortSetupSlack(p); !math.IsInf(s, 0) {
+				m.InputSetup[p.Name] = s
+			}
+			m.InputCap[p.Name] = a.NetLoad(p.Net)
+		case netlist.Output:
+			late := math.Inf(-1)
+			early := math.Inf(1)
+			slew := 0.0
+			for rf := 0; rf < 2; rf++ {
+				if t, ok := a.PortArrival(p, rf, 1); ok && t > late {
+					late = t
+				}
+				if t, ok := a.PortArrival(p, rf, 0); ok && t < early {
+					early = t
+				}
+				if sl, ok := a.PortSlew(p, rf, 1); ok && sl > slew {
+					slew = sl
+				}
+			}
+			if !math.IsInf(late, 0) {
+				m.OutLate[p.Name] = late
+				m.OutEarly[p.Name] = early
+				m.OutSlew[p.Name] = slew
+			}
+		}
+	}
+	// Hold requirements per input port from the block's hold endpoints:
+	// the worst (most negative) hold slack among paths rooted at the port
+	// sets the minimum external early arrival.
+	for _, e := range a.EndpointSlacks(sta.Hold) {
+		if e.Pin == nil {
+			continue
+		}
+		p := a.WorstPath(e)
+		if len(p.Steps) == 0 {
+			continue
+		}
+		root := p.Steps[0]
+		if root.Net == nil && root.Cell == nil {
+			// Root is a port vertex; name is "port:x".
+			const prefix = "port:"
+			name := root.Name
+			if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+				pn := name[len(prefix):]
+				if _, isInput := m.InputSetup[pn]; isInput || m.InputCap[pn] > 0 {
+					if need := -e.Slack; need > m.InputHold[pn] {
+						m.InputHold[pn] = need
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Wire is a top-level interconnect between two block ports.
+type Wire struct {
+	// FromBlock/FromPort name the driving block output.
+	FromBlock, FromPort string
+	// ToBlock/ToPort name the receiving block input.
+	ToBlock, ToPort string
+	// Delay/SlewDeg are the top-level route's delay and slew degradation.
+	Delay, SlewDeg units.Ps
+}
+
+// GlueSlack is one inter-block path checked against the models.
+type GlueSlack struct {
+	Wire  Wire
+	Slack units.Ps
+	// Arrival/Allowed are the receiving port's predicted arrival and limit.
+	Arrival, Allowed units.Ps
+}
+
+// TopLevelCheck verifies inter-block setup timing using only the models:
+// arrival at the receiving input = launch block's clock-to-output (late) +
+// wire delay; it must not exceed the receiving block's allowed arrival.
+// Blocks maps block name → model.
+func TopLevelCheck(blocks map[string]*Model, wires []Wire) ([]GlueSlack, error) {
+	var out []GlueSlack
+	for _, w := range wires {
+		from, ok := blocks[w.FromBlock]
+		if !ok {
+			return nil, fmt.Errorf("etm: unknown block %q", w.FromBlock)
+		}
+		to, ok := blocks[w.ToBlock]
+		if !ok {
+			return nil, fmt.Errorf("etm: unknown block %q", w.ToBlock)
+		}
+		late, ok := from.OutLate[w.FromPort]
+		if !ok {
+			return nil, fmt.Errorf("etm: block %s has no output %q", w.FromBlock, w.FromPort)
+		}
+		allowed, ok := to.InputSetup[w.ToPort]
+		if !ok {
+			return nil, fmt.Errorf("etm: block %s has no constrained input %q", w.ToBlock, w.ToPort)
+		}
+		arr := late + w.Delay
+		out = append(out, GlueSlack{
+			Wire: w, Arrival: arr, Allowed: allowed, Slack: allowed - arr,
+		})
+	}
+	return out, nil
+}
+
+// WorstGlue returns the minimum slack of a glue report (+Inf when empty).
+func WorstGlue(gs []GlueSlack) units.Ps {
+	w := math.Inf(1)
+	for _, g := range gs {
+		if g.Slack < w {
+			w = g.Slack
+		}
+	}
+	return w
+}

@@ -1,0 +1,314 @@
+package etm
+
+import (
+	"math"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/sta"
+)
+
+func lib() *liberty.Library {
+	return liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.SSG, Voltage: 0.72, Temp: 125}, liberty.GenOptions{})
+}
+
+func block(l *liberty.Library, seed int64) *netlist.Design {
+	return circuits.Block(l, circuits.BlockSpec{
+		Name: "blk", Inputs: 8, Outputs: 8, FFs: 24, Gates: 300,
+		MaxDepth: 8, Seed: seed, ClockBufferLevels: 2,
+	})
+}
+
+func analyze(t *testing.T, d *netlist.Design, l *liberty.Library, period float64) *sta.Analyzer {
+	t.Helper()
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", period, d.Port("clk"))
+	a, err := sta.New(d, cons, sta.Config{Lib: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestExtractBasics(t *testing.T) {
+	l := lib()
+	d := block(l, 21)
+	a := analyze(t, d, l, 800)
+	m, err := Extract(a, "blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.OutLate) == 0 {
+		t.Fatal("no output delays extracted")
+	}
+	for name, late := range m.OutLate {
+		if late <= 0 {
+			t.Errorf("output %s late %v, want positive (clock-to-output)", name, late)
+		}
+		if m.OutEarly[name] > late {
+			t.Errorf("output %s early %v exceeds late %v", name, m.OutEarly[name], late)
+		}
+	}
+	if len(m.InputSetup) == 0 {
+		t.Fatal("no input constraints extracted")
+	}
+	for name, cap := range m.InputCap {
+		if cap <= 0 {
+			t.Errorf("input %s cap %v", name, cap)
+		}
+	}
+	if m.InternalSetupWNS < 0 {
+		t.Log("note: block has internal violations at this period")
+	}
+}
+
+// The central soundness property: the model's allowed input arrival is
+// exactly the boundary between passing and failing the block's internal
+// setup checks.
+func TestInputSetupIsTight(t *testing.T) {
+	l := lib()
+	d := block(l, 22)
+	a := analyze(t, d, l, 800)
+	m, err := Extract(a, "blk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := a.WorstSlack(sta.Setup)
+	if base < 0 {
+		t.Skip("block not internally clean at this period")
+	}
+	// Find the most constrained input.
+	worstPort, worstAllowed := "", math.Inf(1)
+	for name, allowed := range m.InputSetup {
+		if allowed < worstAllowed {
+			worstPort, worstAllowed = name, allowed
+		}
+	}
+	if worstPort == "" {
+		t.Skip("no constrained inputs")
+	}
+	check := func(arrival float64) float64 {
+		cons := sta.NewConstraints()
+		cons.AddClock("clk", 800, d.Port("clk"))
+		cons.InputDelay[d.Port(worstPort)] = sta.IODelay{Min: 0, Max: arrival}
+		a2, err := sta.New(d, cons, sta.Config{Lib: l})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return a2.WorstSlack(sta.Setup)
+	}
+	margin := 3.0
+	if s := check(worstAllowed - margin); s < 0 {
+		t.Errorf("arrival below the model limit fails internally: slack %v", s)
+	}
+	if s := check(worstAllowed + margin + base); s >= 0 {
+		t.Errorf("arrival well above the model limit still passes: slack %v", s)
+	}
+}
+
+// Hierarchical vs flat: the ETM glue check must agree with flat analysis
+// of the composed design, up to the model's (bounded, pessimistic)
+// abstraction error.
+func TestHierarchicalMatchesFlat(t *testing.T) {
+	l := lib()
+	b1 := block(l, 23)
+	b2 := block(l, 24)
+	period := 900.0
+
+	// Extract models standalone under conservative boundary conditions
+	// (harsher than the composition's real slews/loads — the soundness
+	// precondition).
+	m1, err := ExtractWithBoundary(b1, b1.Port("clk"), period, sta.Config{Lib: l},
+		ConservativeBoundary, "b1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ExtractWithBoundary(b2, b2.Port("clk"), period, sta.Config{Lib: l},
+		ConservativeBoundary, "b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flat composition: b1 outputs drive b2 inputs through zero-delay glue
+	// nets; shared clock.
+	top := netlist.New("top")
+	clk, _ := top.AddPort("clk", netlist.Input)
+	portNets1 := map[string]*netlist.Net{"clk": clk.Net}
+	portNets2 := map[string]*netlist.Net{"clk": clk.Net}
+	var wires []Wire
+	for i := 0; i < 8; i++ {
+		g, err := top.AddNet(glueName(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		portNets1[outName(i)] = g
+		portNets2[inName(i)] = g
+		wires = append(wires, Wire{
+			FromBlock: "b1", FromPort: outName(i),
+			ToBlock: "b2", ToPort: inName(i),
+		})
+	}
+	// Unconnected b1 inputs / b2 outputs become top ports implicitly via
+	// fresh nets; leave b1's data inputs undriven is illegal, so tie them
+	// to new top input ports.
+	for i := 0; i < 8; i++ {
+		p, err := top.AddPort("top_in"+string(rune('0'+i)), netlist.Input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		portNets1[inName(i)] = p.Net
+	}
+	if err := circuits.Instantiate(top, b1, "b1", portNets1); err != nil {
+		t.Fatal(err)
+	}
+	if err := circuits.Instantiate(top, b2, "b2", portNets2); err != nil {
+		t.Fatal(err)
+	}
+	if errs := top.Validate(); len(errs) != 0 {
+		t.Fatalf("flat top invalid: %v", errs[0])
+	}
+	aFlat := analyze(t, top, l, period)
+
+	// ETM glue check (keep only wires whose receiving input is constrained
+	// in the model — some b2 inputs may reach no flop).
+	var checkable []Wire
+	for _, w := range wires {
+		if _, ok := m2.InputSetup[w.ToPort]; !ok {
+			continue
+		}
+		if _, ok := m1.OutLate[w.FromPort]; !ok {
+			continue
+		}
+		checkable = append(checkable, w)
+	}
+	if len(checkable) == 0 {
+		t.Skip("no checkable interface wires on these seeds")
+	}
+	glue, err := TopLevelCheck(map[string]*Model{"b1": m1, "b2": m2}, checkable)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flat truth per wire: worst setup slack among b2-internal endpoints
+	// whose worst path crosses the corresponding glue net. Extracting that
+	// per-wire is awkward; compare at the aggregate level instead: the ETM
+	// worst glue slack must not be more optimistic than the flat worst
+	// cross-block slack.
+	flatWorstCross := math.Inf(1)
+	for _, e := range aFlat.EndpointSlacks(sta.Setup) {
+		if e.Pin == nil {
+			continue
+		}
+		p := aFlat.WorstPath(e)
+		crosses := false
+		for _, st := range p.Steps {
+			if st.Net != nil && len(st.Net.Name) >= 4 && st.Net.Name[:4] == "glue" {
+				crosses = true
+				break
+			}
+		}
+		if crosses && e.Slack < flatWorstCross {
+			flatWorstCross = e.Slack
+		}
+	}
+	if math.IsInf(flatWorstCross, 0) {
+		t.Skip("no cross-block critical paths on these seeds")
+	}
+	etmWorst := WorstGlue(glue)
+	// Soundness: ETM must not report MORE slack than flat (its per-port
+	// worst-case abstraction can only add pessimism).
+	if etmWorst > flatWorstCross+1e-6 {
+		t.Errorf("ETM optimistic: glue slack %v > flat cross-block slack %v", etmWorst, flatWorstCross)
+	}
+	// Utility: the abstraction should stay within a sane pessimism bound.
+	if flatWorstCross-etmWorst > 120 {
+		t.Errorf("ETM pessimism %v ps too large to be useful", flatWorstCross-etmWorst)
+	}
+	t.Logf("flat cross-block WNS %.1f, ETM glue WNS %.1f (pessimism %.1f ps)",
+		flatWorstCross, etmWorst, flatWorstCross-etmWorst)
+}
+
+func TestTopLevelCheckErrors(t *testing.T) {
+	m := &Model{Name: "a", OutLate: map[string]float64{"o": 10}, InputSetup: map[string]float64{"i": 50}}
+	if _, err := TopLevelCheck(map[string]*Model{"a": m}, []Wire{{FromBlock: "x", ToBlock: "a"}}); err == nil {
+		t.Error("unknown from-block accepted")
+	}
+	if _, err := TopLevelCheck(map[string]*Model{"a": m},
+		[]Wire{{FromBlock: "a", FromPort: "nope", ToBlock: "a", ToPort: "i"}}); err == nil {
+		t.Error("unknown port accepted")
+	}
+	gs, err := TopLevelCheck(map[string]*Model{"a": m},
+		[]Wire{{FromBlock: "a", FromPort: "o", ToBlock: "a", ToPort: "i", Delay: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs[0].Slack != 35 {
+		t.Errorf("glue slack = %v, want 35", gs[0].Slack)
+	}
+	if WorstGlue(nil) != math.Inf(1) {
+		t.Error("empty WorstGlue should be +Inf")
+	}
+}
+
+func glueName(i int) string { return "glue" + string(rune('0'+i)) }
+func outName(i int) string  { return "out" + string(rune('0'+i)) }
+func inName(i int) string   { return "in" + string(rune('0'+i)) }
+
+func TestInputHoldExtraction(t *testing.T) {
+	// A design with a port feeding an FF directly plus hold uncertainty
+	// produces a hold requirement at the input.
+	l := lib()
+	d := netlist.New("ih")
+	clk, _ := d.AddPort("clk", netlist.Input)
+	din, _ := d.AddPort("din", netlist.Input)
+	ff, err := circuits.AddCell(d, l, "ff", "DFF_X1_SVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		pin string
+		n   *netlist.Net
+	}{{"CK", clk.Net}, {"D", din.Net}} {
+		if err := d.Connect(ff, c.pin, c.n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q, _ := d.AddNet("q")
+	if err := d.Connect(ff, "Q", q); err != nil {
+		t.Fatal(err)
+	}
+	cons := sta.NewConstraints()
+	ck := cons.AddClock("clk", 800, clk)
+	ck.HoldUncertainty = 25
+	a, err := sta.New(d, cons, sta.Config{Lib: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Extract(a, "ih")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputHold["din"] <= 0 {
+		t.Errorf("input hold requirement = %v, want positive (port races the FF)", m.InputHold["din"])
+	}
+	// Arriving exactly at the required early time clears the check.
+	cons.InputDelay[din] = sta.IODelay{Min: m.InputHold["din"] + 1, Max: m.InputHold["din"] + 1}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.WorstSlack(sta.Hold); got < 0 {
+		t.Errorf("arrival at the model's hold bound still violates: %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/cts"
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+	"newgame/internal/report"
+	"newgame/internal/sta"
+	"newgame/internal/variation"
+)
+
+// Ablations runs the design-choice studies DESIGN.md §4 calls out, beyond
+// what the figure experiments already cover: derating-model accuracy
+// against a Monte Carlo reference, PBA's effect on closure fix effort, and
+// the flat versus cycle-to-cycle jitter margin.
+func Ablations() Result {
+	var txt string
+	keys := map[string]float64{}
+
+	txt += ablationDerating(keys)
+	txt += ablationPBAClosure(keys)
+	txt += ablationJitter(keys)
+	return Result{ID: "ablation", Title: "Design-choice ablations", Text: txt, Keys: keys}
+}
+
+// ablationDerating: flat OCV vs AOCV vs POCV vs LVF endpoint-arrival
+// accuracy versus the Monte Carlo truth on a deep registered chain — the
+// §3.1 modeling trajectory quantified.
+func ablationDerating(keys map[string]float64) string {
+	lib := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.65, Temp: 25}, liberty.GenOptions{})
+	const vtSigma = 0.025
+	variation.CharacterizeLVF(lib, vtSigma, 6000, 11)
+	d := circuits.Chain(lib, circuits.ChainSpec{Stages: 14, Vt: liberty.SVT})
+
+	arrivalWith := func(derate sta.Derater) float64 {
+		cons := sta.NewConstraints()
+		cons.AddClock("clk", 900, d.Port("clk"))
+		a, err := sta.New(d, cons, sta.Config{Lib: lib, Derate: derate})
+		if err != nil {
+			panic(err)
+		}
+		if err := a.Run(); err != nil {
+			panic(err)
+		}
+		eps := a.EndpointSlacks(sta.Setup)
+		for _, e := range eps {
+			if e.Pin != nil && e.Pin.Cell.Name == "ff_capture" {
+				return e.Arrival
+			}
+		}
+		return math.NaN()
+	}
+
+	// Monte Carlo truth: re-sample the nominal worst path's cell delays
+	// under the same per-cell Vt variation LVF was characterized from.
+	consN := sta.NewConstraints()
+	consN.AddClock("clk", 900, d.Port("clk"))
+	aN, err := sta.New(d, consN, sta.Config{Lib: lib})
+	if err != nil {
+		panic(err)
+	}
+	if err := aN.Run(); err != nil {
+		panic(err)
+	}
+	var nomDelays []float64
+	var vts []liberty.VtClass
+	for _, p := range aN.WorstPaths(sta.Setup, 4) {
+		if p.Endpoint.Pin == nil || p.Endpoint.Pin.Cell.Name != "ff_capture" {
+			continue
+		}
+		for _, st := range p.Steps {
+			if st.IsCell && st.Cell != nil {
+				nomDelays = append(nomDelays, st.Delay)
+				vts = append(vts, lib.Cell(st.Cell.TypeName).Vt)
+			}
+		}
+		break
+	}
+	rng := rand.New(rand.NewSource(99))
+	samples := make([]float64, 12000)
+	base := lib.Tech.Req(liberty.SVT, 1, lib.PVT)
+	for i := range samples {
+		sum := 0.0
+		for k, d0 := range nomDelays {
+			dvt := rng.NormFloat64() * vtSigma
+			pvt := lib.PVT
+			pvt.Voltage -= dvt
+			r := lib.Tech.Req(vts[k], 1, pvt) * (lib.PVT.Voltage / (lib.PVT.Voltage - dvt))
+			baseVt := lib.Tech.Req(vts[k], 1, lib.PVT)
+			sum += d0 * (r / baseVt)
+		}
+		samples[i] = sum
+	}
+	_ = base
+	st := variation.Summarize(samples)
+	truth := st.Mean + 3*st.SigmaLate
+
+	tb := report.NewTable("ablation: derating model accuracy vs Monte Carlo (14-stage chain, 0.65V)",
+		"model", "predicted late arrival (ps)", "error vs MC 3-sigma (ps)", "error (%)")
+	type row struct {
+		key, name string
+		d         sta.Derater
+	}
+	for _, r := range []row{
+		{"nom", "nominal (no OCV)", sta.NoDerate{}},
+		{"flat", "flat OCV", sta.DefaultFlatOCV()},
+		{"aocv", "AOCV", sta.DefaultAOCV()},
+		{"pocv", "POCV", sta.DefaultPOCV()},
+		{"lvf", "LVF", sta.DefaultLVF()},
+	} {
+		pred := arrivalWith(r.d)
+		errPs := pred - truth
+		tb.Row(r.name, pred, errPs, 100*errPs/truth)
+		keys["err_"+r.key] = math.Abs(errPs)
+	}
+	return tb.String() + fmt.Sprintf("MC truth (mean + 3 sigma-late): %.2f ps over %d samples\n\n",
+		truth, len(samples))
+}
+
+// ablationPBAClosure: the same violating design closed with and without
+// PBA reclassification — fix effort saved by pessimism removal.
+func ablationPBAClosure(keys map[string]float64) string {
+	stack := parasitics.Stack16()
+	run := func(usePBA bool) (*core.Result, int) {
+		recipe := core.OldGoalPosts(liberty.Node16, stack)
+		recipe.UsePBA = usePBA
+		recipe.PBAEndpoints = 120
+		lib := recipe.Scenarios[0].Lib
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "abl", Inputs: 16, Outputs: 16, FFs: 64, Gates: 900,
+			MaxDepth: 12, Seed: 314, ClockBufferLevels: 2,
+			VtMix: [3]float64{0, 0.4, 0.6},
+		})
+		e := &core.Engine{
+			D: d, Recipe: recipe, BasePeriod: 590, ClockPort: d.Port("clk"),
+			Parasitics: sta.NewNetBinder(stack, 314),
+		}
+		res, err := e.Close()
+		if err != nil {
+			panic(err)
+		}
+		moves := 0
+		for _, it := range res.Iterations {
+			for _, f := range it.Fixes {
+				moves += f.Changed
+			}
+		}
+		return res, moves
+	}
+	gbaRes, gbaMoves := run(false)
+	pbaRes, pbaMoves := run(true)
+	tb := report.NewTable("ablation: closure with GBA-only vs GBA+PBA signoff",
+		"recipe", "iterations", "total fix moves", "leakage cost (nW)", "closed")
+	tb.Row("GBA only", len(gbaRes.Iterations), gbaMoves, gbaRes.LeakageDelta, gbaRes.Closed)
+	tb.Row("GBA + PBA reclassification", len(pbaRes.Iterations), pbaMoves, pbaRes.LeakageDelta, pbaRes.Closed)
+	keys["gba_moves"] = float64(gbaMoves)
+	keys["pba_moves"] = float64(pbaMoves)
+	return tb.String() + "\n"
+}
+
+// ablationJitter: flat vs cycle-to-cycle jitter margin.
+func ablationJitter(keys map[string]float64) string {
+	j := cts.DefaultJitter()
+	tb := report.NewTable("ablation: clock jitter margin model",
+		"model", "setup margin (ps)")
+	tb.Row("flat (single rug)", j.FlatMargin())
+	tb.Row("cycle-to-cycle", j.C2CMargin())
+	tb.Row("recovered", j.Recovered())
+	keys["jitter_recovered"] = j.Recovered()
+	return tb.String() + "\n"
+}

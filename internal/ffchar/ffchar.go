@@ -1,0 +1,224 @@
+// Package ffchar characterizes flip-flop timing at transistor level on the
+// mini-SPICE substrate, reproducing the interdependency study of paper §3.4
+// / Figure 10: clock-to-q delay versus setup time, c2q versus hold time,
+// and the setup-versus-hold feasibility contour of a 65nm master–slave DFF.
+// It also implements the margin-recovery optimization of the paper's
+// reference [23]: exploiting the setup/hold/c2q trade-off at timing path
+// boundaries to recover "free" slack that the fixed 10%-pushout
+// characterization discards.
+package ffchar
+
+import (
+	"fmt"
+	"math"
+
+	"newgame/internal/spice"
+	"newgame/internal/units"
+)
+
+// Config drives the characterization bench.
+type Config struct {
+	Tech spice.Tech
+	// Slew is the data and clock transition time, ps.
+	Slew units.Ps
+	// Step is the transient step, ps.
+	Step units.Ps
+	// SettleTime before the measured edge, ps.
+	SettleTime units.Ps
+	// Pushout is the c2q degradation fraction defining the constraint
+	// (0.10 = the conventional 10% pushout criterion).
+	Pushout float64
+}
+
+// Default65 characterizes the paper's 65nm-class flip-flop.
+func Default65() Config {
+	return Config{Tech: spice.Tech65, Slew: 40, Step: 0.5, SettleTime: 400, Pushout: 0.10}
+}
+
+// bench builds the DFF testbench: clock rises at tEdge; D follows the
+// given waveform; Q observed.
+func (c Config) bench(dWave, ckWave spice.Waveform) *spice.Builder {
+	b := spice.NewBuilder(c.Tech)
+	b.C.V("d", spice.Ground, dWave)
+	b.C.V("ck", spice.Ground, ckWave)
+	b.DFF("d", "ck", "q", spice.CellOpts{})
+	// A small output load.
+	b.C.C("q", spice.Ground, 4*c.Tech.CgPerW)
+	return b
+}
+
+// captureRise runs one trial: D rises setup ps before the clock edge and
+// falls hold ps after it (a data pulse); returns the c2q delay if Q
+// captured high, or NaN if capture failed.
+func (c Config) captureRise(setup, hold units.Ps) (units.Ps, error) {
+	vdd := c.Tech.VDD
+	tEdge := c.SettleTime
+	// Data pulse: low, rise at tEdge−setup, fall at tEdge+hold.
+	d := spice.PWL{
+		T: []float64{tEdge - setup, tEdge - setup + c.Slew, tEdge + hold, tEdge + hold + c.Slew},
+		V: []float64{0, vdd, vdd, 0},
+	}
+	ck := spice.Ramp(0, vdd, tEdge, c.Slew)
+	b := c.bench(d, ck)
+	stop := tEdge + 600
+	res, err := b.C.Transient(spice.TranOpts{Stop: stop, Step: c.Step})
+	if err != nil {
+		return math.NaN(), err
+	}
+	tCk := res.Cross("ck", vdd/2, true, tEdge-1)
+	tQ := res.Cross("q", vdd/2, true, tEdge-1)
+	if math.IsNaN(tQ) {
+		return math.NaN(), nil
+	}
+	// Q must remain captured at the end (no runt pulse).
+	if res.Final("q") < 0.8*vdd {
+		return math.NaN(), nil
+	}
+	return tQ - tCk, nil
+}
+
+// Point is one characterized operating point.
+type Point struct {
+	Setup, Hold, C2Q units.Ps
+}
+
+// ReferenceC2Q measures the asymptotic c2q with generous setup and hold.
+func (c Config) ReferenceC2Q() (units.Ps, error) {
+	d, err := c.captureRise(300, 500)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(d) {
+		return 0, fmt.Errorf("ffchar: reference capture failed")
+	}
+	return d, nil
+}
+
+// C2QvsSetup sweeps setup time at generous hold, returning (setup, c2q)
+// points — Figure 10's left panel. Points where capture fails are omitted.
+func (c Config) C2QvsSetup(setups []units.Ps) ([]Point, error) {
+	var out []Point
+	for _, s := range setups {
+		d, err := c.captureRise(s, 500)
+		if err != nil {
+			return nil, err
+		}
+		if !math.IsNaN(d) {
+			out = append(out, Point{Setup: s, Hold: 500, C2Q: d})
+		}
+	}
+	return out, nil
+}
+
+// C2QvsHold sweeps hold time at generous setup — Figure 10's middle panel.
+func (c Config) C2QvsHold(holds []units.Ps) ([]Point, error) {
+	var out []Point
+	for _, h := range holds {
+		d, err := c.captureRise(300, h)
+		if err != nil {
+			return nil, err
+		}
+		if !math.IsNaN(d) {
+			out = append(out, Point{Setup: 300, Hold: h, C2Q: d})
+		}
+	}
+	return out, nil
+}
+
+// SetupTime finds the minimum setup (at generous hold) meeting the pushout
+// criterion, by bisection.
+func (c Config) SetupTime() (units.Ps, error) {
+	ref, err := c.ReferenceC2Q()
+	if err != nil {
+		return 0, err
+	}
+	limit := ref * (1 + c.Pushout)
+	ok := func(s float64) (bool, error) {
+		d, err := c.captureRise(s, 500)
+		if err != nil {
+			return false, err
+		}
+		return !math.IsNaN(d) && d <= limit, nil
+	}
+	return bisectDown(ok, -20, 300, 0.5)
+}
+
+// HoldTime finds the minimum hold (at generous setup) meeting the pushout
+// criterion.
+func (c Config) HoldTime() (units.Ps, error) {
+	ref, err := c.ReferenceC2Q()
+	if err != nil {
+		return 0, err
+	}
+	limit := ref * (1 + c.Pushout)
+	ok := func(h float64) (bool, error) {
+		d, err := c.captureRise(300, h)
+		if err != nil {
+			return false, err
+		}
+		return !math.IsNaN(d) && d <= limit, nil
+	}
+	return bisectDown(ok, -20, 500, 0.5)
+}
+
+// SetupVsHold traces the interdependency contour — Figure 10's right
+// panel: for each hold time, the minimum setup at which the flip-flop still
+// captures within the pushout limit. Shrinking hold forces larger setup.
+func (c Config) SetupVsHold(holds []units.Ps) ([]Point, error) {
+	ref, err := c.ReferenceC2Q()
+	if err != nil {
+		return nil, err
+	}
+	limit := ref * (1 + c.Pushout)
+	var out []Point
+	for _, h := range holds {
+		ok := func(s float64) (bool, error) {
+			d, err := c.captureRise(s, h)
+			if err != nil {
+				return false, err
+			}
+			return !math.IsNaN(d) && d <= limit, nil
+		}
+		s, err := bisectDown(ok, -20, 300, 0.5)
+		if err != nil {
+			continue // this hold is infeasible at any setup
+		}
+		d, err := c.captureRise(s, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{Setup: s, Hold: h, C2Q: d})
+	}
+	return out, nil
+}
+
+// bisectDown finds the smallest x in [lo, hi] with ok(x) true, assuming ok
+// is monotone (false below a threshold, true above). It errs when even hi
+// fails.
+func bisectDown(ok func(float64) (bool, error), lo, hi, tol float64) (float64, error) {
+	good, err := ok(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !good {
+		return 0, fmt.Errorf("ffchar: infeasible even at %v", hi)
+	}
+	if good, err = ok(lo); err != nil {
+		return 0, err
+	} else if good {
+		return lo, nil
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,92 @@
+package ffchar
+
+import (
+	"math"
+
+	"newgame/internal/units"
+)
+
+// Conventional signoff fixes the flip-flop at one characterized point: the
+// pushout-criterion (setup, hold, c2q). The margin-recovery optimization of
+// the paper's reference [23] instead treats the characterized trade-off
+// curve as a menu: a capture flip-flop on a setup-critical path may accept
+// a smaller setup time (data arriving later) at the cost of a larger c2q
+// charged to its downstream (launch-side) paths — and vice versa. At a
+// timing path boundary this converts surplus slack on one side into relief
+// on the other.
+
+// FlexOutcome reports one boundary optimization.
+type FlexOutcome struct {
+	// Chosen is the selected operating point.
+	Chosen Point
+	// SlackIn/SlackOut are the incoming (capture) and outgoing (launch)
+	// slacks after the move.
+	SlackIn, SlackOut units.Ps
+	// Gain is the improvement of min(slackIn, slackOut).
+	Gain units.Ps
+}
+
+// OptimalPoint picks the operating point on the characterized setup-c2q
+// curve that maximizes the worse of the two boundary slacks, given the
+// conventional point conv and the current slacks computed against it.
+func OptimalPoint(curve []Point, conv Point, slackIn, slackOut units.Ps) FlexOutcome {
+	base := math.Min(slackIn, slackOut)
+	best := FlexOutcome{Chosen: conv, SlackIn: slackIn, SlackOut: slackOut}
+	bestMin := base
+	for _, p := range curve {
+		// Relaxing setup (p.Setup < conv.Setup) adds slack to the incoming
+		// path; the c2q change charges the outgoing path.
+		in := slackIn + (conv.Setup - p.Setup)
+		out := slackOut - (p.C2Q - conv.C2Q)
+		if m := math.Min(in, out); m > bestMin {
+			bestMin = m
+			best = FlexOutcome{Chosen: p, SlackIn: in, SlackOut: out}
+		}
+	}
+	best.Gain = bestMin - base
+	return best
+}
+
+// Boundary describes one flip-flop's timing context for sequential
+// optimization: the worst capture-side and launch-side slacks.
+type Boundary struct {
+	Name              string
+	SlackIn, SlackOut units.Ps
+}
+
+// RecoverResult summarizes a design-level pass.
+type RecoverResult struct {
+	// WNSBefore/WNSAfter over all boundaries.
+	WNSBefore, WNSAfter units.Ps
+	// TotalGain sums per-boundary min-slack improvements.
+	TotalGain units.Ps
+	// Moved counts boundaries whose operating point changed.
+	Moved int
+	Out   []FlexOutcome
+}
+
+// Recover applies OptimalPoint to every boundary independently — the
+// greedy core of the sequential-LP formulation in [23] (each flip-flop's
+// trade-off only couples its own two path sides, so per-boundary optimality
+// composes as long as each path's slack is counted at its tighter end;
+// WNS is reported conservatively from per-boundary minima).
+func Recover(curve []Point, conv Point, bs []Boundary) RecoverResult {
+	res := RecoverResult{WNSBefore: math.Inf(1), WNSAfter: math.Inf(1)}
+	for _, b := range bs {
+		before := math.Min(b.SlackIn, b.SlackOut)
+		if before < res.WNSBefore {
+			res.WNSBefore = before
+		}
+		o := OptimalPoint(curve, conv, b.SlackIn, b.SlackOut)
+		after := math.Min(o.SlackIn, o.SlackOut)
+		if after < res.WNSAfter {
+			res.WNSAfter = after
+		}
+		res.TotalGain += o.Gain
+		if o.Chosen != conv {
+			res.Moved++
+		}
+		res.Out = append(res.Out, o)
+	}
+	return res
+}

@@ -1,0 +1,216 @@
+package liberty
+
+import (
+	"math"
+
+	"newgame/internal/units"
+)
+
+// VtClass is a threshold-voltage flavor. Multi-Vt libraries are the first
+// lever in the paper's recommended fix ordering ("Vt-swap first", §1.1).
+type VtClass int
+
+const (
+	LVT VtClass = iota // low Vt: fast, leaky
+	SVT                // standard Vt
+	HVT                // high Vt: slow, low leakage
+)
+
+func (v VtClass) String() string {
+	switch v {
+	case LVT:
+		return "LVT"
+	case SVT:
+		return "SVT"
+	default:
+		return "HVT"
+	}
+}
+
+// VtClasses lists all flavors from fastest to slowest.
+var VtClasses = []VtClass{LVT, SVT, HVT}
+
+// ProcessCorner is a global FEOL process condition. SSG/FFG are the "global"
+// corners the paper's footnote 2 describes: global variation only, with
+// on-die variation left to AOCV/POCV/LVF derating.
+type ProcessCorner struct {
+	Name string
+	// DriveFactor multiplies device drive current (TT = 1).
+	DriveFactor float64
+	// VtShift is added to every device threshold, volts (slow = positive).
+	VtShift units.Volt
+	// RiseFallSkew captures cross corners (FSG/SFG): positive = PMOS slow
+	// relative to NMOS, making output rises slower and falls faster. The
+	// library generator applies ±RiseFallSkew to the pullup/pulldown
+	// resistances.
+	RiseFallSkew float64
+}
+
+// Predefined process corners.
+var (
+	TT  = ProcessCorner{Name: "TT", DriveFactor: 1.00, VtShift: 0}
+	SS  = ProcessCorner{Name: "SS", DriveFactor: 0.82, VtShift: +0.045}
+	FF  = ProcessCorner{Name: "FF", DriveFactor: 1.18, VtShift: -0.045}
+	SSG = ProcessCorner{Name: "SSG", DriveFactor: 0.87, VtShift: +0.030}
+	FFG = ProcessCorner{Name: "FFG", DriveFactor: 1.13, VtShift: -0.030}
+	// Cross corners for clock-network signoff (paper footnote 2: "FSG, SFG
+	// are increasingly required ... for signoff of clock distribution").
+	// FSG: fast NMOS / slow PMOS global; modeled as mild drive loss with a
+	// rise/fall imbalance applied by the generator.
+	FSG = ProcessCorner{Name: "FSG", DriveFactor: 0.97, VtShift: +0.010, RiseFallSkew: +0.10}
+	SFG = ProcessCorner{Name: "SFG", DriveFactor: 0.97, VtShift: -0.010, RiseFallSkew: -0.10}
+)
+
+// PVT is a library characterization point.
+type PVT struct {
+	Process ProcessCorner
+	Voltage units.Volt
+	Temp    units.Celsius
+}
+
+// TechParams captures the device-level parameters of a technology node that
+// the library generator and the mini-SPICE device model share. Values are
+// representative of published node characteristics; they are not any
+// foundry's numbers.
+type TechParams struct {
+	Name string
+	// VDDNominal is the nominal core supply.
+	VDDNominal units.Volt
+	// Vt0 is the SVT threshold at 25°C; LVT/HVT are offset by VtStep.
+	Vt0    units.Volt
+	VtStep units.Volt
+	// Alpha is the velocity-saturation exponent of the alpha-power law
+	// (≈2 long channel, ≈1.2–1.4 at short channel).
+	Alpha float64
+	// KDrive scales unit-drive saturation current such that an X1 inverter
+	// has the intended equivalent resistance at nominal PVT. Units chosen
+	// so that Req (kΩ) = VDD / (KDrive·(VDD-Vt)^Alpha).
+	KDrive float64
+	// MobilityExp is the exponent m in mu(T) ∝ (T/T0)^-m.
+	MobilityExp float64
+	// VtTempCoeff is dVt/dT in V/°C (negative: Vt drops as T rises). The
+	// combination of MobilityExp and VtTempCoeff produces the temperature
+	// inversion of paper Figure 6(b).
+	VtTempCoeff float64
+	// CinUnit is the X1 input capacitance per pin, fF.
+	CinUnit units.FF
+	// CparUnit is the X1 output (drain) parasitic capacitance, fF.
+	CparUnit units.FF
+	// AreaUnit is the X1 inverter area, µm².
+	AreaUnit float64
+	// LeakUnit is the X1 SVT leakage at nominal PVT, nW.
+	LeakUnit units.NW
+	// LeakVtFactor is the leakage multiplier per Vt step down (LVT vs SVT).
+	LeakVtFactor float64
+	// SlewDerate converts the output time constant to reported 10–90 slew.
+	SlewDerate float64
+}
+
+// Node16 is a FinFET-class 16/14nm-like technology: low VDD range, strong
+// temperature inversion, resistive BEOL.
+var Node16 = TechParams{
+	Name:         "n16",
+	VDDNominal:   0.80,
+	Vt0:          0.38,
+	VtStep:       0.07,
+	Alpha:        1.25,
+	KDrive:       1.9,
+	MobilityExp:  1.45,
+	VtTempCoeff:  -0.00075,
+	CinUnit:      0.85,
+	CparUnit:     0.55,
+	AreaUnit:     0.20,
+	LeakUnit:     1.8,
+	LeakVtFactor: 9.0,
+	SlewDerate:   2.0,
+}
+
+// Node28 is a 28nm planar-like technology (the FDSOI library of paper Fig 4
+// is this class).
+var Node28 = TechParams{
+	Name:         "n28",
+	VDDNominal:   0.90,
+	Vt0:          0.42,
+	VtStep:       0.08,
+	Alpha:        1.35,
+	KDrive:       1.35,
+	MobilityExp:  1.5,
+	VtTempCoeff:  -0.0008,
+	CinUnit:      1.4,
+	CparUnit:     0.9,
+	AreaUnit:     0.55,
+	LeakUnit:     0.9,
+	LeakVtFactor: 10.0,
+	SlewDerate:   2.0,
+}
+
+// Node65 is a 65nm low-power planar bulk technology — the paper's "a decade
+// ago" reference point and the node of the Figure 10 flip-flop study.
+var Node65 = TechParams{
+	Name:         "n65",
+	VDDNominal:   1.20,
+	Vt0:          0.48,
+	VtStep:       0.10,
+	Alpha:        1.6,
+	KDrive:       0.75,
+	MobilityExp:  1.55,
+	VtTempCoeff:  -0.0009,
+	CinUnit:      2.6,
+	CparUnit:     1.7,
+	AreaUnit:     1.8,
+	LeakUnit:     0.15,
+	LeakVtFactor: 12.0,
+	SlewDerate:   2.0,
+}
+
+// Vt returns the threshold voltage of a Vt class at the given process corner
+// and temperature.
+func (tp TechParams) Vt(class VtClass, pc ProcessCorner, temp units.Celsius) units.Volt {
+	base := tp.Vt0
+	switch class {
+	case LVT:
+		base -= tp.VtStep
+	case HVT:
+		base += tp.VtStep
+	}
+	return base + pc.VtShift + tp.VtTempCoeff*(temp-25)
+}
+
+// DriveCurrent returns the relative saturation drive of a unit-width device
+// of the given Vt class at the PVT point. It is the alpha-power law
+// I ∝ K·mu(T)·(VDD−Vt)^α, zero when the supply does not exceed threshold.
+func (tp TechParams) DriveCurrent(class VtClass, pvt PVT) float64 {
+	vt := tp.Vt(class, pvt.Process, pvt.Temp)
+	ov := pvt.Voltage - vt
+	if ov <= 0 {
+		return 0
+	}
+	mu := math.Pow(units.Kelvin(pvt.Temp)/units.Kelvin(25), -tp.MobilityExp)
+	return tp.KDrive * pvt.Process.DriveFactor * mu * math.Pow(ov, tp.Alpha)
+}
+
+// Req returns the equivalent switching resistance (kΩ) of a drive-strength-s
+// device of the given Vt class: VDD over drive current. Infinite when the
+// device cannot turn on at this supply.
+func (tp TechParams) Req(class VtClass, drive float64, pvt PVT) units.KOhm {
+	id := tp.DriveCurrent(class, pvt) * drive
+	if id <= 0 {
+		return math.Inf(1)
+	}
+	return pvt.Voltage / id
+}
+
+// Leakage returns the leakage of a drive-s cell of a Vt class, nW. It uses
+// an exponential subthreshold dependence on the effective threshold and a
+// supply-proportional term.
+func (tp TechParams) Leakage(class VtClass, drive float64, pvt PVT) units.NW {
+	vt := tp.Vt(class, pvt.Process, pvt.Temp)
+	vtSVT := tp.Vt0 + pvt.Process.VtShift + tp.VtTempCoeff*(pvt.Temp-25)
+	// LeakVtFactor per VtStep maps to an equivalent subthreshold slope.
+	slope := tp.VtStep / math.Log(tp.LeakVtFactor)
+	therm := math.Exp((vtSVT - vt) / slope)
+	// Leakage grows with temperature (~2x per 40°C) and supply.
+	tfac := math.Pow(2, (pvt.Temp-25)/40)
+	vfac := pvt.Voltage / tp.VDDNominal
+	return tp.LeakUnit * drive * therm * tfac * vfac
+}

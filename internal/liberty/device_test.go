@@ -1,0 +1,118 @@
+package liberty
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVtOrdering(t *testing.T) {
+	for _, tp := range []TechParams{Node16, Node28, Node65} {
+		lvt := tp.Vt(LVT, TT, 25)
+		svt := tp.Vt(SVT, TT, 25)
+		hvt := tp.Vt(HVT, TT, 25)
+		if !(lvt < svt && svt < hvt) {
+			t.Errorf("%s: Vt ordering broken: %v %v %v", tp.Name, lvt, svt, hvt)
+		}
+	}
+}
+
+func TestVtTemperatureDependence(t *testing.T) {
+	hot := Node16.Vt(SVT, TT, 125)
+	cold := Node16.Vt(SVT, TT, -30)
+	if hot >= cold {
+		t.Errorf("Vt must drop with temperature: hot %v >= cold %v", hot, cold)
+	}
+}
+
+func TestProcessCornerDrive(t *testing.T) {
+	pvt := func(pc ProcessCorner) PVT { return PVT{Process: pc, Voltage: 0.8, Temp: 25} }
+	ss := Node16.DriveCurrent(SVT, pvt(SS))
+	tt := Node16.DriveCurrent(SVT, pvt(TT))
+	ff := Node16.DriveCurrent(SVT, pvt(FF))
+	if !(ss < tt && tt < ff) {
+		t.Errorf("corner drive ordering broken: SS %v TT %v FF %v", ss, tt, ff)
+	}
+	ssg := Node16.DriveCurrent(SVT, pvt(SSG))
+	if !(ss < ssg && ssg < tt) {
+		t.Errorf("SSG should sit between SS and TT: SS %v SSG %v TT %v", ss, ssg, tt)
+	}
+}
+
+// Temperature inversion (paper Fig 6b): at low VDD the gate is slower cold;
+// at high VDD it is slower hot; there is a crossover Vtr in between.
+func TestTemperatureInversion(t *testing.T) {
+	delay := func(v, temp float64) float64 {
+		return Node16.Req(SVT, 1, PVT{Process: TT, Voltage: v, Temp: temp})
+	}
+	lowV := 0.50
+	highV := 1.05
+	if !(delay(lowV, -30) > delay(lowV, 125)) {
+		t.Errorf("at %gV cold should be slower: cold %v hot %v", lowV, delay(lowV, -30), delay(lowV, 125))
+	}
+	if !(delay(highV, 125) > delay(highV, -30)) {
+		t.Errorf("at %gV hot should be slower: hot %v cold %v", highV, delay(highV, 125), delay(highV, -30))
+	}
+	// Locate the crossover; it must be inside the operating range.
+	vtr := math.NaN()
+	for v := lowV; v < highV; v += 0.01 {
+		if delay(v, -30) >= delay(v, 125) && delay(v+0.01, -30) < delay(v+0.01, 125) {
+			vtr = v
+			break
+		}
+	}
+	if math.IsNaN(vtr) {
+		t.Fatal("no temperature-inversion crossover found in operating range")
+	}
+	if vtr < 0.5 || vtr > 1.0 {
+		t.Errorf("crossover V_tr = %v, outside plausible range", vtr)
+	}
+}
+
+func TestReqSubthreshold(t *testing.T) {
+	// Below threshold the device does not switch: infinite resistance.
+	r := Node16.Req(HVT, 1, PVT{Process: SS, Voltage: 0.3, Temp: -30})
+	if !math.IsInf(r, 1) {
+		t.Errorf("sub-threshold Req = %v, want +Inf", r)
+	}
+}
+
+func TestReqScalesWithDrive(t *testing.T) {
+	pvt := PVT{Process: TT, Voltage: 0.8, Temp: 25}
+	r1 := Node16.Req(SVT, 1, pvt)
+	r4 := Node16.Req(SVT, 4, pvt)
+	if math.Abs(r1/r4-4) > 1e-9 {
+		t.Errorf("Req drive scaling: r1/r4 = %v, want 4", r1/r4)
+	}
+}
+
+func TestLeakageOrdering(t *testing.T) {
+	pvt := PVT{Process: TT, Voltage: 0.8, Temp: 25}
+	lvt := Node16.Leakage(LVT, 1, pvt)
+	svt := Node16.Leakage(SVT, 1, pvt)
+	hvt := Node16.Leakage(HVT, 1, pvt)
+	if !(lvt > svt && svt > hvt) {
+		t.Errorf("leakage ordering broken: LVT %v SVT %v HVT %v", lvt, svt, hvt)
+	}
+	// The generator targets roughly an order of magnitude per Vt step.
+	if ratio := lvt / svt; ratio < 4 || ratio > 20 {
+		t.Errorf("LVT/SVT leakage ratio = %v, want 4–20x", ratio)
+	}
+	// Leakage rises with temperature.
+	hot := Node16.Leakage(SVT, 1, PVT{Process: TT, Voltage: 0.8, Temp: 125})
+	if hot <= svt {
+		t.Errorf("hot leakage %v should exceed 25°C leakage %v", hot, svt)
+	}
+}
+
+// Gate-wire balance (paper §2.3): raising VDD from the low to the high end
+// of the range should cut gate delay on the order of 50%, while wire delay
+// (pure RC, modeled elsewhere) is voltage-independent.
+func TestVoltageScalingGateDelay(t *testing.T) {
+	tp := Node16
+	low := tp.Req(SVT, 1, PVT{Process: TT, Voltage: 0.60, Temp: 85})
+	high := tp.Req(SVT, 1, PVT{Process: TT, Voltage: 1.0, Temp: 85})
+	reduction := 1 - high/low
+	if reduction < 0.35 || reduction > 0.75 {
+		t.Errorf("gate delay reduction 0.6→1.0V = %.2f, want roughly ~50%%", reduction)
+	}
+}

@@ -1,0 +1,307 @@
+package liberty
+
+import (
+	"math"
+
+	"newgame/internal/units"
+)
+
+// funcSpec describes how to characterize one logic function: its input pins,
+// unateness, and the pullup/pulldown resistance factors relative to an
+// inverter of the same drive (series stacks make a network slower; the
+// factors fold in PMOS/NMOS strength asymmetry).
+type funcSpec struct {
+	inputs    []string
+	sense     ArcSense
+	riseRes   float64 // pullup resistance factor (output rise)
+	fallRes   float64 // pulldown resistance factor (output fall)
+	cinFac    float64
+	areaFac   float64
+	intrinsic float64 // extra intrinsic delay factor (internal nodes)
+}
+
+// cellFuncs is the combinational function catalog. Input capacitance and
+// area factors approximate transistor counts.
+var cellFuncs = map[string]funcSpec{
+	"INV":   {inputs: []string{"A"}, sense: NegativeUnate, riseRes: 1.05, fallRes: 1.00, cinFac: 1.0, areaFac: 1.0},
+	"BUF":   {inputs: []string{"A"}, sense: PositiveUnate, riseRes: 1.05, fallRes: 1.00, cinFac: 0.9, areaFac: 1.8, intrinsic: 1.0},
+	"NAND2": {inputs: []string{"A", "B"}, sense: NegativeUnate, riseRes: 0.95, fallRes: 1.80, cinFac: 1.1, areaFac: 1.7},
+	"NAND3": {inputs: []string{"A", "B", "C"}, sense: NegativeUnate, riseRes: 0.90, fallRes: 2.60, cinFac: 1.2, areaFac: 2.4},
+	"NOR2":  {inputs: []string{"A", "B"}, sense: NegativeUnate, riseRes: 1.95, fallRes: 0.95, cinFac: 1.15, areaFac: 1.8},
+	"NOR3":  {inputs: []string{"A", "B", "C"}, sense: NegativeUnate, riseRes: 2.85, fallRes: 0.90, cinFac: 1.25, areaFac: 2.6},
+	"AND2":  {inputs: []string{"A", "B"}, sense: PositiveUnate, riseRes: 1.30, fallRes: 1.30, cinFac: 1.1, areaFac: 2.3, intrinsic: 0.8},
+	"OR2":   {inputs: []string{"A", "B"}, sense: PositiveUnate, riseRes: 1.35, fallRes: 1.35, cinFac: 1.15, areaFac: 2.4, intrinsic: 0.8},
+	"XOR2":  {inputs: []string{"A", "B"}, sense: NonUnate, riseRes: 1.60, fallRes: 1.60, cinFac: 1.9, areaFac: 3.2, intrinsic: 1.2},
+	"XNOR2": {inputs: []string{"A", "B"}, sense: NonUnate, riseRes: 1.60, fallRes: 1.60, cinFac: 1.9, areaFac: 3.2, intrinsic: 1.2},
+	"AOI21": {inputs: []string{"A1", "A2", "B"}, sense: NegativeUnate, riseRes: 1.90, fallRes: 1.60, cinFac: 1.2, areaFac: 2.3},
+	"OAI21": {inputs: []string{"A1", "A2", "B"}, sense: NegativeUnate, riseRes: 1.60, fallRes: 1.90, cinFac: 1.2, areaFac: 2.3},
+	"MUX2":  {inputs: []string{"A", "B", "S"}, sense: NonUnate, riseRes: 1.40, fallRes: 1.40, cinFac: 1.3, areaFac: 3.0, intrinsic: 1.0},
+	// LS is a level shifter: electrically a buffer with a cross-coupled
+	// output stage, placed at voltage-domain crossings (paper §1.2:
+	// "multiple supply voltages, multiple voltage domains ... increase the
+	// timing closure burden"). Characterized in the *destination* domain's
+	// library.
+	"LS": {inputs: []string{"A"}, sense: PositiveUnate, riseRes: 1.5, fallRes: 1.45, cinFac: 1.1, areaFac: 2.6, intrinsic: 1.4},
+}
+
+// CombFunctions lists the generated combinational functions, in a stable
+// order usable by circuit generators.
+var CombFunctions = []string{
+	"INV", "BUF", "NAND2", "NAND3", "NOR2", "NOR3",
+	"AND2", "OR2", "XOR2", "XNOR2", "AOI21", "OAI21", "MUX2", "LS",
+}
+
+// DefaultDrives is the generated drive ladder.
+var DefaultDrives = []float64{1, 2, 4, 8}
+
+// GenOptions tunes library generation.
+type GenOptions struct {
+	Drives []float64
+	Vts    []VtClass
+	// SlewAxis/LoadAxis override the default table axes (ps, fF).
+	SlewAxis, LoadAxis []float64
+	// MaxTran is the max-transition DRC limit, ps (0 = default per node).
+	MaxTran units.Ps
+}
+
+func (o *GenOptions) fill(tp TechParams, pvt PVT) {
+	if o.Drives == nil {
+		o.Drives = DefaultDrives
+	}
+	if o.Vts == nil {
+		o.Vts = VtClasses
+	}
+	if o.SlewAxis == nil {
+		// Scale the axes to the node's native delay scale so tables stay in
+		// their interpolation region at any voltage.
+		base := tp.Req(SVT, 1, pvt) * tp.CinUnit
+		if math.IsInf(base, 1) {
+			base = tp.Req(SVT, 1, PVT{Process: pvt.Process, Voltage: tp.VDDNominal, Temp: pvt.Temp}) * tp.CinUnit
+		}
+		o.SlewAxis = []float64{0.25 * base, base, 4 * base, 12 * base, 36 * base, 108 * base}
+	}
+	if o.LoadAxis == nil {
+		o.LoadAxis = []float64{
+			0.5 * tp.CinUnit, 2 * tp.CinUnit, 6 * tp.CinUnit,
+			16 * tp.CinUnit, 48 * tp.CinUnit, 128 * tp.CinUnit,
+		}
+	}
+	if o.MaxTran == 0 {
+		// Roughly half the table's reach: slews beyond this are both a
+		// signal-integrity and an accuracy liability.
+		o.MaxTran = 0.5 * o.SlewAxis[len(o.SlewAxis)-1]
+	}
+}
+
+// Generate characterizes a full multi-Vt, multi-drive library at the given
+// PVT point from the node's device model. The same generator run at
+// different PVT points yields the corner libraries MCMM signoff consumes.
+func Generate(tech TechParams, pvt PVT, opts GenOptions) *Library {
+	opts.fill(tech, pvt)
+	lib := NewLibrary(tech.Name+"_"+pvt.Process.Name, tech, pvt)
+	for _, fn := range CombFunctions {
+		spec := cellFuncs[fn]
+		for _, drive := range opts.Drives {
+			for _, vt := range opts.Vts {
+				lib.Add(genComb(tech, pvt, opts, fn, spec, drive, vt))
+			}
+		}
+	}
+	for _, drive := range opts.Drives {
+		for _, vt := range opts.Vts {
+			lib.Add(genDFF(tech, pvt, opts, drive, vt))
+			lib.Add(genICG(tech, pvt, opts, drive, vt))
+		}
+	}
+	return lib
+}
+
+// genICG characterizes an integrated clock-gating cell: a latch-based AND
+// of clock and enable. The gated-clock arc behaves like a buffer; the
+// enable pin carries setup/hold constraints against the clock edge.
+func genICG(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass) *Cell {
+	r := tech.Req(vt, drive, pvt)
+	rUnit := tech.Req(vt, 1, pvt)
+	cpar := tech.CparUnit * drive * 1.5
+	c := &Cell{
+		Name:     CellName("ICG", drive, vt),
+		Function: "ICG",
+		Drive:    drive,
+		Vt:       vt,
+		Area:     tech.AreaUnit * drive * 4.5,
+		Leakage:  tech.Leakage(vt, drive*3, pvt),
+		MaxTran:  opts.MaxTran,
+	}
+	c.Pins = append(c.Pins,
+		PinSpec{Name: "CK", Input: true, Cap: tech.CinUnit * drive * 1.2, IsClock: true},
+		PinSpec{Name: "EN", Input: true, Cap: tech.CinUnit * 0.9},
+		PinSpec{Name: "GCK", MaxCap: drive * 40 * tech.CinUnit},
+	)
+	tau := rUnit * tech.CinUnit
+	c.Gate = &GatingSpec{
+		Clock: "CK", Enable: "EN", Out: "GCK",
+		SetupRise: NewTable2D(opts.SlewAxis, opts.SlewAxis, func(es, cs float64) float64 {
+			return 2.4*tau + 0.5*es + 0.2*cs
+		}),
+		HoldRise: NewTable2D(opts.SlewAxis, opts.SlewAxis, func(es, cs float64) float64 {
+			return 0.3*tau - 0.2*es + 0.4*cs
+		}),
+	}
+	c.Arcs = append(c.Arcs, TimingArc{
+		From: "CK", To: "GCK", Sense: PositiveUnate,
+		DelayRise: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return 0.4*tau + gateDelay(r*1.2, cpar, l, s)
+		}),
+		DelayFall: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return 0.4*tau + gateDelay(r*1.25, cpar, l, s)
+		}),
+		SlewRise: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, r*1.2, cpar, l, s)
+		}),
+		SlewFall: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, r*1.25, cpar, l, s)
+		}),
+		MISFactorFast: 1, MISFactorSlow: 1,
+	})
+	return c
+}
+
+// gateDelay is the analytical characterization kernel: an RC switching model
+// with a slew-dependent term. R in kΩ, caps in fF, slews in ps.
+func gateDelay(r units.KOhm, cpar, cload units.FF, slewIn units.Ps) units.Ps {
+	rc := r * (cpar + cload)
+	// ln(2)·RC switching term plus an input-ramp term that saturates for
+	// slow inputs (the driving transistor turns fully on partway through
+	// the ramp) — this is the nonlinearity that motivates 2-D NLDM tables.
+	ramp := 0.22 * slewIn * (1 - 0.5*slewIn/(slewIn+6*rc+1))
+	return 0.69*rc + ramp
+}
+
+func gateSlew(derate float64, r units.KOhm, cpar, cload units.FF, slewIn units.Ps) units.Ps {
+	rc := r * (cpar + cload)
+	// Output slew is mostly the RC time constant with weak input influence.
+	return derate*rc + 0.08*slewIn
+}
+
+func genComb(tech TechParams, pvt PVT, opts GenOptions, fn string, spec funcSpec, drive float64, vt VtClass) *Cell {
+	// Cross corners (FSG/SFG) skew the pullup against the pulldown.
+	rfSkew := pvt.Process.RiseFallSkew
+	rRise := tech.Req(vt, drive, pvt) * spec.riseRes * (1 + rfSkew)
+	rFall := tech.Req(vt, drive, pvt) * spec.fallRes * (1 - rfSkew)
+	cpar := tech.CparUnit * drive * spec.areaFac / 1.6
+	cin := tech.CinUnit * drive * spec.cinFac
+	intr := spec.intrinsic * 0.35 * tech.Req(vt, drive, pvt) * tech.CparUnit * drive
+
+	c := &Cell{
+		Name:     CellName(fn, drive, vt),
+		Function: fn,
+		Drive:    drive,
+		Vt:       vt,
+		Area:     tech.AreaUnit * drive * spec.areaFac,
+		Leakage:  tech.Leakage(vt, drive*spec.areaFac/1.4, pvt),
+		MaxTran:  opts.MaxTran,
+	}
+	maxCap := drive * 40 * tech.CinUnit
+	for _, in := range spec.inputs {
+		c.Pins = append(c.Pins, PinSpec{Name: in, Input: true, Cap: cin})
+	}
+	c.Pins = append(c.Pins, PinSpec{Name: "Z", MaxCap: maxCap})
+
+	for i, in := range spec.inputs {
+		// Later inputs in a series stack are slightly faster (closer to the
+		// output node); model a small per-pin spread so arcs differ.
+		pinFac := 1 + 0.06*float64(len(spec.inputs)-1-i)
+		dr := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return intr + gateDelay(rRise*pinFac, cpar, l, s)
+		})
+		df := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return intr + gateDelay(rFall*pinFac, cpar, l, s)
+		})
+		sr := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, rRise*pinFac, cpar, l, s)
+		})
+		sf := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, rFall*pinFac, cpar, l, s)
+		})
+		arc := TimingArc{
+			From: in, To: "Z", Sense: spec.sense,
+			DelayRise: dr, DelayFall: df, SlewRise: sr, SlewFall: sf,
+			// Generator defaults for MIS (paper Fig 4): multi-input
+			// switching can cut delay to ~½ (hold-critical) and stretch it
+			// ~10% (setup-critical) for multi-input gates; single-input
+			// cells are immune.
+			MISFactorFast: 1.0, MISFactorSlow: 1.0,
+		}
+		if len(spec.inputs) > 1 && spec.sense != NonUnate {
+			arc.MISFactorFast = 0.55
+			arc.MISFactorSlow = 1.10
+		}
+		c.Arcs = append(c.Arcs, arc)
+	}
+	return c
+}
+
+func genDFF(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass) *Cell {
+	r := tech.Req(vt, drive, pvt)
+	rUnit := tech.Req(vt, 1, pvt)
+	cpar := tech.CparUnit * drive * 2
+	cinD := tech.CinUnit * 0.9 // data pin: one transmission gate
+	cinCK := tech.CinUnit * 1.3
+
+	c := &Cell{
+		Name:     CellName("DFF", drive, vt),
+		Function: "DFF",
+		Drive:    drive,
+		Vt:       vt,
+		Area:     tech.AreaUnit * drive * 6.5,
+		Leakage:  tech.Leakage(vt, drive*4, pvt),
+		MaxTran:  opts.MaxTran,
+	}
+	c.Pins = append(c.Pins,
+		PinSpec{Name: "D", Input: true, Cap: cinD},
+		PinSpec{Name: "CK", Input: true, Cap: cinCK, IsClock: true},
+		PinSpec{Name: "Q", MaxCap: drive * 40 * tech.CinUnit},
+	)
+
+	// Internal latch time constant sets the constraint scale. Setup grows
+	// with data slew; hold typically shrinks with data slew and grows with
+	// clock slew. The interdependent (setup, hold, c2q) surfaces of paper
+	// Figure 10 are characterized at transistor level in internal/ffchar;
+	// these tables are the fixed "pushout criterion" values commercial
+	// libraries ship.
+	tau := rUnit * tech.CinUnit // unit inverter time constant, ps
+	setup := func(ds, cs float64) float64 { return 3.2*tau + 0.55*ds + 0.25*cs }
+	hold := func(ds, cs float64) float64 { return 0.4*tau - 0.25*ds + 0.45*cs }
+	dsAxis := opts.SlewAxis
+	csAxis := opts.SlewAxis
+	ff := &FFSpec{
+		Clock: "CK", Data: "D", Q: "Q",
+		SetupRise: NewTable2D(dsAxis, csAxis, setup),
+		SetupFall: NewTable2D(dsAxis, csAxis, func(ds, cs float64) float64 { return setup(ds, cs) * 1.05 }),
+		HoldRise:  NewTable2D(dsAxis, csAxis, hold),
+		HoldFall:  NewTable2D(dsAxis, csAxis, func(ds, cs float64) float64 { return hold(ds, cs) + 0.1*tau }),
+		C2QRise: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return 2.0*tau + gateDelay(r*1.4, cpar, l, s)
+		}),
+		C2QFall: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return 2.1*tau + gateDelay(r*1.45, cpar, l, s)
+		}),
+	}
+	c.FF = ff
+	// The CK→Q arc is exposed as a regular timing arc so the STA engine
+	// treats launch uniformly; constraint checks use the FFSpec tables.
+	// Non-unate: the clock's rising edge can produce either Q transition
+	// (whichever D was captured), so STA must launch both.
+	c.Arcs = append(c.Arcs, TimingArc{
+		From: "CK", To: "Q", Sense: NonUnate,
+		DelayRise: ff.C2QRise, DelayFall: ff.C2QFall,
+		SlewRise: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, r*1.4, cpar, l, s)
+		}),
+		SlewFall: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
+			return gateSlew(tech.SlewDerate, r*1.45, cpar, l, s)
+		}),
+		MISFactorFast: 1.0, MISFactorSlow: 1.0,
+	})
+	return c
+}

@@ -1,0 +1,252 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLibRoundTrip(t *testing.T) {
+	orig := Generate(Node16, PVT{Process: TT, Voltage: 0.8, Temp: 85}, GenOptions{})
+	var buf bytes.Buffer
+	if err := WriteLib(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLib(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != orig.Name {
+		t.Errorf("name %q != %q", parsed.Name, orig.Name)
+	}
+	if math.Abs(parsed.PVT.Voltage-0.8) > 1e-12 || math.Abs(parsed.PVT.Temp-85) > 1e-12 {
+		t.Errorf("nominals lost: %+v", parsed.PVT)
+	}
+	if got, want := len(parsed.Cells()), len(orig.Cells()); got != want {
+		t.Fatalf("cell count %d != %d", got, want)
+	}
+	// Spot-check a combinational cell in detail.
+	for _, name := range []string{"NAND2_X2_HVT", "INV_X1_LVT", "MUX2_X4_SVT"} {
+		oc, pc := orig.Cell(name), parsed.Cell(name)
+		if pc == nil {
+			t.Fatalf("%s missing after round trip", name)
+		}
+		if pc.Function != oc.Function || pc.Drive != oc.Drive || pc.Vt != oc.Vt {
+			t.Errorf("%s metadata: %+v vs %+v", name, pc, oc)
+		}
+		if math.Abs(pc.Area-oc.Area) > 1e-9 || math.Abs(pc.Leakage-oc.Leakage) > 1e-9 {
+			t.Errorf("%s area/leakage lost", name)
+		}
+		if len(pc.Arcs) != len(oc.Arcs) {
+			t.Fatalf("%s arcs %d != %d", name, len(pc.Arcs), len(oc.Arcs))
+		}
+		for i := range oc.Arcs {
+			oa := &oc.Arcs[i]
+			pa := pc.Arc(oa.From, oa.To)
+			if pa == nil {
+				t.Fatalf("%s arc %s->%s missing", name, oa.From, oa.To)
+			}
+			if pa.Sense != oa.Sense {
+				t.Errorf("%s arc sense changed", name)
+			}
+			// Table values preserved at several lookup points.
+			for _, pt := range [][2]float64{{5, 2}, {20, 10}, {60, 40}} {
+				if got, want := pa.Delay(true, pt[0], pt[1]), oa.Delay(true, pt[0], pt[1]); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s delay lookup (%v) changed: %v vs %v", name, pt, got, want)
+				}
+				if got, want := pa.Slew(false, pt[0], pt[1]), oa.Slew(false, pt[0], pt[1]); math.Abs(got-want) > 1e-9 {
+					t.Errorf("%s slew lookup changed", name)
+				}
+			}
+			if math.Abs(pa.MISFactorFast-oa.MISFactorFast) > 1e-12 {
+				t.Errorf("%s MIS factor lost", name)
+			}
+		}
+		// Input caps.
+		for _, pin := range oc.Pins {
+			if pin.Input && math.Abs(pc.InputCap(pin.Name)-pin.Cap) > 1e-12 {
+				t.Errorf("%s pin %s cap changed", name, pin.Name)
+			}
+		}
+	}
+	// Flip-flop round trip.
+	off, pff := orig.Cell("DFF_X1_SVT"), parsed.Cell("DFF_X1_SVT")
+	if pff.FF == nil {
+		t.Fatal("FF spec lost")
+	}
+	if pff.FF.Clock != off.FF.Clock || pff.FF.Data != off.FF.Data || pff.FF.Q != off.FF.Q {
+		t.Errorf("FF pins: %+v vs %+v", pff.FF, off.FF)
+	}
+	if !pff.Pin("CK").IsClock {
+		t.Error("clock pin attribute lost")
+	}
+	for _, pt := range [][2]float64{{10, 10}, {30, 20}} {
+		if got, want := pff.FF.SetupRise.Lookup(pt[0], pt[1]), off.FF.SetupRise.Lookup(pt[0], pt[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("setup table changed at %v: %v vs %v", pt, got, want)
+		}
+		if got, want := pff.FF.HoldFall.Lookup(pt[0], pt[1]), off.FF.HoldFall.Lookup(pt[0], pt[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("hold table changed at %v", pt)
+		}
+		if got, want := pff.FF.C2QRise.Lookup(pt[0], pt[1]), off.FF.C2QRise.Lookup(pt[0], pt[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("c2q table changed at %v", pt)
+		}
+	}
+}
+
+func TestLibRoundTripWithLVF(t *testing.T) {
+	orig := Generate(Node16, PVT{Process: TT, Voltage: 0.7, Temp: 25}, GenOptions{
+		Drives: []float64{1}, Vts: []VtClass{SVT},
+	})
+	// Fill LVF tables by hand (variation package would normally do it).
+	for _, c := range orig.Cells() {
+		for i := range c.Arcs {
+			a := &c.Arcs[i]
+			a.SigmaLateRise = a.DelayRise.Scale(0.05)
+			a.SigmaEarlyRise = a.DelayRise.Scale(0.03)
+			a.SigmaLateFall = a.DelayFall.Scale(0.05)
+			a.SigmaEarlyFall = a.DelayFall.Scale(0.03)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteLib(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseLib(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := parsed.Cell("INV_X1_SVT").Arc("A", "Z")
+	if a.SigmaLateRise == nil || a.SigmaEarlyFall == nil {
+		t.Fatal("LVF tables lost")
+	}
+	oa := orig.Cell("INV_X1_SVT").Arc("A", "Z")
+	if got, want := a.SigmaLateRise.Lookup(15, 6), oa.SigmaLateRise.Lookup(15, 6); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LVF lookup changed: %v vs %v", got, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"cell (X) {",
+		"library (l) {\n  cell (c) {\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseLib(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed input accepted: %q", c)
+		}
+	}
+}
+
+func TestParseToleratesUnknownGroups(t *testing.T) {
+	src := `library (tolerant) {
+  nom_voltage : 0.8;
+  operating_conditions (oc) {
+    process : 1;
+    nested (x) { foo : 1; }
+  }
+  cell (INV_X1_SVT) {
+    area : 0.2;
+    function_class : INV;
+    drive_strength : 1;
+    threshold_class : SVT;
+    pin (A) {
+      direction : input;
+      capacitance : 0.85;
+    }
+    pin (Z) {
+      direction : output;
+      max_capacitance : 34;
+      timing () {
+        related_pin : "A";
+        timing_sense : negative_unate;
+        cell_rise (tmpl) {
+          index_1 ("1, 10");
+          index_2 ("1, 10");
+          values ( \
+            "1, 2", \
+            "3, 4" \
+          );
+        }
+      }
+    }
+  }
+}`
+	lib, err := ParseLib(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := lib.Cell("INV_X1_SVT")
+	if c == nil {
+		t.Fatal("cell not parsed")
+	}
+	a := c.Arc("A", "Z")
+	if a == nil || a.DelayRise == nil {
+		t.Fatal("arc not parsed")
+	}
+	if got := a.DelayRise.Lookup(10, 10); got != 4 {
+		t.Errorf("corner value = %v, want 4", got)
+	}
+}
+
+// Property: arbitrary valid tables survive the text round trip bit-exactly
+// (float formatting uses shortest-exact representation).
+func TestTableRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 2+rng.Intn(4), 2+rng.Intn(5)
+		rows := make([]float64, nr)
+		cols := make([]float64, nc)
+		x := rng.Float64()
+		for i := range rows {
+			x += 0.1 + rng.Float64()
+			rows[i] = x
+		}
+		x = rng.Float64()
+		for i := range cols {
+			x += 0.1 + rng.Float64()
+			cols[i] = x
+		}
+		tb := NewTable2D(rows, cols, func(r, c float64) float64 {
+			return r*1.7 + c*0.3 + rng.Float64()
+		})
+		lib := NewLibrary("prop", TechParams{}, PVT{Voltage: 0.8, Temp: 25})
+		cell := &Cell{
+			Name: "INV_X1_SVT", Function: "INV", Drive: 1, Vt: SVT,
+			Pins: []PinSpec{{Name: "A", Input: true, Cap: 1}, {Name: "Z", MaxCap: 10}},
+			Arcs: []TimingArc{{
+				From: "A", To: "Z", Sense: NegativeUnate,
+				DelayRise: tb, DelayFall: tb, SlewRise: tb, SlewFall: tb,
+			}},
+		}
+		lib.Add(cell)
+		var buf bytes.Buffer
+		if err := WriteLib(&buf, lib); err != nil {
+			return false
+		}
+		parsed, err := ParseLib(&buf)
+		if err != nil {
+			t.Logf("seed %d: parse: %v", seed, err)
+			return false
+		}
+		got := parsed.Cell("INV_X1_SVT").Arc("A", "Z").DelayRise
+		if len(got.RowAxis) != nr || len(got.ColAxis) != nc {
+			return false
+		}
+		for i := range rows {
+			for j := range cols {
+				if got.Values[i][j] != tb.Values[i][j] {
+					t.Logf("seed %d: value (%d,%d) %v != %v", seed, i, j, got.Values[i][j], tb.Values[i][j])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package liberty
+
+// LogicEval returns the boolean function of a combinational cell family,
+// taking inputs in the cell's declared pin order (A, B, C / A1, A2, B /
+// A, B, S). It returns nil for sequential or unknown functions. Circuit
+// generators and property tests use it to check functional equivalence
+// across optimization moves (sizing and Vt swap never change logic).
+func LogicEval(function string) func([]bool) bool {
+	switch function {
+	case "INV":
+		return func(in []bool) bool { return !in[0] }
+	case "BUF", "LS":
+		return func(in []bool) bool { return in[0] }
+	case "NAND2":
+		return func(in []bool) bool { return !(in[0] && in[1]) }
+	case "NAND3":
+		return func(in []bool) bool { return !(in[0] && in[1] && in[2]) }
+	case "NOR2":
+		return func(in []bool) bool { return !(in[0] || in[1]) }
+	case "NOR3":
+		return func(in []bool) bool { return !(in[0] || in[1] || in[2]) }
+	case "AND2":
+		return func(in []bool) bool { return in[0] && in[1] }
+	case "OR2":
+		return func(in []bool) bool { return in[0] || in[1] }
+	case "XOR2":
+		return func(in []bool) bool { return in[0] != in[1] }
+	case "XNOR2":
+		return func(in []bool) bool { return in[0] == in[1] }
+	case "AOI21":
+		return func(in []bool) bool { return !((in[0] && in[1]) || in[2]) }
+	case "OAI21":
+		return func(in []bool) bool { return !((in[0] || in[1]) && in[2]) }
+	case "MUX2":
+		return func(in []bool) bool {
+			if in[2] {
+				return in[1]
+			}
+			return in[0]
+		}
+	default:
+		return nil
+	}
+}
+
+// FunctionInputs returns the declared input pin names of a combinational
+// function, or nil for unknown functions.
+func FunctionInputs(function string) []string {
+	if spec, ok := cellFuncs[function]; ok {
+		return spec.inputs
+	}
+	return nil
+}

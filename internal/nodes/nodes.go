@@ -1,0 +1,115 @@
+// Package nodes is the technology-node database behind the paper's
+// Figure 3 ("Evolution of timing closure care-abouts"): which analysis,
+// modeling and signoff concerns enter the plan-of-record methodology at
+// which node, plus the per-node device/BEOL parameter bundles the rest of
+// the repository consumes.
+package nodes
+
+import (
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+)
+
+// Node identifies a technology generation.
+type Node struct {
+	Name string
+	// Nm is the nominal feature size.
+	Nm int
+	// Tech is the device parameter bundle (nil for nodes without a full
+	// model in this repository).
+	Tech *liberty.TechParams
+	// Stack returns the BEOL model (nil likewise).
+	Stack func() *parasitics.Stack
+}
+
+// The node ladder of Figure 3.
+var (
+	N90 = Node{Name: "90nm", Nm: 90}
+	N65 = Node{Name: "65nm", Nm: 65, Tech: &liberty.Node65, Stack: parasitics.Stack65}
+	N45 = Node{Name: "45/40nm", Nm: 45}
+	N28 = Node{Name: "28nm", Nm: 28, Tech: &liberty.Node28}
+	N20 = Node{Name: "20nm", Nm: 20}
+	N16 = Node{Name: "16/14nm", Nm: 16, Tech: &liberty.Node16, Stack: parasitics.Stack16}
+	N10 = Node{Name: "10nm", Nm: 10}
+	N7  = Node{Name: "<=7nm", Nm: 7}
+)
+
+// All lists the ladder newest-last.
+func All() []Node { return []Node{N90, N65, N45, N28, N20, N16, N10, N7} }
+
+// CareAbout is one timing-closure concern with the node at which it enters
+// the methodology (per the paper's Figure 3 timeline).
+type CareAbout struct {
+	Name string
+	// FromNm: the concern applies at this node and below (smaller Nm).
+	FromNm int
+	// Category groups the matrix rows.
+	Category string
+}
+
+// CareAbouts is the Figure 3 catalog. Entry nodes follow the figure's
+// horizontal placement.
+var CareAbouts = []CareAbout{
+	{"Noise/SI", 90, "analysis"},
+	{"Max transition", 90, "signoff"},
+	{"Electromigration", 90, "signoff"},
+	{"MCMM", 65, "signoff"},
+	{"BTI aging", 65, "reliability"},
+	{"Temperature inversion", 65, "analysis"},
+	{"AOCV/POCV derating", 45, "modeling"},
+	{"Path-based analysis", 45, "analysis"},
+	{"Fixed-margin spec", 45, "signoff"},
+	{"Physically-aware timing ECO", 28, "optimization"},
+	{"Dynamic IR in timing", 28, "analysis"},
+	{"Fill effects", 28, "modeling"},
+	{"Multi-patterning corners", 20, "modeling"},
+	{"MOL/BEOL resistance", 20, "modeling"},
+	{"Layout-dependent rules", 20, "optimization"},
+	{"Min implant area", 20, "optimization"},
+	{"BEOL/MOL variation", 16, "modeling"},
+	{"Signoff criteria with AVS", 16, "signoff"},
+	{"Cell-POCV", 16, "modeling"},
+	{"SOC complexity (corners)", 16, "signoff"},
+	{"LVF", 10, "modeling"},
+	{"Multi-input switching", 10, "analysis"},
+	{"Self-heating/EM in FinFET", 10, "reliability"},
+	{"SADP/SAQP patterning", 10, "modeling"},
+}
+
+// Applies reports whether a concern is active at a node.
+func (c CareAbout) Applies(n Node) bool { return n.Nm <= c.FromNm }
+
+// Matrix returns the Figure 3 matrix: rows = care-abouts (stable order),
+// cols = nodes, cell = active.
+func Matrix() ([]CareAbout, []Node, [][]bool) {
+	cas := append([]CareAbout(nil), CareAbouts...)
+	sort.SliceStable(cas, func(i, j int) bool {
+		if cas[i].FromNm != cas[j].FromNm {
+			return cas[i].FromNm > cas[j].FromNm
+		}
+		return cas[i].Name < cas[j].Name
+	})
+	ns := All()
+	m := make([][]bool, len(cas))
+	for i, c := range cas {
+		m[i] = make([]bool, len(ns))
+		for j, n := range ns {
+			m[i][j] = c.Applies(n)
+		}
+	}
+	return cas, ns, m
+}
+
+// CountActive returns how many concerns are active at a node — the
+// monotone "care-about burden" growth the figure conveys.
+func CountActive(n Node) int {
+	k := 0
+	for _, c := range CareAbouts {
+		if c.Applies(n) {
+			k++
+		}
+	}
+	return k
+}

@@ -1,0 +1,64 @@
+package nodes
+
+import "testing"
+
+func TestCareAboutBurdenGrows(t *testing.T) {
+	// Figure 3's message: each node inherits all previous concerns and
+	// adds new ones.
+	prev := -1
+	for _, n := range All() {
+		k := CountActive(n)
+		if k < prev {
+			t.Errorf("%s: active concerns %d dropped below previous %d", n.Name, k, prev)
+		}
+		prev = k
+	}
+	if CountActive(N90) == 0 {
+		t.Error("90nm should already have concerns")
+	}
+	if CountActive(N7) != len(CareAbouts) {
+		t.Errorf("7nm should face everything: %d of %d", CountActive(N7), len(CareAbouts))
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	cas, ns, m := Matrix()
+	if len(m) != len(cas) {
+		t.Fatalf("rows %d != care-abouts %d", len(m), len(cas))
+	}
+	for i, row := range m {
+		if len(row) != len(ns) {
+			t.Fatalf("row %d has %d cols", i, len(row))
+		}
+		// Once active, always active at smaller nodes (monotone rows).
+		seen := false
+		for _, on := range row {
+			if seen && !on {
+				t.Fatalf("care-about %q deactivates at a smaller node", cas[i].Name)
+			}
+			seen = seen || on
+		}
+	}
+}
+
+func TestNodeModels(t *testing.T) {
+	if N16.Tech == nil || N16.Stack == nil {
+		t.Error("16nm should have full models")
+	}
+	if N65.Tech == nil || N65.Stack == nil {
+		t.Error("65nm should have full models")
+	}
+	if N16.Stack().Name == "" {
+		t.Error("empty stack")
+	}
+}
+
+func TestApplies(t *testing.T) {
+	mis := CareAbout{Name: "MIS", FromNm: 10}
+	if mis.Applies(N16) {
+		t.Error("MIS should not apply at 16nm")
+	}
+	if !mis.Applies(N10) || !mis.Applies(N7) {
+		t.Error("MIS should apply at 10nm and below")
+	}
+}

@@ -1,0 +1,176 @@
+package place
+
+import (
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/units"
+)
+
+// FixResult summarizes a MinIA repair pass (the heuristics of the paper's
+// reference [24]: fix violations with reordering and Vt changes while
+// minimizing placement perturbation).
+type FixResult struct {
+	// Initial / Remaining violation counts.
+	Initial, Remaining int
+	// Reordered counts cells moved within/between rows.
+	Reordered int
+	// VtChanged counts cells whose implant class was changed to merge an
+	// island into a neighbor.
+	VtChanged int
+	// TotalDisplacement is the accumulated cell movement, µm.
+	TotalDisplacement units.Um
+	// LeakageDelta is the total leakage change (nW) from Vt changes.
+	LeakageDelta float64
+}
+
+// FixOptions tunes the repair.
+type FixOptions struct {
+	Rule MinIARule
+	// SearchWindow is how many cells to the left/right to search for a
+	// same-Vt partner to swap adjacent, bounding displacement.
+	SearchWindow int
+	// AllowVtChange permits merging an island by re-implanting its cells
+	// to the neighboring Vt (downward only — LVT direction — so timing
+	// never degrades; leakage cost is recorded).
+	AllowVtChange bool
+	// MaxPasses bounds repair iterations.
+	MaxPasses int
+}
+
+// DefaultFixOptions is the standard recipe.
+func DefaultFixOptions() FixOptions {
+	return FixOptions{Rule: DefaultMinIA, SearchWindow: 12, AllowVtChange: true, MaxPasses: 4}
+}
+
+// vtRank orders Vt classes by speed (lower = faster).
+func vtRank(v liberty.VtClass) int {
+	switch v {
+	case liberty.LVT:
+		return 0
+	case liberty.SVT:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// FixMinIA repairs MinIA violations:
+//  1. Reorder: swap a violating island cell with a nearby different-Vt cell
+//     adjacent to a same-Vt island, merging implant regions with bounded
+//     displacement.
+//  2. Vt change: if reorder fails and AllowVtChange, re-implant the island
+//     cells to the faster of the two neighboring Vt classes (never slower,
+//     so no new timing violations are created — only leakage is spent).
+func (p *Placement) FixMinIA(opts FixOptions) FixResult {
+	res := FixResult{Initial: len(p.Violations(opts.Rule))}
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		viols := p.Violations(opts.Rule)
+		if len(viols) == 0 {
+			break
+		}
+		progress := false
+		for _, v := range viols {
+			if p.tryReorder(v, opts, &res) {
+				progress = true
+				continue
+			}
+			if opts.AllowVtChange && p.tryVtChange(v, &res) {
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	res.Remaining = len(p.Violations(opts.Rule))
+	return res
+}
+
+// tryReorder looks near the island for a cell of the island's Vt that can
+// be swapped with one of the island's different-Vt neighbors, widening the
+// island past the rule.
+func (p *Placement) tryReorder(v Violation, opts FixOptions, res *FixResult) bool {
+	row := p.rows[v.Row]
+	// Index of the island within the row.
+	lo := -1
+	for i, c := range row {
+		if c == v.Cells[0] {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 {
+		return false // placement changed since scan
+	}
+	hi := lo + len(v.Cells) // exclusive
+	need := opts.Rule.MinWidthSites - v.WidthSites
+	// Candidate partners: same-Vt cells within the window, not already in
+	// the island; swap them with the cell just left (or right) of the
+	// island.
+	for d := 1; d <= opts.SearchWindow; d++ {
+		for _, idx := range []int{lo - 1 - d, hi + d} {
+			if idx < 0 || idx >= len(row) {
+				continue
+			}
+			cand := row[idx]
+			if p.VtOf(cand) != v.Vt || p.loc[cand].Width < need {
+				continue
+			}
+			// Swap with the boundary neighbor.
+			var boundary *netlist.Cell
+			if idx < lo {
+				boundary = row[lo-1]
+			} else {
+				boundary = row[hi]
+			}
+			// The boundary cell must not itself be part of a same-Vt
+			// island with cand (that would just move the problem).
+			if p.VtOf(boundary) == v.Vt {
+				continue
+			}
+			disp := p.Displacement(cand, boundary)
+			p.SwapCells(cand, boundary)
+			res.Reordered += 2
+			res.TotalDisplacement += 2 * disp
+			return true
+		}
+	}
+	return false
+}
+
+// tryVtChange merges the island into a neighbor implant by changing its
+// cells' Vt to the faster of the two adjacent classes.
+func (p *Placement) tryVtChange(v Violation, res *FixResult) bool {
+	row := p.rows[v.Row]
+	lo := -1
+	for i, c := range row {
+		if c == v.Cells[0] {
+			lo = i
+			break
+		}
+	}
+	if lo <= 0 || lo+len(v.Cells) >= len(row) {
+		return false
+	}
+	leftVt := p.VtOf(row[lo-1])
+	rightVt := p.VtOf(row[lo+len(v.Cells)])
+	target := leftVt
+	if vtRank(rightVt) < vtRank(target) {
+		target = rightVt
+	}
+	// Never slow a cell down: only re-implant toward equal-or-faster Vt.
+	if vtRank(target) > vtRank(v.Vt) {
+		return false
+	}
+	for _, c := range v.Cells {
+		m := p.Lib.Cell(c.TypeName)
+		variant := p.Lib.Variant(m, m.Drive, target)
+		if variant == nil {
+			return false
+		}
+		res.LeakageDelta += variant.Leakage - m.Leakage
+		c.SetType(variant.Name)
+		res.VtChanged++
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+// Package power computes design-level power from a bound analysis: leakage
+// from the library's per-cell numbers, dynamic switching power from net
+// capacitances with activity factors, and the clock tree broken out
+// separately (activity 1). The paper's §1.2 frames the whole timing-closure
+// evolution inside the "low-power grand challenge"; this report is the
+// number that challenge is about.
+package power
+
+import (
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Config sets activity and frequency.
+type Config struct {
+	// FreqGHz is the clock frequency.
+	FreqGHz float64
+	// Activity is the average data switching activity (transitions per
+	// cycle per net).
+	Activity float64
+	// GatingDuty is the fraction of cycles gated clock subtrees are
+	// enabled (1 = gating never saves anything; ungated clock always 1).
+	GatingDuty float64
+}
+
+// DefaultConfig is a GHz-class, 15%-activity digital profile with gated
+// subtrees enabled 40% of the time.
+func DefaultConfig() Config { return Config{FreqGHz: 1.0, Activity: 0.15, GatingDuty: 0.4} }
+
+// Report is the design power breakdown. All entries in nW.
+type Report struct {
+	Leakage      units.NW
+	DynamicData  units.NW
+	DynamicClock units.NW
+	Total        units.NW
+	// ClockFrac is the clock tree's share of total power — the number that
+	// motivates clock gating.
+	ClockFrac float64
+}
+
+// Compute walks the design: leakage per cell master, dynamic per net as
+// C·V²·f·activity (clock nets at activity 1). The analyzer provides the
+// per-net effective loads (wire + pins) consistent with timing.
+func Compute(a *sta.Analyzer, lib *liberty.Library, cfg Config) Report {
+	var rep Report
+	v := lib.PVT.Voltage
+	for _, c := range a.D.Cells {
+		if m := lib.Cell(c.TypeName); m != nil {
+			rep.Leakage += m.Leakage
+		}
+	}
+	duty := cfg.GatingDuty
+	if duty <= 0 || duty > 1 {
+		duty = 1
+	}
+	for _, n := range a.D.Nets {
+		if n.Driver == nil && !(n.Port != nil && n.Port.Dir == netlist.Input) {
+			continue
+		}
+		cTot := a.NetLoad(n)
+		// fF · V² · GHz = µW; report nW.
+		dyn := cTot * v * v * cfg.FreqGHz * 1000
+		if isClockNet(lib, n) {
+			if isGatedClock(lib, n) {
+				dyn *= duty // the gate holds this subtree quiet when disabled
+			}
+			rep.DynamicClock += dyn
+		} else {
+			rep.DynamicData += dyn * cfg.Activity
+		}
+	}
+	rep.Total = rep.Leakage + rep.DynamicData + rep.DynamicClock
+	if rep.Total > 0 {
+		rep.ClockFrac = rep.DynamicClock / rep.Total
+	}
+	return rep
+}
+
+// isGatedClock reports whether the net sits downstream of a clock-gating
+// cell's output (walking back through clock buffers).
+func isGatedClock(lib *liberty.Library, n *netlist.Net) bool {
+	for hops := 0; n != nil && hops < 64; hops++ {
+		drv := n.Driver
+		if drv == nil {
+			return false
+		}
+		m := lib.Cell(drv.Cell.TypeName)
+		if m == nil {
+			return false
+		}
+		if m.Gate != nil && drv.Name == m.Gate.Out {
+			return true
+		}
+		if m.Function != "BUF" && m.Function != "INV" {
+			return false
+		}
+		// Walk up through the buffer's input net.
+		ins := drv.Cell.Inputs()
+		if len(ins) == 0 {
+			return false
+		}
+		n = ins[0].Net
+	}
+	return false
+}
+
+// isClockNet reports whether the net feeds a flip-flop clock pin or a
+// buffer that (transitively) does.
+func isClockNet(lib *liberty.Library, n *netlist.Net) bool {
+	seen := map[*netlist.Net]bool{}
+	var walk func(*netlist.Net) bool
+	walk = func(n *netlist.Net) bool {
+		if n == nil || seen[n] {
+			return false
+		}
+		seen[n] = true
+		for _, l := range n.Loads {
+			m := lib.Cell(l.Cell.TypeName)
+			if m == nil {
+				continue
+			}
+			if m.FF != nil && l.Name == m.FF.Clock {
+				return true
+			}
+			// The clock continues through buffers, inverters and clock
+			// gates (via the gate's CK pin).
+			if m.Function == "BUF" || m.Function == "INV" ||
+				(m.Gate != nil && l.Name == m.Gate.Clock) {
+				if out := l.Cell.Output(); out != nil && walk(out.Net) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(n)
+}

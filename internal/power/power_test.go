@@ -1,0 +1,152 @@
+package power
+
+import (
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+)
+
+func setup(t *testing.T, ffs, gates int, seed int64) (*sta.Analyzer, *liberty.Library) {
+	t.Helper()
+	lib := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85}, liberty.GenOptions{})
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "pw", Inputs: 12, Outputs: 12, FFs: ffs, Gates: gates,
+		Seed: seed, ClockBufferLevels: 3,
+	})
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", 800, d.Port("clk"))
+	a, err := sta.New(d, cons, sta.Config{
+		Lib: lib, Parasitics: sta.NewNetBinder(parasitics.Stack16(), seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return a, lib
+}
+
+func TestComputeBasics(t *testing.T) {
+	a, lib := setup(t, 64, 600, 81)
+	rep := Compute(a, lib, DefaultConfig())
+	if rep.Leakage <= 0 || rep.DynamicData <= 0 || rep.DynamicClock <= 0 {
+		t.Fatalf("empty components: %+v", rep)
+	}
+	if rep.Total != rep.Leakage+rep.DynamicData+rep.DynamicClock {
+		t.Error("total inconsistent")
+	}
+	if rep.ClockFrac <= 0 || rep.ClockFrac >= 1 {
+		t.Errorf("clock fraction %v out of (0,1)", rep.ClockFrac)
+	}
+}
+
+func TestActivityScalesDataOnly(t *testing.T) {
+	a, lib := setup(t, 64, 600, 82)
+	lo := Compute(a, lib, Config{FreqGHz: 1, Activity: 0.05})
+	hi := Compute(a, lib, Config{FreqGHz: 1, Activity: 0.40})
+	if hi.DynamicData <= lo.DynamicData {
+		t.Error("data power should grow with activity")
+	}
+	if hi.DynamicClock != lo.DynamicClock {
+		t.Error("clock power must not depend on data activity")
+	}
+	if hi.Leakage != lo.Leakage {
+		t.Error("leakage must not depend on activity")
+	}
+}
+
+func TestClockShareGrowsWithFFCount(t *testing.T) {
+	a1, lib := setup(t, 32, 800, 83)
+	a2, _ := setup(t, 256, 800, 83)
+	f1 := Compute(a1, lib, DefaultConfig()).ClockFrac
+	f2 := Compute(a2, lib, DefaultConfig()).ClockFrac
+	if f2 <= f1 {
+		t.Errorf("clock share should grow with FF count: %v -> %v", f1, f2)
+	}
+}
+
+func TestFrequencyScalesDynamicOnly(t *testing.T) {
+	a, lib := setup(t, 64, 600, 84)
+	f1 := Compute(a, lib, Config{FreqGHz: 1, Activity: 0.15})
+	f2 := Compute(a, lib, Config{FreqGHz: 2, Activity: 0.15})
+	if f2.DynamicData <= f1.DynamicData || f2.DynamicClock <= f1.DynamicClock {
+		t.Error("dynamic power should grow with frequency")
+	}
+	if f2.Leakage != f1.Leakage {
+		t.Error("leakage must not depend on frequency")
+	}
+}
+
+func TestIsClockNetTransitive(t *testing.T) {
+	lib := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85}, liberty.GenOptions{})
+	d := netlist.New("ck")
+	clk, _ := d.AddPort("clk", netlist.Input)
+	buf, err := circuits.AddCell(d, lib, "b", "BUF_X4_SVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := d.AddNet("mid")
+	if err := d.Connect(buf, "A", clk.Net); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Connect(buf, "Z", mid); err != nil {
+		t.Fatal(err)
+	}
+	ff, _ := circuits.AddCell(d, lib, "ff", "DFF_X1_SVT")
+	if err := d.Connect(ff, "CK", mid); err != nil {
+		t.Fatal(err)
+	}
+	din, _ := d.AddPort("din", netlist.Input)
+	if err := d.Connect(ff, "D", din.Net); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := d.AddNet("q")
+	if err := d.Connect(ff, "Q", q); err != nil {
+		t.Fatal(err)
+	}
+	if !isClockNet(lib, clk.Net) {
+		t.Error("buffered clock root not recognized as clock")
+	}
+	if !isClockNet(lib, mid) {
+		t.Error("clock leaf net not recognized")
+	}
+	if isClockNet(lib, din.Net) || isClockNet(lib, q) {
+		t.Error("data nets misclassified as clock")
+	}
+}
+
+func TestGatingDutySavesClockPower(t *testing.T) {
+	lib := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85}, liberty.GenOptions{})
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "gd", Inputs: 12, Outputs: 12, FFs: 96, Gates: 500,
+		Seed: 85, ClockBufferLevels: 2, ClockGating: true,
+	})
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", 800, d.Port("clk"))
+	a, err := sta.New(d, cons, sta.Config{Lib: lib,
+		Parasitics: sta.NewNetBinder(parasitics.Stack16(), 85)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	always := Compute(a, lib, Config{FreqGHz: 1, Activity: 0.15, GatingDuty: 1})
+	gated := Compute(a, lib, Config{FreqGHz: 1, Activity: 0.15, GatingDuty: 0.3})
+	if gated.DynamicClock >= always.DynamicClock {
+		t.Errorf("gating duty should cut clock power: %v vs %v",
+			gated.DynamicClock, always.DynamicClock)
+	}
+	// The root of the tree (ungated) still burns: the saving is partial.
+	if gated.DynamicClock < 0.1*always.DynamicClock {
+		t.Errorf("gating saved implausibly much: %v of %v", gated.DynamicClock, always.DynamicClock)
+	}
+}

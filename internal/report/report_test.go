@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "unit")
+	tb.Row("alpha", 3.14159, "ps")
+	tb.Row("a-long-name", 123456.0, "fF")
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Error("missing formatted float")
+	}
+	if !strings.Contains(out, "123456") {
+		t.Error("large value should render without decimals")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("expected 5 lines, got %d", len(lines))
+	}
+	// Columns aligned: rows padded to the widest first-column entry.
+	if !strings.HasPrefix(lines[3], "alpha      ") {
+		t.Errorf("alignment broken: %q", lines[3])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{0, 1, 4, 9, 16}
+	s := Series("quad", xs, ys, 20, 6)
+	if !strings.Contains(s, "quad") || strings.Count(s, "*") == 0 {
+		t.Errorf("plot missing points: %s", s)
+	}
+	if got := Series("bad", nil, nil, 20, 6); got != "" {
+		t.Error("empty input should render nothing")
+	}
+	// Degenerate y-range must not panic.
+	if s := Series("flat", []float64{1, 2}, []float64{5, 5}, 10, 3); s == "" {
+		t.Error("flat series should render")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if Pct(0.5) != "50.0%" {
+		t.Errorf("Pct = %s", Pct(0.5))
+	}
+	if Ps(12.34) != "12.3 ps" {
+		t.Errorf("Ps = %s", Ps(12.34))
+	}
+}

@@ -1,0 +1,183 @@
+// Package spice is a small transistor-level circuit simulator: modified
+// nodal analysis with trapezoidal integration and Newton iteration, devices
+// limited to resistors, capacitors, piecewise-linear voltage sources, and an
+// alpha-power-law (Sakurai–Newton) MOSFET.
+//
+// It is the repository's substitute for the HSPICE runs behind the paper's
+// Figure 4 (multi-input switching), Figure 7 (Monte Carlo path delay), and
+// Figure 10 (interdependent flip-flop timing): those effects are products of
+// device nonlinearity and circuit topology, both of which this model keeps.
+//
+// Unit system (see internal/units): V, kΩ, fF, ps — which makes the natural
+// current unit mA (V/kΩ) and keeps fF·V/ps = mA consistent.
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ground is the reference node name.
+const Ground = "0"
+
+// MOSKind selects the device polarity.
+type MOSKind int
+
+const (
+	NMOS MOSKind = iota
+	PMOS
+)
+
+// MOSParams is the Sakurai–Newton alpha-power-law device model.
+type MOSParams struct {
+	Kind MOSKind
+	// W is the relative width (drive multiple).
+	W float64
+	// Vt is the threshold magnitude, volts (positive for both kinds).
+	Vt float64
+	// Alpha is the velocity-saturation exponent.
+	Alpha float64
+	// K is the saturation transconductance coefficient, mA/V^Alpha at W=1.
+	K float64
+	// Kv sets the saturation drain voltage Vd0 = Kv·Vgst^(Alpha/2).
+	Kv float64
+	// Lambda is the channel-length-modulation slope, 1/V.
+	Lambda float64
+}
+
+// resistor, capacitor, vsource and mosfet are the internal device records.
+type resistor struct {
+	a, b int
+	g    float64 // conductance, mA/V
+}
+
+type capacitor struct {
+	a, b int
+	c    float64 // fF
+	// trapezoidal companion state
+	iPrev float64 // branch current at previous accepted step, mA
+	vPrev float64 // branch voltage at previous accepted step
+}
+
+type vsource struct {
+	pos, neg int
+	wave     Waveform
+	branch   int // index of the branch-current unknown
+}
+
+type mosfet struct {
+	d, g, s int
+	p       MOSParams
+}
+
+// Circuit is a device container plus node name table. Build it once, then
+// run Transient (possibly repeatedly with different source waveforms by
+// rebuilding — circuits here are tiny).
+type Circuit struct {
+	nodes map[string]int
+	names []string
+	res   []resistor
+	caps  []capacitor
+	vs    []vsource
+	mos   []mosfet
+	gmin  float64
+}
+
+// NewCircuit returns an empty circuit containing only ground.
+func NewCircuit() *Circuit {
+	c := &Circuit{nodes: map[string]int{Ground: 0}, names: []string{Ground}, gmin: 1e-6}
+	return c
+}
+
+// Node interns a node name and returns its index (creating it if new).
+func (c *Circuit) Node(name string) int {
+	if i, ok := c.nodes[name]; ok {
+		return i
+	}
+	i := len(c.names)
+	c.nodes[name] = i
+	c.names = append(c.names, name)
+	return i
+}
+
+// NumNodes returns the node count including ground.
+func (c *Circuit) NumNodes() int { return len(c.names) }
+
+// R adds a resistor of r kΩ between nodes a and b.
+func (c *Circuit) R(a, b string, r float64) {
+	if r <= 0 {
+		panic(fmt.Sprintf("spice: non-positive resistance %v", r))
+	}
+	c.res = append(c.res, resistor{c.Node(a), c.Node(b), 1 / r})
+}
+
+// C adds a capacitor of cap fF between nodes a and b.
+func (c *Circuit) C(a, b string, cap float64) {
+	if cap < 0 {
+		panic(fmt.Sprintf("spice: negative capacitance %v", cap))
+	}
+	c.caps = append(c.caps, capacitor{a: c.Node(a), b: c.Node(b), c: cap})
+}
+
+// V adds an independent voltage source from pos to neg with the waveform.
+func (c *Circuit) V(pos, neg string, w Waveform) {
+	c.vs = append(c.vs, vsource{pos: c.Node(pos), neg: c.Node(neg), wave: w})
+}
+
+// M adds a MOSFET with drain d, gate g, source s.
+func (c *Circuit) M(d, g, s string, p MOSParams) {
+	c.mos = append(c.mos, mosfet{c.Node(d), c.Node(g), c.Node(s), p})
+}
+
+// nmosEval evaluates the alpha-power-law NMOS equations for vds ≥ 0,
+// returning drain current (mA) and partials w.r.t. vgs and vds.
+func nmosEval(p MOSParams, vgs, vds float64) (id, gm, gds float64) {
+	vgst := vgs - p.Vt
+	if vgst <= 0 {
+		return 0, 0, 0
+	}
+	isat := p.K * p.W * math.Pow(vgst, p.Alpha)
+	gmsat := p.K * p.W * p.Alpha * math.Pow(vgst, p.Alpha-1)
+	vd0 := p.Kv * math.Pow(vgst, p.Alpha/2)
+	clm := 1 + p.Lambda*vds
+	if vds >= vd0 {
+		// Saturation.
+		return isat * clm, gmsat * clm, isat * p.Lambda
+	}
+	// Linear region: id = isat·(2−u)·u·clm with u = vds/vd0.
+	u := vds / vd0
+	f := (2 - u) * u
+	id = isat * f * clm
+	// du/dvgst = −u·(α/2)/vgst; df/du = 2−2u.
+	dudvgst := -u * (p.Alpha / 2) / vgst
+	gm = clm * (gmsat*f + isat*(2-2*u)*dudvgst)
+	gds = isat*(2-2*u)/vd0*clm + isat*f*p.Lambda
+	return id, gm, gds
+}
+
+// eval returns the drain→source current and its partials w.r.t. the three
+// terminal voltages for any bias, handling source/drain swap (needed for
+// transmission gates) and PMOS mirroring.
+func (m *mosfet) eval(vd, vg, vs float64) (id, dIdVd, dIdVg, dIdVs float64) {
+	p := m.p
+	if p.Kind == PMOS {
+		// Id_P(v) = −Id_N(−v); partials equal the NMOS partials at −v.
+		id, dIdVd, dIdVg, dIdVs = evalN(p, -vd, -vg, -vs)
+		return -id, dIdVd, dIdVg, dIdVs
+	}
+	return evalN(p, vd, vg, vs)
+}
+
+// evalN handles an NMOS-polarity device at arbitrary bias.
+func evalN(p MOSParams, vd, vg, vs float64) (id, dIdVd, dIdVg, dIdVs float64) {
+	if vd >= vs {
+		i, gm, gds := nmosEval(p, vg-vs, vd-vs)
+		// ∂/∂vd = gds; ∂/∂vg = gm; ∂/∂vs = −gm − gds.
+		return i, gds, gm, -gm - gds
+	}
+	// Swap source and drain: device conducts the other way.
+	i, gm, gds := nmosEval(p, vg-vd, vs-vd)
+	// Current drain→source = −i. vgs' = vg−vd, vds' = vs−vd.
+	// ∂(−i)/∂vd = gm + gds; ∂(−i)/∂vg = −gm; ∂(−i)/∂vs = −gds.
+	return -i, gm + gds, -gm, -gds
+}

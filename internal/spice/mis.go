@@ -1,0 +1,161 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// MISConfig describes a multi-input-switching study on a NAND2 with an FO3
+// load — the setup of paper Figure 4: a ramp on IN, with IN1 either held
+// (single-input switching) or ramped in the same direction at a swept
+// arrival offset; the arc delay IN→Z is measured at each offset and the
+// extreme over offsets is the MIS delay.
+type MISConfig struct {
+	Tech Tech
+	// VDDScale scales the supply (the paper studies 1.0 and 0.8·nominal).
+	VDDScale float64
+	// InputRising selects the IN transition direction. Rising input on a
+	// NAND means a falling output through the series NMOS stack (MIS slows
+	// it); falling input means a rising output through the parallel PMOS
+	// (MIS speeds it up).
+	InputRising bool
+	// Slew is the input transition time, ps.
+	Slew float64
+	// Fanout is the number of inverter loads (3 in the paper).
+	Fanout int
+}
+
+func (m *MISConfig) fill() {
+	if m.VDDScale == 0 {
+		m.VDDScale = 1
+	}
+	if m.Slew == 0 {
+		m.Slew = 30
+	}
+	if m.Fanout == 0 {
+		m.Fanout = 3
+	}
+}
+
+// misCircuit builds the NAND2+FO3 testbench and returns the builder plus
+// node names. in1Wave drives the second input.
+func misCircuit(cfg MISConfig, inWave, in1Wave Waveform) (*Builder, float64) {
+	t := cfg.Tech
+	t.VDD *= cfg.VDDScale
+	b := NewBuilder(t)
+	b.C.V("in", Ground, inWave)
+	b.C.V("in1", Ground, in1Wave)
+	b.NAND2("in", "in1", "out", CellOpts{})
+	b.FanoutLoad("out", cfg.Fanout)
+	return b, t.VDD
+}
+
+// ArcDelay runs one transient and returns the IN(50%)→Z(50%) arc delay.
+// in1Offset is the IN1 arrival offset relative to IN; math.Inf(1) means IN1
+// is held at VDD (single-input switching).
+func (cfg MISConfig) ArcDelay(in1Offset float64) (float64, error) {
+	cfg.fill()
+	vdd := cfg.Tech.VDD * cfg.VDDScale
+	const tEdge = 150.0
+	var inW, in1W Waveform
+	if cfg.InputRising {
+		inW = Ramp(0, vdd, tEdge, cfg.Slew)
+	} else {
+		inW = Ramp(vdd, 0, tEdge, cfg.Slew)
+	}
+	if math.IsInf(in1Offset, 1) {
+		in1W = DC(vdd)
+	} else if cfg.InputRising {
+		in1W = Ramp(0, vdd, tEdge+in1Offset, cfg.Slew)
+	} else {
+		in1W = Ramp(vdd, 0, tEdge+in1Offset, cfg.Slew)
+	}
+	b, v := misCircuit(cfg, inW, in1W)
+	res, err := b.C.Transient(TranOpts{Stop: tEdge + 250, Step: 0.2})
+	if err != nil {
+		return 0, err
+	}
+	half := v / 2
+	tin := res.Cross("in", half, cfg.InputRising, tEdge-1)
+	// NAND output moves opposite to the input.
+	tout := res.Cross("out", half, !cfg.InputRising, tEdge-1)
+	if math.IsNaN(tin) || math.IsNaN(tout) {
+		return 0, fmt.Errorf("spice: MIS arc did not switch (offset %v)", in1Offset)
+	}
+	return tout - tin, nil
+}
+
+// MISResult summarizes one MIS study.
+type MISResult struct {
+	// SIS is the single-input-switching arc delay, ps.
+	SIS float64
+	// MIS is the extreme arc delay over the offset sweep: minimum for
+	// falling inputs (speed-up), maximum for rising (slow-down), ps.
+	MIS float64
+	// AtOffset is the IN1 offset (ps) where the extreme occurred.
+	AtOffset float64
+	// Ratio is MIS/SIS.
+	Ratio float64
+}
+
+// Run sweeps the IN1 arrival offset and returns the SIS and extreme-MIS arc
+// delays, following the paper's procedure ("the IN1 arrival time offset …
+// is swept to find the minimum arc delay, which is taken as the MIS delay").
+func (cfg MISConfig) Run(offsets []float64) (MISResult, error) {
+	cfg.fill()
+	sis, err := cfg.ArcDelay(math.Inf(1))
+	if err != nil {
+		return MISResult{}, err
+	}
+	if offsets == nil {
+		offsets = DefaultOffsets()
+	}
+	best := sis
+	bestOff := math.Inf(1)
+	for _, off := range offsets {
+		d, err := cfg.ArcDelay(off)
+		if err != nil {
+			// An offset can suppress the output transition entirely (the
+			// second input wins the race); skip those points like a
+			// characterization script would.
+			continue
+		}
+		if d <= 0 {
+			// The second input caused the output transition before IN
+			// reached 50% — not an IN arc at all; characterization
+			// discards these points.
+			continue
+		}
+		if cfg.InputRising {
+			// Slow-down attribution: when IN1 arrives well after IN, the
+			// output is waiting on IN1 and the measurement belongs to
+			// IN1's own arc. Only overlapping transitions count as MIS
+			// stress on the IN arc.
+			if off > 0.25*cfg.Slew {
+				continue
+			}
+			if d > best {
+				best, bestOff = d, off
+			}
+		} else {
+			// Speed-up attribution: when IN1 falls well before IN, the
+			// output rise was IN1's doing.
+			if off < -0.25*cfg.Slew {
+				continue
+			}
+			if d < best {
+				best, bestOff = d, off
+			}
+		}
+	}
+	return MISResult{SIS: sis, MIS: best, AtOffset: bestOff, Ratio: best / sis}, nil
+}
+
+// DefaultOffsets is the standard IN1 offset sweep, ps.
+func DefaultOffsets() []float64 {
+	var offs []float64
+	for o := -40.0; o <= 40.0; o += 5 {
+		offs = append(offs, o)
+	}
+	return offs
+}

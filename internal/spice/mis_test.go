@@ -1,0 +1,58 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMISFallingInputSpeedsUp(t *testing.T) {
+	// Paper Fig 4: when the input is falling (NAND output rising through
+	// the parallel PMOS), simultaneous switching of the second input cuts
+	// the arc delay — "MIS delay can be less than ~50% of SIS delay".
+	cfg := MISConfig{Tech: Tech28, InputRising: false}
+	res, err := cfg.Run([]float64{-10, -5, 0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MIS >= res.SIS {
+		t.Fatalf("falling-input MIS (%v) should be faster than SIS (%v)", res.MIS, res.SIS)
+	}
+	if res.Ratio > 0.8 {
+		t.Errorf("MIS/SIS ratio = %v, want a pronounced speed-up (< 0.8)", res.Ratio)
+	}
+}
+
+func TestMISRisingInputSlowsDown(t *testing.T) {
+	// Rising input: output falls through the series NMOS stack; a second
+	// input still transitioning starves the stack — "more than ~10%
+	// greater than SIS delay".
+	cfg := MISConfig{Tech: Tech28, InputRising: true}
+	res, err := cfg.Run([]float64{-10, -5, 0, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MIS <= res.SIS {
+		t.Fatalf("rising-input MIS (%v) should be slower than SIS (%v)", res.MIS, res.SIS)
+	}
+	if res.Ratio < 1.05 {
+		t.Errorf("MIS/SIS ratio = %v, want a visible slow-down (> 1.05)", res.Ratio)
+	}
+}
+
+func TestMISSISStableAcrossVoltage(t *testing.T) {
+	// The SIS arc delay must grow at reduced supply (80% of nominal), and
+	// the study must still run there (the paper characterizes both).
+	nom := MISConfig{Tech: Tech28, InputRising: false}
+	low := MISConfig{Tech: Tech28, InputRising: false, VDDScale: 0.8}
+	dn, err := nom.ArcDelay(math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := low.ArcDelay(math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl <= dn {
+		t.Errorf("SIS at 0.8·VDD (%v) should exceed nominal (%v)", dl, dn)
+	}
+}

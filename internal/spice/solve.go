@@ -1,0 +1,361 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// TranOpts configures a transient run.
+type TranOpts struct {
+	// Stop is the end time, ps.
+	Stop float64
+	// Step is the fixed integration step, ps (default 0.25).
+	Step float64
+	// MaxNewton bounds Newton iterations per step (default 60).
+	MaxNewton int
+	// Tol is the Newton convergence tolerance on node voltages, V
+	// (default 1e-6).
+	Tol float64
+}
+
+func (o *TranOpts) fill() {
+	if o.Step <= 0 {
+		o.Step = 0.25
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 60
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-6
+	}
+}
+
+// Result holds sampled node waveforms from a transient run.
+type Result struct {
+	Times []float64
+	// v[t][node]
+	v     [][]float64
+	nodes map[string]int
+}
+
+// At returns the voltage of a node at time t (linear interpolation).
+func (r *Result) At(node string, t float64) float64 {
+	idx, ok := r.nodes[node]
+	if !ok {
+		return 0
+	}
+	n := len(r.Times)
+	if n == 0 {
+		return 0
+	}
+	if t <= r.Times[0] {
+		return r.v[0][idx]
+	}
+	if t >= r.Times[n-1] {
+		return r.v[n-1][idx]
+	}
+	// Uniform grid: direct index.
+	h := r.Times[1] - r.Times[0]
+	i := int((t - r.Times[0]) / h)
+	if i >= n-1 {
+		i = n - 2
+	}
+	t0 := r.Times[i]
+	frac := (t - t0) / h
+	return r.v[i][idx] + (r.v[i+1][idx]-r.v[i][idx])*frac
+}
+
+// Cross returns the first time after 'after' at which the node crosses
+// level in the given direction, or NaN if it never does.
+func (r *Result) Cross(node string, level float64, rising bool, after float64) float64 {
+	idx, ok := r.nodes[node]
+	if !ok {
+		return math.NaN()
+	}
+	for i := 1; i < len(r.Times); i++ {
+		if r.Times[i] < after {
+			continue
+		}
+		v0, v1 := r.v[i-1][idx], r.v[i][idx]
+		var hit bool
+		if rising {
+			hit = v0 < level && v1 >= level
+		} else {
+			hit = v0 > level && v1 <= level
+		}
+		if hit {
+			// Interpolate crossing time.
+			t0, t1 := r.Times[i-1], r.Times[i]
+			return t0 + (t1-t0)*(level-v0)/(v1-v0)
+		}
+	}
+	return math.NaN()
+}
+
+// Slew returns the 10–90% transition time of the node's edge that crosses
+// 50% of vdd after 'after' in the given direction, or NaN.
+func (r *Result) Slew(node string, vdd float64, rising bool, after float64) float64 {
+	var t10, t90 float64
+	if rising {
+		t10 = r.Cross(node, 0.1*vdd, true, after)
+		t90 = r.Cross(node, 0.9*vdd, true, after)
+		return t90 - t10
+	}
+	t90 = r.Cross(node, 0.9*vdd, false, after)
+	t10 = r.Cross(node, 0.1*vdd, false, after)
+	return t10 - t90
+}
+
+// Final returns the node voltage at the end of the run.
+func (r *Result) Final(node string) float64 {
+	if len(r.Times) == 0 {
+		return 0
+	}
+	idx, ok := r.nodes[node]
+	if !ok {
+		return 0
+	}
+	return r.v[len(r.Times)-1][idx]
+}
+
+// Transient integrates the circuit from an all-zero initial state (a
+// power-up transient: hold inputs long enough to settle before measuring).
+// It returns the sampled waveforms of every node.
+func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
+	opts.fill()
+	nn := c.NumNodes() // includes ground
+	nv := nn - 1       // voltage unknowns
+	nb := len(c.vs)    // branch-current unknowns
+	dim := nv + nb
+	for i := range c.vs {
+		c.vs[i].branch = nv + i
+	}
+	// Reset companion state.
+	for i := range c.caps {
+		c.caps[i].iPrev = 0
+		c.caps[i].vPrev = 0
+	}
+
+	// Index helpers: node 0 is ground (eliminated).
+	// Unknown index of node n is n-1.
+	steps := int(opts.Stop/opts.Step) + 1
+	res := &Result{nodes: c.nodes, Times: make([]float64, 0, steps+1), v: make([][]float64, 0, steps+1)}
+
+	volt := make([]float64, nn) // current node voltages (with ground)
+	x := make([]float64, dim)   // solver unknowns
+	A := newMatrix(dim)
+	b := make([]float64, dim)
+
+	record := func(t float64) {
+		row := make([]float64, nn)
+		copy(row, volt)
+		res.Times = append(res.Times, t)
+		res.v = append(res.v, row)
+	}
+	record(0)
+
+	h := opts.Step
+	for t := h; t <= opts.Stop+1e-9; t += h {
+		// Newton iteration for the step ending at time t.
+		converged := false
+		for it := 0; it < opts.MaxNewton; it++ {
+			A.zero()
+			for i := range b {
+				b[i] = 0
+			}
+			c.stamp(A, b, volt, t, h)
+			if err := A.solve(b, x); err != nil {
+				return nil, fmt.Errorf("spice: t=%.3f: %w", t, err)
+			}
+			// Measure change and damp large jumps for stability.
+			maxd := 0.0
+			for n := 1; n < nn; n++ {
+				d := x[n-1] - volt[n]
+				if math.Abs(d) > maxd {
+					maxd = math.Abs(d)
+				}
+			}
+			limit := 1.0
+			if maxd > 0.5 {
+				limit = 0.5 / maxd
+			}
+			for n := 1; n < nn; n++ {
+				volt[n] += (x[n-1] - volt[n]) * limit
+			}
+			if maxd < opts.Tol {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("spice: Newton did not converge at t=%.3f ps", t)
+		}
+		// Accept step: update capacitor companion state (trapezoidal).
+		for i := range c.caps {
+			cp := &c.caps[i]
+			va := volt[cp.a]
+			vb := volt[cp.b]
+			vNew := va - vb
+			iNew := (2*cp.c/h)*(vNew-cp.vPrev) - cp.iPrev
+			cp.vPrev = vNew
+			cp.iPrev = iNew
+		}
+		record(t)
+	}
+	return res, nil
+}
+
+// stamp assembles the Newton linear system at node voltages volt, time t,
+// step h. Matrix rows 0..nv-1 are KCL at nodes 1..nv; rows nv.. are voltage
+// source branch equations.
+func (c *Circuit) stamp(A *matrix, b []float64, volt []float64, t, h float64) {
+	nv := c.NumNodes() - 1
+	addG := func(n1, n2 int, g float64) {
+		if n1 > 0 {
+			A.add(n1-1, n1-1, g)
+			if n2 > 0 {
+				A.add(n1-1, n2-1, -g)
+			}
+		}
+		if n2 > 0 {
+			A.add(n2-1, n2-1, g)
+			if n1 > 0 {
+				A.add(n2-1, n1-1, -g)
+			}
+		}
+	}
+	addI := func(n1, n2 int, i float64) {
+		// Current i flowing from n1 to n2 (out of n1).
+		if n1 > 0 {
+			b[n1-1] -= i
+		}
+		if n2 > 0 {
+			b[n2-1] += i
+		}
+	}
+
+	for _, r := range c.res {
+		addG(r.a, r.b, r.g)
+	}
+	// Trapezoidal capacitor companion: i = (2C/h)(v − vPrev) − iPrev.
+	for i := range c.caps {
+		cp := &c.caps[i]
+		g := 2 * cp.c / h
+		addG(cp.a, cp.b, g)
+		ieq := -g*cp.vPrev - cp.iPrev // part independent of new v
+		addI(cp.a, cp.b, ieq)
+	}
+	// MOSFETs: Newton companion of nonlinear drain current + gmin.
+	for i := range c.mos {
+		m := &c.mos[i]
+		vd, vg, vs := volt[m.d], volt[m.g], volt[m.s]
+		id, gd, gg, gs := m.eval(vd, vg, vs)
+		// Linearized: i(v) ≈ id + gd·Δvd + gg·Δvg + gs·Δvs. In terms of
+		// absolute new voltages: i = (id − gd·vd − gg·vg − gs·vs) + gd·vd'
+		// + ... Stamp the constant part as a current source and the
+		// coefficients into the matrix rows of d and s.
+		i0 := id - gd*vd - gg*vg - gs*vs
+		addI(m.d, m.s, i0)
+		stampRow := func(row, col int, g float64) {
+			if row > 0 && col > 0 {
+				A.add(row-1, col-1, g)
+			}
+		}
+		// KCL at drain: +i; at source: −i.
+		stampRow(m.d, m.d, gd)
+		stampRow(m.d, m.g, gg)
+		stampRow(m.d, m.s, gs)
+		stampRow(m.s, m.d, -gd)
+		stampRow(m.s, m.g, -gg)
+		stampRow(m.s, m.s, -gs)
+		addG(m.d, m.s, c.gmin)
+	}
+	// Voltage sources: branch current unknown j, rows nv+k.
+	for k := range c.vs {
+		v := &c.vs[k]
+		j := v.branch
+		if v.pos > 0 {
+			A.add(v.pos-1, j, 1)
+			A.add(j, v.pos-1, 1)
+		}
+		if v.neg > 0 {
+			A.add(v.neg-1, j, -1)
+			A.add(j, v.neg-1, -1)
+		}
+		b[j] = v.wave.At(t)
+	}
+	_ = nv
+}
+
+// matrix is a dense LU solver adequate for the tiny circuits here.
+type matrix struct {
+	n int
+	a []float64
+}
+
+func newMatrix(n int) *matrix { return &matrix{n: n, a: make([]float64, n*n)} }
+
+func (m *matrix) zero() {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+}
+
+func (m *matrix) add(r, c int, v float64) { m.a[r*m.n+c] += v }
+
+// solve performs in-place LU with partial pivoting on a copy and solves
+// A·x = b. b is not modified.
+func (m *matrix) solve(b, x []float64) error {
+	n := m.n
+	lu := make([]float64, len(m.a))
+	copy(lu, m.a)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Pivot.
+		p, best := k, math.Abs(lu[perm[k]*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[perm[i]*n+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-14 {
+			return fmt.Errorf("singular matrix at column %d", k)
+		}
+		perm[k], perm[p] = perm[p], perm[k]
+		pk := perm[k] * n
+		for i := k + 1; i < n; i++ {
+			pi := perm[i] * n
+			f := lu[pi+k] / lu[pk+k]
+			lu[pi+k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[pi+j] -= f * lu[pk+j]
+			}
+		}
+	}
+	// Forward substitution.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[perm[i]]
+		pi := perm[i] * n
+		for j := 0; j < i; j++ {
+			s -= lu[pi+j] * y[j]
+		}
+		y[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		pi := perm[i] * n
+		for j := i + 1; j < n; j++ {
+			s -= lu[pi+j] * x[j]
+		}
+		x[i] = s / lu[pi+i]
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package spice
+
+import "sort"
+
+// Waveform is a voltage as a function of time (ps → V).
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant voltage.
+type DC float64
+
+// At returns the constant value.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// PWL is a piecewise-linear waveform through (T[i], V[i]) points; constant
+// before the first and after the last point.
+type PWL struct {
+	T, V []float64
+}
+
+// At evaluates the waveform.
+func (p PWL) At(t float64) float64 {
+	n := len(p.T)
+	if n == 0 {
+		return 0
+	}
+	if t <= p.T[0] {
+		return p.V[0]
+	}
+	if t >= p.T[n-1] {
+		return p.V[n-1]
+	}
+	i := sort.SearchFloat64s(p.T, t)
+	// p.T[i-1] < t <= p.T[i]
+	t0, t1 := p.T[i-1], p.T[i]
+	v0, v1 := p.V[i-1], p.V[i]
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Ramp builds a single transition: v0 until start, then a linear ramp of
+// the given transition time to v1.
+func Ramp(v0, v1, start, trans float64) PWL {
+	return PWL{T: []float64{start, start + trans}, V: []float64{v0, v1}}
+}
+
+// Pulse builds a v0→v1→v0 pulse: rise begins at start, the output holds v1
+// for width, and edges take trans.
+func Pulse(v0, v1, start, width, trans float64) PWL {
+	return PWL{
+		T: []float64{start, start + trans, start + trans + width, start + 2*trans + width},
+		V: []float64{v0, v1, v1, v0},
+	}
+}
+
+// Clock builds nCycles of a clock with the given period, 50% duty cycle and
+// edge time, starting low with the first rise at firstRise.
+func Clock(v1, firstRise, period, trans float64, nCycles int) PWL {
+	var ts, vs []float64
+	ts = append(ts, 0)
+	vs = append(vs, 0)
+	t := firstRise
+	for i := 0; i < nCycles; i++ {
+		ts = append(ts, t, t+trans, t+period/2, t+period/2+trans)
+		vs = append(vs, 0, v1, v1, 0)
+		t += period
+	}
+	return PWL{T: ts, V: vs}
+}

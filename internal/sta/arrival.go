@@ -1,0 +1,350 @@
+package sta
+
+import (
+	"math"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+)
+
+// Run performs a full graph-based timing update: delay calculation on every
+// net, arrival/slew propagation in topological order, and backward required
+// times. It may be called again after netlist edits (full re-time).
+func (a *Analyzer) Run() error {
+	// Reset state.
+	for i := range a.verts {
+		v := &a.verts[i]
+		v.valid = [2][2]bool{}
+		v.arr = [2][2]timeVar{}
+		v.slew = [2][2]float64{}
+		v.depth = [2][2]int{}
+		v.pred = [2][2]pred{}
+		v.reqValid = [2][2]bool{}
+		v.req = [2][2]float64{}
+	}
+	a.nets = make(map[*netlist.Net]*netData, len(a.D.Nets))
+	for _, n := range a.D.Nets {
+		a.nets[n] = a.buildNetData(n)
+	}
+	a.seedSources()
+	for _, i := range a.order {
+		a.propagateFrom(i)
+	}
+	a.ran = true
+	a.propagateRequired()
+	return nil
+}
+
+// buildNetData runs delay calculation for one net.
+func (a *Analyzer) buildNetData(n *netlist.Net) *netData {
+	nd := &netData{}
+	// Receiver pin caps in load order, plus output port load.
+	for _, l := range n.Loads {
+		nd.loadCaps = append(nd.loadCaps, a.master(l.Cell).InputCap(l.Name))
+	}
+	portSink := n.Port != nil && n.Port.Dir == netlist.Output
+	var tree *parasitics.Tree
+	if a.Cfg.Parasitics != nil {
+		tree = a.Cfg.Parasitics(n)
+	}
+	nSinks := len(n.Loads)
+	if portSink {
+		nSinks++
+	}
+	millerE, millerL := 1.0, 1.0
+	if a.Cfg.SI.Enabled {
+		millerE = 1 - a.Cfg.SI.SwitchingFraction
+		millerL = 1 + a.Cfg.SI.SwitchingFraction
+	}
+	if tree == nil || a.Cfg.Wire == WireLumped || len(tree.Sinks) < nSinks {
+		// Lumped: no wire delay, zero wire slew, load = pin caps (+ wire
+		// cap if a tree exists).
+		sum := 0.0
+		for _, c := range nd.loadCaps {
+			sum += c
+		}
+		if portSink && a.Cons != nil {
+			sum += a.Cons.PortLoad
+		}
+		if tree != nil {
+			nd.coupling = tree.TotalCoupling(a.Cfg.Scaling)
+			nd.totalCap[early] = sum + tree.TotalCapM(a.Cfg.Scaling, millerE)
+			nd.totalCap[late] = sum + tree.TotalCapM(a.Cfg.Scaling, millerL)
+		} else {
+			nd.totalCap[early] = sum
+			nd.totalCap[late] = sum
+		}
+		zero := make([]float64, nSinks)
+		nd.sinkDelay[early] = zero
+		nd.sinkDelay[late] = zero
+		nd.sinkSlew = zero
+		return nd
+	}
+	caps := nd.loadCaps
+	if portSink && a.Cons != nil {
+		caps = append(append([]float64(nil), caps...), a.Cons.PortLoad)
+	}
+	wt := tree.WithSinkCaps(caps)
+	nd.tree = wt
+	nd.coupling = wt.TotalCoupling(a.Cfg.Scaling)
+	nd.totalCap[early] = wt.TotalCapM(a.Cfg.Scaling, millerE)
+	nd.totalCap[late] = wt.TotalCapM(a.Cfg.Scaling, millerL)
+	switch a.Cfg.Wire {
+	case WireD2M:
+		nd.sinkDelay[early] = wt.DelayD2M(a.Cfg.Scaling)
+		if a.Cfg.SI.Enabled {
+			// D2M under Miller extremes approximated by Elmore ratio.
+			base := wt.ElmoreM(a.Cfg.Scaling, 1)
+			eScale := wt.ElmoreM(a.Cfg.Scaling, millerE)
+			lScale := wt.ElmoreM(a.Cfg.Scaling, millerL)
+			nd.sinkDelay[late] = make([]float64, len(nd.sinkDelay[early]))
+			for i := range nd.sinkDelay[early] {
+				d := nd.sinkDelay[early][i]
+				if base[i] > 0 {
+					nd.sinkDelay[late][i] = d * lScale[i] / base[i]
+					nd.sinkDelay[early][i] = d * eScale[i] / base[i]
+				} else {
+					nd.sinkDelay[late][i] = d
+				}
+			}
+		} else {
+			nd.sinkDelay[late] = nd.sinkDelay[early]
+		}
+	default: // WireElmore
+		nd.sinkDelay[early] = wt.ElmoreM(a.Cfg.Scaling, millerE)
+		nd.sinkDelay[late] = wt.ElmoreM(a.Cfg.Scaling, millerL)
+	}
+	nd.sinkSlew = wt.SlewDegradation(a.Cfg.Scaling)
+	return nd
+}
+
+// seedSources initializes arrivals at input ports.
+func (a *Analyzer) seedSources() {
+	if a.Cons == nil {
+		return
+	}
+	slew := a.Cons.InputSlew
+	for _, p := range a.D.Ports {
+		if p.Dir != netlist.Input {
+			continue
+		}
+		if a.Cons.FalseFrom[p] {
+			continue // set_false_path -from: no arrival, no checks
+		}
+		i := a.portIdx[p]
+		v := &a.verts[i]
+		if ck := a.Cons.ClockOf(p); ck != nil {
+			// Clock root: rising edge at source latency.
+			for el := 0; el < 2; el++ {
+				v.valid[rise][el] = true
+				v.arr[rise][el] = timeVar{T: ck.SourceLatency}
+				v.slew[rise][el] = slew
+				v.pred[rise][el] = pred{v: -1}
+			}
+			continue
+		}
+		io, ok := a.Cons.InputDelay[p]
+		min, max := 0.0, 0.0
+		if ok {
+			min, max = io.Min, io.Max
+		}
+		for rf := 0; rf < 2; rf++ {
+			v.valid[rf][early] = true
+			v.arr[rf][early] = timeVar{T: min}
+			v.slew[rf][early] = slew
+			v.pred[rf][early] = pred{v: -1}
+			v.valid[rf][late] = true
+			v.arr[rf][late] = timeVar{T: max}
+			v.slew[rf][late] = slew
+			v.pred[rf][late] = pred{v: -1}
+		}
+	}
+}
+
+// merge folds a candidate arrival into vertex i. Returns true if it became
+// the new worst.
+func (a *Analyzer) merge(i, rf, el int, cand timeVar, slew float64, depth int, pr pred) bool {
+	v := &a.verts[i]
+	n := a.Cfg.Derate.NSigma()
+	better := false
+	if !v.valid[rf][el] {
+		better = true
+	} else {
+		cur := v.arr[rf][el].corner(el == late, n)
+		new := cand.corner(el == late, n)
+		if el == late && new > cur {
+			better = true
+		}
+		if el == early && new < cur {
+			better = true
+		}
+	}
+	if better {
+		v.arr[rf][el] = cand
+		v.pred[rf][el] = pr
+	}
+	// Depth is kept as the *minimum* over all merged candidates: AOCV
+	// derates are largest at low depth, so GBA must assume the shallowest
+	// reconverging path — pessimism that path-based analysis removes.
+	if !v.valid[rf][el] || depth < v.depth[rf][el] {
+		v.depth[rf][el] = depth
+	}
+	// Slew merging is independent of arrival (graph-based pessimism: worst
+	// slew at each pin regardless of which path it came from — exactly the
+	// pessimism PBA later removes).
+	if !v.valid[rf][el] {
+		v.slew[rf][el] = slew
+	} else if el == late && slew > v.slew[rf][el] {
+		v.slew[rf][el] = slew
+	} else if el == early && slew < v.slew[rf][el] {
+		v.slew[rf][el] = slew
+	}
+	v.valid[rf][el] = true
+	return better
+}
+
+// propagateFrom pushes vertex i's finalized arrivals across its outgoing
+// edges (net edges for drivers/ports, cell arcs for input pins).
+func (a *Analyzer) propagateFrom(i int) {
+	v := &a.verts[i]
+	switch {
+	case v.port != nil && v.port.Dir == netlist.Input:
+		a.pushNet(i, v.port.Net)
+	case v.pin != nil && v.pin.Dir == netlist.Output:
+		if v.pin.Net != nil {
+			a.pushNet(i, v.pin.Net)
+		}
+	case v.pin != nil && v.pin.Dir == netlist.Input:
+		a.pushArcs(i)
+	}
+}
+
+// pushNet relaxes driver→sink net edges.
+func (a *Analyzer) pushNet(i int, n *netlist.Net) {
+	v := &a.verts[i]
+	nd := a.nets[n]
+	for si, l := range n.Loads {
+		j := a.pinIdx[l]
+		a.relaxNetEdge(i, j, nd, si, v)
+	}
+	if p := n.Port; p != nil && p.Dir == netlist.Output {
+		j := a.portIdx[p]
+		a.relaxNetEdge(i, j, nd, len(n.Loads), v)
+	}
+}
+
+func (a *Analyzer) relaxNetEdge(i, j int, nd *netData, sink int, v *vertex) {
+	// Useful-skew offsets: an intentional delay element on this flip-flop's
+	// clock pin shifts both early and late clock arrivals.
+	extra := 0.0
+	if tv := &a.verts[j]; tv.isCKPin && a.Cons != nil {
+		extra = a.Cons.ExtraCKLatency[tv.pin.Cell]
+		if s := a.Cfg.CKLatencyScale; s > 0 {
+			extra *= s
+		}
+	}
+	for rf := 0; rf < 2; rf++ {
+		for el := 0; el < 2; el++ {
+			if !v.valid[rf][el] {
+				continue
+			}
+			wire := nd.sinkDelay[el][sink]
+			f := a.Cfg.Derate.Factor(NetDelay, v.clockPath, el == late, v.depth[rf][el])
+			d := wire*f + extra
+			cand := timeVar{T: v.arr[rf][el].T + d, Var: v.arr[rf][el].Var}
+			ws := nd.sinkSlew[sink]
+			slew := math.Sqrt(v.slew[rf][el]*v.slew[rf][el] + ws*ws)
+			a.merge(j, rf, el, cand, slew, v.depth[rf][el], pred{
+				v: i, rf: rf, cell: false, delay: d,
+			})
+		}
+	}
+}
+
+// pushArcs relaxes the cell arcs out of input pin vertex i.
+func (a *Analyzer) pushArcs(i int) {
+	v := &a.verts[i]
+	c := v.pin.Cell
+	m := a.master(c)
+	for k := range m.Arcs {
+		arc := &m.Arcs[k]
+		if arc.From != v.pin.Name {
+			continue
+		}
+		out := c.Pin(arc.To)
+		if out == nil || out.Net == nil {
+			continue
+		}
+		j := a.pinIdx[out]
+		nd := a.nets[out.Net]
+		for rfIn := 0; rfIn < 2; rfIn++ {
+			for _, rfOut := range outTransitions(arc.Sense, rfIn) {
+				for el := 0; el < 2; el++ {
+					if !v.valid[rfIn][el] {
+						continue
+					}
+					a.relaxArc(i, j, arc, rfIn, rfOut, el, nd)
+				}
+			}
+		}
+	}
+}
+
+// outTransitions maps an input transition through an arc's unateness.
+func outTransitions(s liberty.ArcSense, rfIn int) []int {
+	switch s {
+	case liberty.PositiveUnate:
+		return []int{rfIn}
+	case liberty.NegativeUnate:
+		return []int{1 - rfIn}
+	default:
+		return []int{rise, fall}
+	}
+}
+
+func (a *Analyzer) relaxArc(i, j int, arc *liberty.TimingArc, rfIn, rfOut, el int, nd *netData) {
+	v := &a.verts[i]
+	slewIn := v.slew[rfIn][el]
+	load := nd.totalCap[el]
+	outRise := rfOut == rise
+	d := arc.Delay(outRise, slewIn, load)
+	outSlew := arc.Slew(outRise, slewIn, load)
+	depth := v.depth[rfIn][el] + 1
+	f := a.Cfg.Derate.Factor(CellDelay, v.clockPath, el == late, depth)
+	d *= f
+	if a.Cfg.MIS {
+		if el == early && arc.MISFactorFast > 0 {
+			d *= arc.MISFactorFast
+		}
+		if el == late && arc.MISFactorSlow > 0 {
+			d *= arc.MISFactorSlow
+		}
+	}
+	d *= a.cellDerate(v.pin.Cell, el == late)
+	sigma := a.Cfg.Derate.Sigma(arc, outRise, el == late, slewIn, load, d)
+	cand := timeVar{
+		T:   v.arr[rfIn][el].T + d,
+		Var: v.arr[rfIn][el].Var + sigma*sigma,
+	}
+	a.merge(j, rfOut, el, cand, outSlew, depth, pred{
+		v: i, rf: rfIn, cell: true, arc: arc, delay: d, sigma: sigma,
+	})
+}
+
+// cellDerate evaluates the per-instance (IR-drop) derate for a cell, with
+// the late/early clamping documented on Config.CellDerate.
+func (a *Analyzer) cellDerate(c *netlist.Cell, lateSide bool) float64 {
+	if a.Cfg.CellDerate == nil || c == nil {
+		return 1
+	}
+	f := a.Cfg.CellDerate(c)
+	if lateSide {
+		if f < 1 {
+			return 1
+		}
+	} else if f > 1 {
+		return 1
+	}
+	return f
+}

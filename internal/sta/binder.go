@@ -1,0 +1,39 @@
+package sta
+
+import (
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+)
+
+// NewNetBinder returns a Parasitics callback that synthesizes and caches an
+// RC tree per net (fanout-driven topology from the NetGen model). The cache
+// keeps trees stable across repeated Run calls and across netlist edits:
+// optimization changing a driver does not re-roll its wires, while newly
+// created nets (buffer insertions) get fresh short trees.
+func NewNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *parasitics.Tree {
+	gen := parasitics.NewNetGen(stack, seed)
+	cache := map[*netlist.Net]*parasitics.Tree{}
+	return func(n *netlist.Net) *parasitics.Tree {
+		if t, ok := cache[n]; ok {
+			// Fanout may have changed (loads moved to a buffer): re-route
+			// only when the sink count no longer matches.
+			need := len(n.Loads)
+			if n.Port != nil && n.Port.Dir == netlist.Output {
+				need++
+			}
+			if len(t.Sinks) == need {
+				return t
+			}
+		}
+		need := len(n.Loads)
+		if n.Port != nil && n.Port.Dir == netlist.Output {
+			need++
+		}
+		if need == 0 {
+			return nil
+		}
+		t := gen.Net(need)
+		cache[n] = t
+		return t
+	}
+}

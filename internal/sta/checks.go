@@ -1,0 +1,497 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"newgame/internal/netlist"
+	"newgame/internal/units"
+)
+
+// CheckKind identifies the constraint a slack refers to.
+type CheckKind int
+
+const (
+	Setup CheckKind = iota
+	Hold
+)
+
+func (k CheckKind) String() string {
+	if k == Setup {
+		return "setup"
+	}
+	return "hold"
+}
+
+// EndpointSlack is a timing check result at one endpoint.
+type EndpointSlack struct {
+	Kind CheckKind
+	// Pin is the endpoint: a flip-flop D pin, or nil for a port endpoint.
+	Pin *netlist.Pin
+	// Port is the endpoint port for output checks (nil for FF endpoints).
+	Port *netlist.Port
+	// RF is the data transition at the endpoint (rise/fall index).
+	RF int
+	// Slack in ps (negative = violation).
+	Slack units.Ps
+	// Arrival is the endpoint data arrival used in the check.
+	Arrival units.Ps
+	// Required is the data required time.
+	Required units.Ps
+	// CRPR is the reconvergence pessimism credit applied.
+	CRPR units.Ps
+}
+
+// Name returns a printable endpoint name.
+func (e EndpointSlack) Name() string {
+	if e.Pin != nil {
+		return e.Pin.FullName()
+	}
+	return "port:" + e.Port.Name
+}
+
+// leadEdge returns the valid leading clock transition at a CK vertex (rise
+// preferred), or -1 if the clock never arrives.
+func (a *Analyzer) leadEdge(i int, el int) int {
+	v := &a.verts[i]
+	if v.valid[rise][el] {
+		return rise
+	}
+	if v.valid[fall][el] {
+		return fall
+	}
+	return -1
+}
+
+// EndpointSlacks computes all setup or hold endpoint slacks.
+func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
+	var out []EndpointSlack
+	if !a.ran || a.Cons == nil {
+		return out
+	}
+	n := a.Cfg.Derate.NSigma()
+	clk := a.Cons.DefaultClock()
+	for _, c := range a.D.Cells {
+		m := a.master(c)
+		if m.FF == nil {
+			continue
+		}
+		dPin := c.Pin(m.FF.Data)
+		ckPin := c.Pin(m.FF.Clock)
+		if dPin == nil || ckPin == nil || dPin.Net == nil || ckPin.Net == nil {
+			continue
+		}
+		di := a.pinIdx[dPin]
+		ci := a.pinIdx[ckPin]
+		dv := &a.verts[di]
+		for rf := 0; rf < 2; rf++ {
+			if kind == Setup {
+				if !dv.valid[rf][late] {
+					continue
+				}
+				ce := a.leadEdge(ci, early)
+				if ce < 0 || clk == nil {
+					continue
+				}
+				cv := &a.verts[ci]
+				crpr := a.crprCredit(di, rf, ci, ce)
+				dataSlew := dv.slew[rf][late]
+				ckSlew := cv.slew[ce][early]
+				var su float64
+				if rf == rise {
+					su = m.FF.SetupRise.Lookup(dataSlew, ckSlew)
+				} else {
+					su = m.FF.SetupFall.Lookup(dataSlew, ckSlew)
+				}
+				arrD := dv.arr[rf][late].corner(true, n)
+				ckArr := cv.arr[ce][early].corner(false, n)
+				cycles := 1.0
+				if a.Cons != nil {
+					if mc, ok := a.Cons.MulticycleSetup[c]; ok && mc > 1 {
+						cycles = float64(mc)
+					}
+				}
+				req := cycles*clk.Period + ckArr - su - clk.SetupUncertainty + crpr
+				out = append(out, EndpointSlack{
+					Kind: Setup, Pin: dPin, RF: rf,
+					Slack: req - arrD, Arrival: arrD, Required: req, CRPR: crpr,
+				})
+			} else {
+				if !dv.valid[rf][early] {
+					continue
+				}
+				cl := a.leadEdge(ci, late)
+				if cl < 0 {
+					continue
+				}
+				cv := &a.verts[ci]
+				crpr := a.crprCreditHold(di, rf, ci, cl)
+				dataSlew := dv.slew[rf][early]
+				ckSlew := cv.slew[cl][late]
+				var h float64
+				if rf == rise {
+					h = m.FF.HoldRise.Lookup(dataSlew, ckSlew)
+				} else {
+					h = m.FF.HoldFall.Lookup(dataSlew, ckSlew)
+				}
+				arrD := dv.arr[rf][early].corner(false, n)
+				ckArr := cv.arr[cl][late].corner(true, n)
+				holdUnc := 0.0
+				if clk != nil {
+					holdUnc = clk.HoldUncertainty
+				}
+				req := ckArr + h + holdUnc - crpr
+				out = append(out, EndpointSlack{
+					Kind: Hold, Pin: dPin, RF: rf,
+					Slack: arrD - req, Arrival: arrD, Required: req, CRPR: crpr,
+				})
+			}
+		}
+	}
+	// Clock-gating enable checks: the EN pin of every ICG must be stable
+	// around the clock edge, exactly like a flip-flop's data (paper §1.2:
+	// clock gating adds closure burden).
+	for _, c := range a.D.Cells {
+		m := a.master(c)
+		if m.Gate == nil {
+			continue
+		}
+		enPin := c.Pin(m.Gate.Enable)
+		ckPin := c.Pin(m.Gate.Clock)
+		if enPin == nil || ckPin == nil || enPin.Net == nil || ckPin.Net == nil {
+			continue
+		}
+		ei := a.pinIdx[enPin]
+		ci := a.pinIdx[ckPin]
+		evx := &a.verts[ei]
+		for rf := 0; rf < 2; rf++ {
+			if kind == Setup {
+				if !evx.valid[rf][late] || clk == nil {
+					continue
+				}
+				ce := a.leadEdge(ci, early)
+				if ce < 0 {
+					continue
+				}
+				cv := &a.verts[ci]
+				crpr := a.crprCredit(ei, rf, ci, ce)
+				su := m.Gate.SetupRise.Lookup(evx.slew[rf][late], cv.slew[ce][early])
+				arrE := evx.arr[rf][late].corner(true, n)
+				ckArr := cv.arr[ce][early].corner(false, n)
+				req := clk.Period + ckArr - su - clk.SetupUncertainty + crpr
+				out = append(out, EndpointSlack{
+					Kind: Setup, Pin: enPin, RF: rf,
+					Slack: req - arrE, Arrival: arrE, Required: req, CRPR: crpr,
+				})
+			} else {
+				if !evx.valid[rf][early] {
+					continue
+				}
+				cl := a.leadEdge(ci, late)
+				if cl < 0 {
+					continue
+				}
+				cv := &a.verts[ci]
+				crpr := a.crprCreditHold(ei, rf, ci, cl)
+				h := m.Gate.HoldRise.Lookup(evx.slew[rf][early], cv.slew[cl][late])
+				arrE := evx.arr[rf][early].corner(false, n)
+				ckArr := cv.arr[cl][late].corner(true, n)
+				holdUnc := 0.0
+				if clk != nil {
+					holdUnc = clk.HoldUncertainty
+				}
+				req := ckArr + h + holdUnc - crpr
+				out = append(out, EndpointSlack{
+					Kind: Hold, Pin: enPin, RF: rf,
+					Slack: arrE - req, Arrival: arrE, Required: req, CRPR: crpr,
+				})
+			}
+		}
+	}
+	// Output ports with constraints.
+	for _, p := range a.D.Ports {
+		if p.Dir != netlist.Output {
+			continue
+		}
+		io, ok := a.Cons.OutputDelay[p]
+		if !ok || io.Clock == nil {
+			continue
+		}
+		i := a.portIdx[p]
+		v := &a.verts[i]
+		for rf := 0; rf < 2; rf++ {
+			if kind == Setup && v.valid[rf][late] {
+				arr := v.arr[rf][late].corner(true, n)
+				req := io.Clock.Period - io.Max - io.Clock.SetupUncertainty
+				out = append(out, EndpointSlack{
+					Kind: Setup, Port: p, RF: rf,
+					Slack: req - arr, Arrival: arr, Required: req,
+				})
+			}
+			if kind == Hold && v.valid[rf][early] {
+				arr := v.arr[rf][early].corner(false, n)
+				req := io.Min
+				out = append(out, EndpointSlack{
+					Kind: Hold, Port: p, RF: rf,
+					Slack: arr - req, Arrival: arr, Required: req,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slack < out[j].Slack })
+	return out
+}
+
+// backtraceChain returns the worst-path vertex chain ending at (i, rf, el),
+// root-first.
+func (a *Analyzer) backtraceChain(i, rf, el int) []int {
+	var rev []int
+	for i >= 0 {
+		rev = append(rev, i)
+		p := a.verts[i].pred[rf][el]
+		if !a.verts[i].valid[rf][el] {
+			break
+		}
+		i, rf = p.v, p.rf
+	}
+	// Reverse to root-first.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// crprCredit computes the clock-reconvergence pessimism credit for a setup
+// check: the late−early arrival difference at the deepest clock-network
+// vertex shared by the launch path (inside the data backtrace from the D
+// pin, late) and the capture clock path (backtrace from the capture CK pin,
+// early).
+func (a *Analyzer) crprCredit(di, rf, ci, ce int) units.Ps {
+	return a.crpr(a.backtraceChain(di, rf, late), a.backtraceChain(ci, ce, early))
+}
+
+// crprCreditHold is the hold-check analogue (data early vs clock late).
+func (a *Analyzer) crprCreditHold(di, rf, ci, cl int) units.Ps {
+	return a.crpr(a.backtraceChain(di, rf, early), a.backtraceChain(ci, cl, late))
+}
+
+func (a *Analyzer) crpr(launch, capture []int) units.Ps {
+	// Find the deepest common prefix vertex that is on the clock network.
+	nc := len(capture)
+	if len(launch) < nc {
+		nc = len(launch)
+	}
+	common := -1
+	for k := 0; k < nc; k++ {
+		if launch[k] != capture[k] {
+			break
+		}
+		if a.verts[launch[k]].clockPath {
+			common = launch[k]
+		}
+	}
+	if common < 0 {
+		return 0
+	}
+	v := &a.verts[common]
+	le := a.leadEdge(common, late)
+	ee := a.leadEdge(common, early)
+	if le < 0 || ee < 0 {
+		return 0
+	}
+	credit := v.arr[le][late].T - v.arr[ee][early].T
+	if credit < 0 {
+		return 0
+	}
+	return credit
+}
+
+// WNS returns the worst negative slack for a check (0 if all positive, or
+// +Inf if there are no endpoints).
+func (a *Analyzer) WNS(kind CheckKind) units.Ps {
+	s := a.EndpointSlacks(kind)
+	if len(s) == 0 {
+		return math.Inf(1)
+	}
+	w := s[0].Slack
+	if w > 0 {
+		return 0
+	}
+	return w
+}
+
+// WorstSlack returns the single worst endpoint slack (or +Inf when there
+// are no endpoints), without clamping at zero.
+func (a *Analyzer) WorstSlack(kind CheckKind) units.Ps {
+	s := a.EndpointSlacks(kind)
+	if len(s) == 0 {
+		return math.Inf(1)
+	}
+	return s[0].Slack
+}
+
+// TNS returns the total negative slack (sum over violating endpoints,
+// counting each endpoint's worst transition once).
+func (a *Analyzer) TNS(kind CheckKind) units.Ps {
+	worst := map[string]float64{}
+	for _, e := range a.EndpointSlacks(kind) {
+		k := e.Name()
+		if cur, ok := worst[k]; !ok || e.Slack < cur {
+			worst[k] = e.Slack
+		}
+	}
+	t := 0.0
+	for _, s := range worst {
+		if s < 0 {
+			t += s
+		}
+	}
+	return t
+}
+
+// DRCViolation is a max-transition or max-capacitance breach.
+type DRCViolation struct {
+	Kind string // "max_tran" or "max_cap"
+	Pin  *netlist.Pin
+	// Value and Limit in the check's unit (ps or fF).
+	Value, Limit float64
+}
+
+// DRCViolations reports max-transition (at cell inputs) and max-cap (at
+// driver outputs) violations — the "several hundred manual noise and DRC
+// fixes" of the paper's introduction are this list plus noise.
+func (a *Analyzer) DRCViolations() []DRCViolation {
+	var out []DRCViolation
+	if !a.ran {
+		return out
+	}
+	for _, c := range a.D.Cells {
+		m := a.master(c)
+		for _, p := range c.Pins {
+			i := a.pinIdx[p]
+			v := &a.verts[i]
+			if p.Dir == netlist.Input {
+				sl := math.Max(v.slew[rise][late], v.slew[fall][late])
+				if m.MaxTran > 0 && sl > m.MaxTran && (v.valid[rise][late] || v.valid[fall][late]) {
+					out = append(out, DRCViolation{Kind: "max_tran", Pin: p, Value: sl, Limit: m.MaxTran})
+				}
+			} else if p.Net != nil {
+				spec := m.Pin(p.Name)
+				if spec == nil || spec.MaxCap <= 0 {
+					continue
+				}
+				load := a.nets[p.Net].totalCap[late]
+				if load > spec.MaxCap {
+					out = append(out, DRCViolation{Kind: "max_cap", Pin: p, Value: load, Limit: spec.MaxCap})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri := out[i].Value / out[i].Limit
+		rj := out[j].Value / out[j].Limit
+		return ri > rj
+	})
+	return out
+}
+
+// PinArrival returns the (mean) arrival at a pin for the given transition
+// and side, and whether it is valid.
+func (a *Analyzer) PinArrival(p *netlist.Pin, rf, el int) (units.Ps, bool) {
+	i, ok := a.pinIdx[p]
+	if !ok {
+		return 0, false
+	}
+	v := &a.verts[i]
+	return v.arr[rf][el].T, v.valid[rf][el]
+}
+
+// PinSlew returns the pin slew for the transition/side.
+func (a *Analyzer) PinSlew(p *netlist.Pin, rf, el int) (units.Ps, bool) {
+	i, ok := a.pinIdx[p]
+	if !ok {
+		return 0, false
+	}
+	v := &a.verts[i]
+	return v.slew[rf][el], v.valid[rf][el]
+}
+
+// PinSetupSlack returns the worst setup (late) slack at a pin from the
+// required-time propagation, or +Inf if unconstrained.
+func (a *Analyzer) PinSetupSlack(p *netlist.Pin) units.Ps {
+	i, ok := a.pinIdx[p]
+	if !ok {
+		return math.Inf(1)
+	}
+	return a.vertexSetupSlack(i)
+}
+
+func (a *Analyzer) vertexSetupSlack(i int) units.Ps {
+	v := &a.verts[i]
+	s := math.Inf(1)
+	for rf := 0; rf < 2; rf++ {
+		if v.valid[rf][late] && v.reqValid[rf][late] {
+			if sl := v.req[rf][late] - v.arr[rf][late].T; sl < s {
+				s = sl
+			}
+		}
+	}
+	return s
+}
+
+// CellSetupSlack returns the worst setup slack across a cell's pins.
+func (a *Analyzer) CellSetupSlack(c *netlist.Cell) units.Ps {
+	s := math.Inf(1)
+	for _, p := range c.Pins {
+		if sl := a.PinSetupSlack(p); sl < s {
+			s = sl
+		}
+	}
+	return s
+}
+
+// NetLoad returns the late total load (fF) on a net.
+func (a *Analyzer) NetLoad(n *netlist.Net) units.FF {
+	if nd, ok := a.nets[n]; ok {
+		return nd.totalCap[late]
+	}
+	return 0
+}
+
+// String summarizes analysis results.
+func (a *Analyzer) String() string {
+	return fmt.Sprintf("sta{cells=%d setupWNS=%.1f holdWNS=%.1f}",
+		len(a.D.Cells), a.WNS(Setup), a.WNS(Hold))
+}
+
+// PortArrival returns the (mean) arrival at a design port.
+func (a *Analyzer) PortArrival(p *netlist.Port, rf, el int) (units.Ps, bool) {
+	i, ok := a.portIdx[p]
+	if !ok {
+		return 0, false
+	}
+	v := &a.verts[i]
+	return v.arr[rf][el].T, v.valid[rf][el]
+}
+
+// PortSlew returns a design port's slew.
+func (a *Analyzer) PortSlew(p *netlist.Port, rf, el int) (units.Ps, bool) {
+	i, ok := a.portIdx[p]
+	if !ok {
+		return 0, false
+	}
+	v := &a.verts[i]
+	return v.slew[rf][el], v.valid[rf][el]
+}
+
+// PortSetupSlack returns the worst setup slack of all paths launched from an
+// input port (from the required-time propagation), or +Inf when the port
+// reaches no constrained endpoint.
+func (a *Analyzer) PortSetupSlack(p *netlist.Port) units.Ps {
+	i, ok := a.portIdx[p]
+	if !ok {
+		return math.Inf(1)
+	}
+	return a.vertexSetupSlack(i)
+}

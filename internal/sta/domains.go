@@ -1,0 +1,63 @@
+package sta
+
+import (
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// DomainCrossing is a net that leaves one voltage domain for another
+// without a level shifter at the boundary — the structural check behind
+// paper §1.2's multi-voltage-domain closure burden (an unshifted crossing
+// is a functional hazard: the receiver may never see a full swing).
+type DomainCrossing struct {
+	Net  *netlist.Net
+	Load *netlist.Pin
+	// FromLib/ToLib name the two domains' libraries.
+	FromLib, ToLib string
+}
+
+// libOf resolves a cell's domain library.
+func (a *Analyzer) libOf(c *netlist.Cell) *liberty.Library {
+	if a.Cfg.LibFor != nil {
+		if l := a.Cfg.LibFor(c); l != nil {
+			return l
+		}
+	}
+	return a.Cfg.Lib
+}
+
+// DomainCrossings scans every net for unshifted voltage-domain crossings.
+// A crossing is legal when the receiving cell is a level shifter (function
+// "LS") bound to the destination domain; everything else downstream of a
+// foreign driver is flagged. With no per-cell binding configured the design
+// is single-domain and the report is empty.
+func (a *Analyzer) DomainCrossings() []DomainCrossing {
+	if a.Cfg.LibFor == nil {
+		return nil
+	}
+	var out []DomainCrossing
+	for _, n := range a.D.Nets {
+		if n.Driver == nil {
+			continue
+		}
+		from := a.libOf(n.Driver.Cell)
+		for _, l := range n.Loads {
+			to := a.libOf(l.Cell)
+			if to == from {
+				continue
+			}
+			if m := a.master(l.Cell); m != nil && m.Function == "LS" {
+				continue // shifted at the boundary, in the destination domain
+			}
+			out = append(out, DomainCrossing{
+				Net: n, Load: l, FromLib: from.Name, ToLib: to.Name,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Load.FullName() < out[j].Load.FullName()
+	})
+	return out
+}

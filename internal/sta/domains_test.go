@@ -1,0 +1,205 @@
+package sta
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// twoDomainChain builds FF(hi) → INV×3 (hi) → [crossing] → INV×3 (lo) →
+// FF(lo): a registered path spanning a high- and a low-voltage island.
+// withLS inserts a level shifter at the boundary.
+func twoDomainChain(t *testing.T, lib *liberty.Library, withLS bool) (*netlist.Design, map[string]bool) {
+	t.Helper()
+	d := netlist.New("domains")
+	clk, _ := d.AddPort("clk", netlist.Input)
+	din, _ := d.AddPort("din", netlist.Input)
+	dout, _ := d.AddPort("dout", netlist.Output)
+	conn := func(c *netlist.Cell, pin string, n *netlist.Net) {
+		if err := d.Connect(c, pin, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk := func(name, master string) *netlist.Cell {
+		c, err := circuits.AddCell(d, lib, name, master)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	lowCells := map[string]bool{}
+	ffHi := mk("hi_ff", "DFF_X1_SVT")
+	ffLo := mk("lo_ff", "DFF_X1_SVT")
+	lowCells["lo_ff"] = true
+	conn(ffHi, "CK", clk.Net)
+	conn(ffLo, "CK", clk.Net)
+	conn(ffHi, "D", din.Net)
+	prev, _ := d.AddNet("q")
+	conn(ffHi, "Q", prev)
+	for i := 0; i < 3; i++ {
+		g := mk(d.FreshName("hi_inv"), "INV_X1_SVT")
+		conn(g, "A", prev)
+		n, _ := d.AddNet(d.FreshName("hn"))
+		conn(g, "Z", n)
+		prev = n
+	}
+	if withLS {
+		ls := mk("lo_ls", "LS_X2_SVT")
+		lowCells["lo_ls"] = true
+		conn(ls, "A", prev)
+		n, _ := d.AddNet("lsout")
+		conn(ls, "Z", n)
+		prev = n
+	}
+	for i := 0; i < 3; i++ {
+		name := d.FreshName("lo_inv")
+		lowCells[name] = true
+		g := mk(name, "INV_X1_SVT")
+		conn(g, "A", prev)
+		n, _ := d.AddNet(d.FreshName("ln"))
+		conn(g, "Z", n)
+		prev = n
+	}
+	conn(ffLo, "D", prev)
+	conn(ffLo, "Q", dout.Net)
+	return d, lowCells
+}
+
+func domainCfg(t *testing.T, lowCells map[string]bool) (Config, *liberty.Library, *liberty.Library) {
+	t.Helper()
+	hi := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.85, Temp: 85}, liberty.GenOptions{})
+	hi.Name = "vdd_high"
+	lo := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.60, Temp: 85}, liberty.GenOptions{})
+	lo.Name = "vdd_low"
+	cfg := Config{
+		Lib: hi,
+		LibFor: func(c *netlist.Cell) *liberty.Library {
+			if lowCells[c.Name] || strings.HasPrefix(c.Name, "lo_") {
+				return lo
+			}
+			return hi
+		},
+	}
+	return cfg, hi, lo
+}
+
+func TestMultiVoltageDomainTiming(t *testing.T) {
+	lib := testLib()
+	d, lowCells := twoDomainChain(t, lib, true)
+	cfg, hi, _ := domainCfg(t, lowCells)
+	cons := NewConstraints()
+	cons.AddClock("clk", 800, d.Port("clk"))
+	a, err := New(d, cons, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Compare per-stage delays: a low-domain inverter must be slower than
+	// a high-domain one on the same path.
+	p := a.WorstPaths(Setup, 3)
+	var hiDelay, loDelay float64
+	for _, path := range p {
+		for _, st := range path.Steps {
+			if !st.IsCell || st.Cell == nil {
+				continue
+			}
+			switch {
+			case strings.HasPrefix(st.Cell.Name, "hi_inv"):
+				hiDelay = math.Max(hiDelay, st.Delay)
+			case strings.HasPrefix(st.Cell.Name, "lo_inv"):
+				loDelay = math.Max(loDelay, st.Delay)
+			}
+		}
+	}
+	if hiDelay == 0 || loDelay == 0 {
+		t.Fatalf("path does not cross both domains: hi %v lo %v", hiDelay, loDelay)
+	}
+	// The RC part of the stage delay scales ~1.6x between 0.85V and 0.60V;
+	// the voltage-independent input-ramp term dilutes the composite ratio
+	// on these lightly loaded stages.
+	if loDelay <= 1.15*hiDelay {
+		t.Errorf("0.60V inverter (%v ps) should be clearly slower than 0.85V (%v ps)", loDelay, hiDelay)
+	}
+	// Uniform single-domain analysis of the same netlist must be faster
+	// than the mixed binding (the low island dominates).
+	aUni, err := New(d, cons, Config{Lib: hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aUni.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aUni.WorstSlack(Setup) <= a.WorstSlack(Setup) {
+		t.Errorf("all-high analysis (%v) should have more slack than mixed (%v)",
+			aUni.WorstSlack(Setup), a.WorstSlack(Setup))
+	}
+}
+
+func TestDomainCrossingCheck(t *testing.T) {
+	lib := testLib()
+	// Without a level shifter: the hi→lo boundary is flagged.
+	dBad, lowBad := twoDomainChain(t, lib, false)
+	cfgBad, _, _ := domainCfg(t, lowBad)
+	cons := NewConstraints()
+	cons.AddClock("clk", 800, dBad.Port("clk"))
+	aBad, err := New(dBad, cons, cfgBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aBad.Run(); err != nil {
+		t.Fatal(err)
+	}
+	crossings := aBad.DomainCrossings()
+	// The data boundary plus the shared clock feeding the low FF.
+	if len(crossings) == 0 {
+		t.Fatal("unshifted crossing not flagged")
+	}
+	dataFlagged := false
+	for _, c := range crossings {
+		if strings.HasPrefix(c.Load.Cell.Name, "lo_inv") {
+			dataFlagged = true
+			if c.FromLib == c.ToLib {
+				t.Error("crossing with identical domains")
+			}
+		}
+	}
+	if !dataFlagged {
+		t.Error("data-path crossing missing from report")
+	}
+	// With the shifter, the data boundary is clean.
+	dOK, lowOK := twoDomainChain(t, lib, true)
+	cfgOK, _, _ := domainCfg(t, lowOK)
+	cons2 := NewConstraints()
+	cons2.AddClock("clk", 800, dOK.Port("clk"))
+	aOK, err := New(dOK, cons2, cfgOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aOK.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range aOK.DomainCrossings() {
+		if strings.HasPrefix(c.Load.Cell.Name, "lo_inv") || c.Load.Cell.Name == "lo_ls" {
+			t.Errorf("shifted data boundary still flagged at %s", c.Load.FullName())
+		}
+	}
+	// Single-domain configs report nothing.
+	aUni, err := New(dOK, cons2, Config{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aUni.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := aUni.DomainCrossings(); got != nil {
+		t.Errorf("single-domain design reported %d crossings", len(got))
+	}
+}

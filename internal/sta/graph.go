@@ -1,0 +1,314 @@
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+)
+
+// WireModel selects the interconnect delay metric.
+type WireModel int
+
+const (
+	// WireElmore uses the Elmore first moment (upper-bound-ish).
+	WireElmore WireModel = iota
+	// WireD2M uses the two-moment D2M metric.
+	WireD2M
+	// WireLumped ignores wire resistance: delay 0, load = total cap. The
+	// "lumped-C" ancestor in the paper's model-history list.
+	WireLumped
+)
+
+// SIConfig controls crosstalk delta-delay analysis.
+type SIConfig struct {
+	Enabled bool
+	// SwitchingFraction is the assumed fraction of coupling capacitance
+	// with adversely switching aggressors (0..1): late delays see a Miller
+	// factor 1+f, early delays 1−f. A virtual-aggressor aggregate model.
+	SwitchingFraction float64
+	// NoiseThreshold is the failure threshold for glitch bumps as a
+	// fraction of VDD.
+	NoiseThreshold float64
+}
+
+// DefaultSI is a moderate SI recipe.
+func DefaultSI() SIConfig {
+	return SIConfig{Enabled: true, SwitchingFraction: 0.35, NoiseThreshold: 0.35}
+}
+
+// Config assembles one analysis view: library (PVT), parasitics source,
+// BEOL corner scaling, wire model, variation model, SI and MIS switches.
+type Config struct {
+	Lib *liberty.Library
+	// Parasitics returns the RC tree for a net (pin caps excluded), or nil
+	// to treat the net as lumped pin capacitance only.
+	Parasitics func(*netlist.Net) *parasitics.Tree
+	// Scaling is the BEOL corner applied to all trees (nil = typical).
+	Scaling *parasitics.Scaling
+	Wire    WireModel
+	Derate  Derater
+	SI      SIConfig
+	// MIS enables multi-input-switching derates on multi-input cell arcs:
+	// early delays shrink by the arc's fast factor, late delays stretch by
+	// the slow factor (paper §2.1; Lutkemeyer-style margin).
+	MIS bool
+	// CKLatencyScale scales Constraints.ExtraCKLatency for this view
+	// (0 means 1). Useful-skew offsets are implemented with buffer chains,
+	// whose delay tracks the corner: a 40 ps offset scheduled at the slow
+	// setup corner is only ~15 ps of real silicon at the fast hold corner.
+	CKLatencyScale float64
+	// LibFor, when non-nil, selects the characterization library per cell
+	// instance — the multi-voltage-domain binding of paper §1.2. Cells it
+	// returns nil for fall back to Lib. All libraries must share master
+	// naming; Lib remains the reference for noise/aggressor device data.
+	LibFor func(*netlist.Cell) *liberty.Library
+	// CellDerate, when non-nil, multiplies every delay arc of a cell by a
+	// per-instance factor — the hook dynamic IR-drop analysis uses to feed
+	// supply-droop-induced slowdown into timing (the "-dynamic" signoff
+	// option of paper §4 Comment 1). Factors < 1 are clamped to 1 on late
+	// analysis and factors > 1 to 1 on early (droop only ever slows late
+	// paths and cannot be credited to early ones).
+	CellDerate func(*netlist.Cell) float64
+}
+
+const (
+	rise  = 0
+	fall  = 1
+	early = 0
+	late  = 1
+)
+
+// timeVar is an arrival value with accumulated variance (POCV/LVF).
+type timeVar struct {
+	T   float64
+	Var float64
+}
+
+// corner returns the sigma-adjusted value used for comparisons and slacks.
+func (tv timeVar) corner(lateSide bool, n float64) float64 {
+	if n == 0 || tv.Var == 0 {
+		return tv.T
+	}
+	s := n * math.Sqrt(tv.Var)
+	if lateSide {
+		return tv.T + s
+	}
+	return tv.T - s
+}
+
+// pred records how a vertex's worst arrival was produced, for backtrace.
+type pred struct {
+	v     int // source vertex (-1 = none)
+	rf    int // source transition
+	cell  bool
+	arc   *liberty.TimingArc
+	delay float64 // derated mean delay of the edge
+	sigma float64
+}
+
+// vertex is one timing node: a cell pin or a design port.
+type vertex struct {
+	pin  *netlist.Pin
+	port *netlist.Port
+
+	clockPath bool
+	isCKPin   bool
+
+	valid [2][2]bool // [rf][el]
+	arr   [2][2]timeVar
+	slew  [2][2]float64
+	depth [2][2]int
+	pred  [2][2]pred
+
+	reqValid [2][2]bool
+	req      [2][2]float64
+}
+
+func (v *vertex) name() string {
+	if v.port != nil {
+		return "port:" + v.port.Name
+	}
+	return v.pin.FullName()
+}
+
+// netData caches per-net delay-calculation results for one Run.
+type netData struct {
+	tree     *parasitics.Tree // with pin caps, or nil (no parasitics)
+	loadCaps []float64
+	totalCap [2]float64 // [early|late] (differ when SI enabled)
+	// per sink (net load order): wire delay and slew degradation
+	sinkDelay [2][]float64
+	sinkSlew  []float64
+	coupling  float64
+}
+
+// Analyzer binds a design + constraints + config and runs timing.
+type Analyzer struct {
+	D    *netlist.Design
+	Cons *Constraints
+	Cfg  Config
+
+	verts   []vertex
+	pinIdx  map[*netlist.Pin]int
+	portIdx map[*netlist.Port]int
+	order   []int // topological order
+	nets    map[*netlist.Net]*netData
+
+	ran bool
+}
+
+// New builds the analysis graph. It fails on unknown cell masters or
+// structural problems (combinational cycles, undriven logic).
+func New(d *netlist.Design, cons *Constraints, cfg Config) (*Analyzer, error) {
+	if cfg.Derate == nil {
+		cfg.Derate = NoDerate{}
+	}
+	if cfg.Lib == nil {
+		return nil, fmt.Errorf("sta: no library")
+	}
+	a := &Analyzer{
+		D: d, Cons: cons, Cfg: cfg,
+		pinIdx:  make(map[*netlist.Pin]int),
+		portIdx: make(map[*netlist.Port]int),
+		nets:    make(map[*netlist.Net]*netData),
+	}
+	// Vertices: every cell pin, every port.
+	for _, c := range d.Cells {
+		master := a.master(c)
+		if master == nil {
+			return nil, fmt.Errorf("sta: cell %q has unknown master %q", c.Name, c.TypeName)
+		}
+		for _, p := range c.Pins {
+			a.pinIdx[p] = len(a.verts)
+			vx := vertex{pin: p}
+			// Only *sequential* clock pins terminate clock-network marking
+			// and receive useful-skew offsets; a clock-gating cell's CK pin
+			// is a through-point (the gated clock continues to the FFs).
+			if mp := master.Pin(p.Name); mp != nil && mp.IsClock && master.FF != nil {
+				vx.isCKPin = true
+			}
+			a.verts = append(a.verts, vx)
+		}
+	}
+	for _, p := range d.Ports {
+		a.portIdx[p] = len(a.verts)
+		a.verts = append(a.verts, vertex{port: p})
+	}
+	if err := a.levelize(); err != nil {
+		return nil, err
+	}
+	a.markClockPaths()
+	return a, nil
+}
+
+// master returns the library master of a cell (known valid after New),
+// honoring per-cell (voltage-domain) library bindings.
+func (a *Analyzer) master(c *netlist.Cell) *liberty.Cell {
+	if a.Cfg.LibFor != nil {
+		if l := a.Cfg.LibFor(c); l != nil {
+			if m := l.Cell(c.TypeName); m != nil {
+				return m
+			}
+		}
+	}
+	return a.Cfg.Lib.Cell(c.TypeName)
+}
+
+// successors invokes fn for every timing edge out of vertex i.
+func (a *Analyzer) successors(i int, fn func(j int)) {
+	v := &a.verts[i]
+	switch {
+	case v.port != nil && v.port.Dir == netlist.Input:
+		for _, l := range v.port.Net.Loads {
+			fn(a.pinIdx[l])
+		}
+	case v.pin != nil && v.pin.Dir == netlist.Output:
+		if v.pin.Net == nil {
+			return
+		}
+		for _, l := range v.pin.Net.Loads {
+			fn(a.pinIdx[l])
+		}
+		if p := v.pin.Net.Port; p != nil && p.Dir == netlist.Output {
+			fn(a.portIdx[p])
+		}
+	case v.pin != nil && v.pin.Dir == netlist.Input:
+		m := a.master(v.pin.Cell)
+		for k := range m.Arcs {
+			if m.Arcs[k].From == v.pin.Name {
+				if out := v.pin.Cell.Pin(m.Arcs[k].To); out != nil {
+					fn(a.pinIdx[out])
+				}
+			}
+		}
+	}
+}
+
+// levelize computes a topological order via Kahn's algorithm; a leftover
+// vertex means a combinational cycle.
+func (a *Analyzer) levelize() error {
+	n := len(a.verts)
+	indeg := make([]int, n)
+	for i := range a.verts {
+		a.successors(i, func(j int) { indeg[j]++ })
+	}
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	a.order = a.order[:0]
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		a.order = append(a.order, i)
+		a.successors(i, func(j int) {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		})
+	}
+	if len(a.order) != n {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("sta: combinational cycle through %s", a.verts[i].name())
+			}
+		}
+	}
+	return nil
+}
+
+// markClockPaths flags vertices reachable from clock roots without passing
+// through a flip-flop's CK pin (the clock network proper plus the CK pins
+// themselves).
+func (a *Analyzer) markClockPaths() {
+	if a.Cons == nil {
+		return
+	}
+	var stack []int
+	for _, ck := range a.Cons.Clocks {
+		for _, r := range ck.Roots {
+			if i, ok := a.portIdx[r]; ok {
+				stack = append(stack, i)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := &a.verts[i]
+		if v.clockPath {
+			continue
+		}
+		v.clockPath = true
+		if v.isCKPin {
+			continue // stop at sequential clock pins; Q launch is data
+		}
+		a.successors(i, func(j int) { stack = append(stack, j) })
+	}
+}

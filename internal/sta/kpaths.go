@@ -1,0 +1,219 @@
+package sta
+
+import (
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/units"
+)
+
+// PathsWithin enumerates the distinct late paths into an endpoint whose
+// arrival is within `window` ps of the endpoint's worst arrival — the
+// report_timing -slack_lesser_than view a closure engineer works from (the
+// worst path alone under-reports how much logic needs fixing). Paths are
+// returned worst-first, at most maxPaths of them. Only setup (late)
+// endpoints are supported; arrivals are mean-based under statistical
+// deraters.
+func (a *Analyzer) PathsWithin(e EndpointSlack, window units.Ps, maxPaths int) []Path {
+	if e.Kind != Setup || maxPaths <= 0 {
+		return nil
+	}
+	var endV int
+	if e.Pin != nil {
+		endV = a.pinIdx[e.Pin]
+	} else {
+		endV = a.portIdx[e.Port]
+	}
+	ev := &a.verts[endV]
+	if !ev.valid[e.RF][late] {
+		return nil
+	}
+	worst := ev.arr[e.RF][late].T
+	floor := worst - window
+
+	// Backward DFS enumerating suffix arrivals: a partial path from the
+	// endpoint back to vertex (v, rf) has accumulated delay `suffix`; its
+	// best possible total arrival is arr(v) + suffix, prunable against
+	// floor. Each in-edge candidate is explored in decreasing contribution
+	// order so results lean worst-first (exact global order is restored by
+	// the final sort).
+	type frame struct {
+		v, rf  int
+		suffix float64
+	}
+	var out []Path
+	var steps []PathStep // endpoint-last, built root-ward then reversed
+
+	var dfs func(fr frame)
+	dfs = func(fr frame) {
+		if len(out) >= maxPaths {
+			return
+		}
+		v := &a.verts[fr.v]
+		pr := v.pred[fr.rf][late]
+		if pr.v < 0 || !v.valid[fr.rf][late] {
+			// Reached a source: emit the path (steps are endpoint-first).
+			p := Path{Endpoint: e, GBASlack: e.Slack + (worst - (v.arr[fr.rf][late].T + fr.suffix))}
+			p.Steps = append(p.Steps, PathStep{
+				Name: v.name(), RF: fr.rf,
+				Arrival: v.arr[fr.rf][late].T,
+				Slew:    v.slew[fr.rf][late],
+				vid:     fr.v,
+			})
+			for i := len(steps) - 1; i >= 0; i-- {
+				p.Steps = append(p.Steps, steps[i])
+			}
+			// Recompute cumulative arrivals along this specific path.
+			cum := v.arr[fr.rf][late].T
+			for i := 1; i < len(p.Steps); i++ {
+				cum += p.Steps[i].Delay
+				p.Steps[i].Arrival = cum
+			}
+			out = append(out, p)
+			return
+		}
+		for _, in := range a.inEdgesLate(fr.v, fr.rf) {
+			u := &a.verts[in.v]
+			if !u.valid[in.rf][late] {
+				continue
+			}
+			total := u.arr[in.rf][late].T + in.delay + fr.suffix
+			if total < floor-1e-9 {
+				continue
+			}
+			st := PathStep{
+				Name: a.verts[fr.v].name(), RF: fr.rf, Delay: in.delay,
+				IsCell: in.cell, Slew: a.verts[fr.v].slew[fr.rf][late],
+				vid: fr.v, arc: in.arc,
+			}
+			if vv := &a.verts[fr.v]; vv.pin != nil {
+				st.Cell = vv.pin.Cell
+				if !in.cell {
+					st.Net = vv.pin.Net
+				}
+			} else if vv.port != nil && !in.cell {
+				st.Net = vv.port.Net
+			}
+			steps = append(steps, st)
+			dfs(frame{v: in.v, rf: in.rf, suffix: fr.suffix + in.delay})
+			steps = steps[:len(steps)-1]
+			if len(out) >= maxPaths {
+				return
+			}
+		}
+	}
+	dfs(frame{v: endV, rf: e.RF})
+	sort.SliceStable(out, func(i, j int) bool { return out[i].GBASlack < out[j].GBASlack })
+	if len(out) > maxPaths {
+		out = out[:maxPaths]
+	}
+	return out
+}
+
+// inEdge is one timing edge into a vertex with its late delay.
+type inEdge struct {
+	v, rf int
+	delay float64
+	cell  bool
+	arc   *liberty.TimingArc
+}
+
+// inEdgesLate enumerates the in-edges of vertex i for output transition rf,
+// with delays recomputed exactly as the forward late pass used them,
+// ordered by decreasing (source arrival + delay).
+func (a *Analyzer) inEdgesLate(i, rf int) []inEdge {
+	v := &a.verts[i]
+	var out []inEdge
+	switch {
+	case v.pin != nil && v.pin.Dir == netlist.Input, v.port != nil && v.port.Dir == netlist.Output:
+		// Net edge from the driver.
+		var net *netlist.Net
+		if v.pin != nil {
+			net = v.pin.Net
+		} else {
+			net = v.port.Net
+		}
+		if net == nil {
+			return nil
+		}
+		nd := a.nets[net]
+		var srcV int = -1
+		if net.Driver != nil {
+			srcV = a.pinIdx[net.Driver]
+		} else if net.Port != nil && net.Port.Dir == netlist.Input {
+			srcV = a.portIdx[net.Port]
+		}
+		if srcV < 0 || nd == nil {
+			return nil
+		}
+		sink := a.sinkIndexOf(net, v)
+		if sink < 0 || sink >= len(nd.sinkDelay[late]) {
+			return nil
+		}
+		sv := &a.verts[srcV]
+		extra := 0.0
+		if v.isCKPin && a.Cons != nil {
+			extra = a.Cons.ExtraCKLatency[v.pin.Cell]
+			if s := a.Cfg.CKLatencyScale; s > 0 {
+				extra *= s
+			}
+		}
+		f := a.Cfg.Derate.Factor(NetDelay, sv.clockPath, true, sv.depth[rf][late])
+		out = append(out, inEdge{v: srcV, rf: rf, delay: nd.sinkDelay[late][sink]*f + extra})
+	case v.pin != nil && v.pin.Dir == netlist.Output:
+		c := v.pin.Cell
+		m := a.master(c)
+		nd := a.nets[v.pin.Net]
+		for k := range m.Arcs {
+			arc := &m.Arcs[k]
+			if arc.To != v.pin.Name {
+				continue
+			}
+			from := c.Pin(arc.From)
+			if from == nil {
+				continue
+			}
+			fv := a.pinIdx[from]
+			for _, rfIn := range inTransitions(arc.Sense, rf) {
+				if !a.verts[fv].valid[rfIn][late] {
+					continue
+				}
+				d := a.lateArcDelay(arc, &a.verts[fv], rfIn, rf, nd)
+				out = append(out, inEdge{v: fv, rf: rfIn, delay: d, cell: true, arc: arc})
+			}
+		}
+	}
+	sort.SliceStable(out, func(x, y int) bool {
+		ax := a.verts[out[x].v].arr[out[x].rf][late].T + out[x].delay
+		ay := a.verts[out[y].v].arr[out[y].rf][late].T + out[y].delay
+		return ax > ay
+	})
+	return out
+}
+
+// inTransitions inverts outTransitions: which input transitions produce the
+// given output transition through an arc's sense.
+func inTransitions(s liberty.ArcSense, rfOut int) []int {
+	switch s {
+	case liberty.PositiveUnate:
+		return []int{rfOut}
+	case liberty.NegativeUnate:
+		return []int{1 - rfOut}
+	default:
+		return []int{rise, fall}
+	}
+}
+
+// sinkIndexOf locates a vertex's sink index on a net.
+func (a *Analyzer) sinkIndexOf(net *netlist.Net, v *vertex) int {
+	if v.pin != nil {
+		for si, l := range net.Loads {
+			if l == v.pin {
+				return si
+			}
+		}
+		return -1
+	}
+	return len(net.Loads) // output port sink is last
+}

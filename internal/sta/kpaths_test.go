@@ -1,0 +1,157 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+func TestPathsWithinSinglePathChain(t *testing.T) {
+	lib := testLib()
+	a, _, _ := chainSetup(t, lib, 8, 500, Config{})
+	eps := a.EndpointSlacks(Setup)
+	var ffEp *EndpointSlack
+	for i := range eps {
+		if eps[i].Pin != nil && eps[i].Pin.Cell.Name == "ff_capture" {
+			ffEp = &eps[i]
+			break
+		}
+	}
+	if ffEp == nil {
+		t.Fatal("no FF endpoint")
+	}
+	paths := a.PathsWithin(*ffEp, 1000, 10)
+	if len(paths) != 1 {
+		t.Fatalf("chain endpoint has %d paths, want 1", len(paths))
+	}
+	// The single path must match the worst-path backtrace.
+	wp := a.WorstPath(*ffEp)
+	if paths[0].String() != wp.String() {
+		t.Errorf("enumerated path differs from backtrace:\n%s\n%s", paths[0], wp)
+	}
+	if math.Abs(paths[0].GBASlack-ffEp.Slack) > 1e-6 {
+		t.Errorf("worst enumerated slack %v != endpoint slack %v", paths[0].GBASlack, ffEp.Slack)
+	}
+}
+
+// diamond builds FF -> {short branch, long branch} -> AND2 -> FF so the
+// endpoint has exactly two distinct paths with different arrivals.
+func diamondDesign(t *testing.T, lib *liberty.Library) (*netlist.Design, *Constraints) {
+	t.Helper()
+	d := netlist.New("diamond")
+	clk, _ := d.AddPort("clk", netlist.Input)
+	din, _ := d.AddPort("din", netlist.Input)
+	dout, _ := d.AddPort("dout", netlist.Output)
+	ff1, err := circuits.AddCell(d, lib, "ff1", "DFF_X1_SVT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff2, _ := circuits.AddCell(d, lib, "ff2", "DFF_X1_SVT")
+	q, _ := d.AddNet("q")
+	mustConn := func(c *netlist.Cell, pin string, n *netlist.Net) {
+		if err := d.Connect(c, pin, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustConn(ff1, "CK", clk.Net)
+	mustConn(ff2, "CK", clk.Net)
+	mustConn(ff1, "D", din.Net)
+	mustConn(ff1, "Q", q)
+	// Short branch: one inverter.
+	s1, _ := circuits.AddCell(d, lib, "s1", "INV_X1_SVT")
+	sn, _ := d.AddNet("sn")
+	mustConn(s1, "A", q)
+	mustConn(s1, "Z", sn)
+	// Long branch: three inverters.
+	prev := q
+	for i := 0; i < 3; i++ {
+		g, _ := circuits.AddCell(d, lib, d.FreshName("l"), "INV_X1_HVT")
+		mustConn(g, "A", prev)
+		n, _ := d.AddNet(d.FreshName("ln"))
+		mustConn(g, "Z", n)
+		prev = n
+	}
+	and, _ := circuits.AddCell(d, lib, "join", "AND2_X1_SVT")
+	jn, _ := d.AddNet("jn")
+	mustConn(and, "A", sn)
+	mustConn(and, "B", prev)
+	mustConn(and, "Z", jn)
+	mustConn(ff2, "D", jn)
+	q2, _ := d.AddNet("q2")
+	mustConn(ff2, "Q", q2)
+	_ = dout
+	cons := NewConstraints()
+	cons.AddClock("clk", 300, clk)
+	return d, cons
+}
+
+func TestPathsWithinDiamond(t *testing.T) {
+	lib := testLib()
+	d, cons := diamondDesign(t, lib)
+	a, err := New(d, cons, Config{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var ep *EndpointSlack
+	for _, e := range a.EndpointSlacks(Setup) {
+		if e.Pin != nil && e.Pin.Cell.Name == "ff2" {
+			ec := e
+			ep = &ec
+			break
+		}
+	}
+	if ep == nil {
+		t.Fatal("no ff2 endpoint")
+	}
+	// Wide window: both branches appear.
+	paths := a.PathsWithin(*ep, 10000, 10)
+	if len(paths) != 2 {
+		t.Fatalf("diamond has %d paths, want 2", len(paths))
+	}
+	if paths[0].GBASlack > paths[1].GBASlack {
+		t.Error("paths not worst-first")
+	}
+	if paths[0].Depth() == paths[1].Depth() {
+		t.Error("expected branches of different depth")
+	}
+	gap := paths[1].GBASlack - paths[0].GBASlack
+	if gap <= 0 {
+		t.Fatalf("second path should be faster by a positive gap, got %v", gap)
+	}
+	// Tight window: only the worst branch.
+	tight := a.PathsWithin(*ep, gap/2, 10)
+	if len(tight) != 1 {
+		t.Errorf("tight window returned %d paths, want 1", len(tight))
+	}
+	// maxPaths cap.
+	if got := a.PathsWithin(*ep, 10000, 1); len(got) != 1 {
+		t.Errorf("maxPaths=1 returned %d", len(got))
+	}
+	// Every enumerated path's arrivals are internally consistent.
+	for _, p := range paths {
+		for i := 1; i < len(p.Steps); i++ {
+			want := p.Steps[i-1].Arrival + p.Steps[i].Delay
+			if math.Abs(p.Steps[i].Arrival-want) > 1e-6 {
+				t.Fatalf("path arrival chain broken at step %d", i)
+			}
+		}
+	}
+}
+
+func TestPathsWithinRejectsHold(t *testing.T) {
+	lib := testLib()
+	a, _, _ := chainSetup(t, lib, 4, 500, Config{})
+	holds := a.EndpointSlacks(Hold)
+	if len(holds) == 0 {
+		t.Skip("no hold endpoints")
+	}
+	if got := a.PathsWithin(holds[0], 100, 5); got != nil {
+		t.Error("hold endpoint should return nil")
+	}
+}

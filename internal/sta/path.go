@@ -1,0 +1,264 @@
+package sta
+
+import (
+	"math"
+	"strings"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/units"
+)
+
+// PathStep is one vertex on a timing path.
+type PathStep struct {
+	// Name is the pin or port name.
+	Name string
+	// RF is the transition at this step.
+	RF int
+	// Delay is the (derated, GBA) delay of the edge into this step; 0 at
+	// the path root.
+	Delay units.Ps
+	// IsCell marks cell-arc edges (vs wire edges).
+	IsCell bool
+	// Arrival is the cumulative GBA arrival at this step.
+	Arrival units.Ps
+	// Slew is the GBA (merged-worst) slew at this step.
+	Slew units.Ps
+	// Cell is the owning cell for pin steps (nil for ports).
+	Cell *netlist.Cell
+	// Net is the net traversed into this step for wire edges (nil for
+	// cell-arc steps and the root).
+	Net *netlist.Net
+
+	vid int
+	arc *liberty.TimingArc
+}
+
+// Path is an extracted worst path to an endpoint.
+type Path struct {
+	Endpoint EndpointSlack
+	// Steps run root-first (launch clock root or input port → endpoint).
+	Steps []PathStep
+	// GBASlack echoes the endpoint slack this path explains.
+	GBASlack units.Ps
+}
+
+// String renders a compact path report line.
+func (p Path) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		if i > 0 {
+			b.WriteString(" -> ")
+		}
+		b.WriteString(s.Name)
+	}
+	return b.String()
+}
+
+// Depth returns the number of cell-arc stages on the path.
+func (p Path) Depth() int {
+	n := 0
+	for _, s := range p.Steps {
+		if s.IsCell {
+			n++
+		}
+	}
+	return n
+}
+
+// WorstPath extracts the GBA worst path into the endpoint of e.
+func (a *Analyzer) WorstPath(e EndpointSlack) Path {
+	el := late
+	if e.Kind == Hold {
+		el = early
+	}
+	var i int
+	if e.Pin != nil {
+		i = a.pinIdx[e.Pin]
+	} else {
+		i = a.portIdx[e.Port]
+	}
+	type rec struct {
+		v, rf int
+		pr    pred
+	}
+	var rev []rec
+	rf := e.RF
+	for i >= 0 {
+		v := &a.verts[i]
+		if !v.valid[rf][el] {
+			break
+		}
+		pr := v.pred[rf][el]
+		rev = append(rev, rec{i, rf, pr})
+		i, rf = pr.v, pr.rf
+	}
+	p := Path{Endpoint: e, GBASlack: e.Slack}
+	for k := len(rev) - 1; k >= 0; k-- {
+		r := rev[k]
+		v := &a.verts[r.v]
+		st := PathStep{
+			Name:    v.name(),
+			RF:      r.rf,
+			Delay:   r.pr.delay,
+			IsCell:  r.pr.cell,
+			Arrival: v.arr[r.rf][el].T,
+			Slew:    v.slew[r.rf][el],
+			vid:     r.v,
+			arc:     r.pr.arc,
+		}
+		if v.pin != nil {
+			st.Cell = v.pin.Cell
+			if !r.pr.cell && r.pr.v >= 0 {
+				st.Net = v.pin.Net
+			}
+		} else if v.port != nil && !r.pr.cell && r.pr.v >= 0 {
+			st.Net = v.port.Net
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	return p
+}
+
+// WorstPaths returns the worst path for each of the n worst endpoints of
+// the check (one per endpoint, sorted worst-first).
+func (a *Analyzer) WorstPaths(kind CheckKind, n int) []Path {
+	slacks := a.EndpointSlacks(kind)
+	seen := map[string]bool{}
+	var out []Path
+	for _, e := range slacks {
+		if len(out) >= n {
+			break
+		}
+		if seen[e.Name()] {
+			continue
+		}
+		seen[e.Name()] = true
+		out = append(out, a.WorstPath(e))
+	}
+	return out
+}
+
+// PBAResult is a path re-timed with path-specific slews, depths and sigmas.
+type PBAResult struct {
+	Path Path
+	// GBAArrival/PBAArrival are the endpoint data arrivals (sigma-adjusted)
+	// under graph-based and path-based propagation.
+	GBAArrival, PBAArrival units.Ps
+	// Slack is the endpoint slack after pessimism removal.
+	Slack units.Ps
+	// Pessimism = Slack − GBA slack (≥ 0 in the common case).
+	Pessimism units.Ps
+}
+
+// PBA re-times a path with path-based analysis: actual slews propagated
+// along this path only (GBA merges the worst slew from *any* path into each
+// pin), the path's true stage depth for AOCV, and a path-specific sigma
+// accumulation. This is the pessimism-reduction mechanism of paper §1.3
+// ("the need to use STA with path-based analysis"), bought at the cost of
+// per-path recomputation — the runtime overhead measured in experiment E11.
+func (a *Analyzer) PBA(p Path) PBAResult {
+	el := late
+	if p.Endpoint.Kind == Hold {
+		el = early
+	}
+	lateSide := el == late
+	n := a.Cfg.Derate.NSigma()
+	if len(p.Steps) == 0 {
+		return PBAResult{Path: p, Slack: p.GBASlack}
+	}
+	// Re-propagate along the chain.
+	root := p.Steps[0]
+	t := a.verts[root.vid].arr[root.RF][el].T // seed arrival (port)
+	slew := a.verts[root.vid].slew[root.RF][el]
+	variance := 0.0
+	depth := 0
+	for k := 1; k < len(p.Steps); k++ {
+		st := &p.Steps[k]
+		if !st.IsCell {
+			// Wire edge: delay independent of slew; reuse GBA delay and
+			// degrade slew along this path only.
+			t += st.Delay
+			ws := a.wireSlewInto(st.vid)
+			slew = math.Sqrt(slew*slew + ws*ws)
+			continue
+		}
+		depth++
+		arc := st.arc
+		outRise := st.RF == rise
+		nd := a.netOfVertex(st.vid)
+		load := 0.0
+		if nd != nil {
+			load = nd.totalCap[el]
+		}
+		d := arc.Delay(outRise, slew, load)
+		f := a.Cfg.Derate.Factor(CellDelay, a.verts[st.vid].clockPath, lateSide, depth)
+		d *= f
+		if a.Cfg.MIS {
+			if el == early && arc.MISFactorFast > 0 {
+				d *= arc.MISFactorFast
+			}
+			if el == late && arc.MISFactorSlow > 0 {
+				d *= arc.MISFactorSlow
+			}
+		}
+		d *= a.cellDerate(st.Cell, lateSide)
+		sg := a.Cfg.Derate.Sigma(arc, outRise, lateSide, slew, load, d)
+		variance += sg * sg
+		t += d
+		slew = arc.Slew(outRise, slew, load)
+	}
+	pba := timeVar{T: t, Var: variance}.corner(lateSide, n)
+	gba := p.Endpoint.Arrival
+	res := PBAResult{Path: p, GBAArrival: gba, PBAArrival: pba}
+	if p.Endpoint.Kind == Setup {
+		res.Slack = p.GBASlack + (gba - pba)
+	} else {
+		res.Slack = p.GBASlack + (pba - gba)
+	}
+	res.Pessimism = res.Slack - p.GBASlack
+	return res
+}
+
+// netOfVertex returns the net data of the net driving into vertex i's cell
+// output (for cell-arc steps, i is the output pin vertex).
+func (a *Analyzer) netOfVertex(i int) *netData {
+	v := &a.verts[i]
+	if v.pin != nil && v.pin.Net != nil {
+		return a.nets[v.pin.Net]
+	}
+	return nil
+}
+
+// wireSlewInto returns the wire slew degradation of the net edge ending at
+// vertex i (a load pin or output port).
+func (a *Analyzer) wireSlewInto(i int) float64 {
+	v := &a.verts[i]
+	var net *netlist.Net
+	var me *netlist.Pin
+	if v.pin != nil {
+		net = v.pin.Net
+		me = v.pin
+	} else if v.port != nil {
+		net = v.port.Net
+	}
+	if net == nil {
+		return 0
+	}
+	nd := a.nets[net]
+	if nd == nil {
+		return 0
+	}
+	if me != nil {
+		for si, l := range net.Loads {
+			if l == me {
+				return nd.sinkSlew[si]
+			}
+		}
+	}
+	// Output port sink is last.
+	if len(nd.sinkSlew) > 0 {
+		return nd.sinkSlew[len(nd.sinkSlew)-1]
+	}
+	return 0
+}

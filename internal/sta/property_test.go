@@ -1,0 +1,158 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"newgame/internal/circuits"
+	"newgame/internal/parasitics"
+)
+
+// Property: setup slack is exactly linear in the clock period — increasing
+// the period by Δ increases every endpoint's setup slack by Δ (single-cycle
+// checks), for arbitrary random designs and derating modes.
+func TestSlackLinearInPeriodProperty(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	deraters := []Derater{NoDerate{}, DefaultFlatOCV(), DefaultAOCV(), DefaultPOCV()}
+	f := func(seed int64, deltaRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		delta := 10 + float64(deltaRaw)
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "p", Inputs: 6, Outputs: 6, FFs: 12, Gates: 120,
+			Seed: seed, ClockBufferLevels: 1,
+		})
+		derate := deraters[rng.Intn(len(deraters))]
+		slackAt := func(period float64) float64 {
+			cons := NewConstraints()
+			cons.AddClock("clk", period, d.Port("clk"))
+			a, err := New(d, cons, Config{Lib: lib, Derate: derate,
+				Parasitics: NewNetBinder(stack, seed)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return a.WorstSlack(Setup)
+		}
+		s1 := slackAt(600)
+		s2 := slackAt(600 + delta)
+		return abs(s2-s1-delta) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hold slacks are period-independent for single-cycle checks.
+func TestHoldIndependentOfPeriodProperty(t *testing.T) {
+	lib := testLib()
+	f := func(seed int64) bool {
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "h", Inputs: 6, Outputs: 6, FFs: 12, Gates: 100, Seed: seed,
+		})
+		slackAt := func(period float64) float64 {
+			cons := NewConstraints()
+			cons.AddClock("clk", period, d.Port("clk"))
+			a, err := New(d, cons, Config{Lib: lib})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return a.WorstSlack(Hold)
+		}
+		return abs(slackAt(500)-slackAt(900)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: worsening the BEOL corner (RC-worst at increasing sigma) never
+// improves setup slack.
+func TestCornerMonotoneProperty(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	f := func(seed int64) bool {
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "c", Inputs: 6, Outputs: 6, FFs: 12, Gates: 150, Seed: seed,
+		})
+		binder := NewNetBinder(stack, seed)
+		slackAt := func(nSigma float64) float64 {
+			cons := NewConstraints()
+			cons.AddClock("clk", 700, d.Port("clk"))
+			a, err := New(d, cons, Config{Lib: lib, Parasitics: binder,
+				Scaling: stack.Corner(parasitics.RCWorst, nSigma)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return a.WorstSlack(Setup)
+		}
+		prev := slackAt(0)
+		for _, n := range []float64{1, 2, 3} {
+			s := slackAt(n)
+			if s > prev+1e-9 {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every endpoint's GBA arrival equals the sum of its worst path's
+// step delays plus the root seed — the backtrace is self-consistent.
+func TestPathSumsToArrivalProperty(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	f := func(seed int64) bool {
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "s", Inputs: 6, Outputs: 6, FFs: 16, Gates: 200, Seed: seed,
+		})
+		cons := NewConstraints()
+		cons.AddClock("clk", 700, d.Port("clk"))
+		a, err := New(d, cons, Config{Lib: lib, Parasitics: NewNetBinder(stack, seed),
+			Derate: DefaultFlatOCV()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range a.WorstPaths(Setup, 10) {
+			if len(p.Steps) == 0 {
+				continue
+			}
+			sum := p.Steps[0].Arrival
+			for _, st := range p.Steps[1:] {
+				sum += st.Delay
+			}
+			end := p.Steps[len(p.Steps)-1].Arrival
+			if abs(sum-end) > 1e-6 {
+				t.Logf("seed %d: path sum %v != endpoint arrival %v", seed, sum, end)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

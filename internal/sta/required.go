@@ -1,0 +1,126 @@
+package sta
+
+import (
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// propagateRequired runs the backward (required-time) pass for setup (late)
+// analysis, giving per-pin slacks for optimization and breakdown reports.
+// Required times are mean-based: statistical deraters' sigma is applied at
+// endpoints only (documented limitation; endpoint slacks remain exact).
+func (a *Analyzer) propagateRequired() {
+	if a.Cons == nil {
+		return
+	}
+	// Seed endpoint requireds from the setup checks.
+	for _, e := range a.EndpointSlacks(Setup) {
+		var i int
+		if e.Pin != nil {
+			i = a.pinIdx[e.Pin]
+		} else {
+			i = a.portIdx[e.Port]
+		}
+		v := &a.verts[i]
+		// Store mean-based required: slack + mean arrival keeps pin slack
+		// consistent with the endpoint's sigma-adjusted slack.
+		r := v.arr[e.RF][late].T + e.Slack
+		if !v.reqValid[e.RF][late] || r < v.req[e.RF][late] {
+			v.req[e.RF][late] = r
+			v.reqValid[e.RF][late] = true
+		}
+	}
+	// Reverse topological relaxation.
+	for k := len(a.order) - 1; k >= 0; k-- {
+		i := a.order[k]
+		v := &a.verts[i]
+		switch {
+		case v.port != nil && v.port.Dir == netlist.Input:
+			a.pullNetRequired(i, v.port.Net)
+		case v.pin != nil && v.pin.Dir == netlist.Output:
+			if v.pin.Net != nil {
+				a.pullNetRequired(i, v.pin.Net)
+			}
+		case v.pin != nil && v.pin.Dir == netlist.Input:
+			a.pullArcRequired(i)
+		}
+	}
+}
+
+// lowerReq relaxes a required time downward (setup required is a min).
+func (a *Analyzer) lowerReq(i, rf int, r float64) {
+	v := &a.verts[i]
+	if !v.reqValid[rf][late] || r < v.req[rf][late] {
+		v.req[rf][late] = r
+		v.reqValid[rf][late] = true
+	}
+}
+
+// pullNetRequired pulls sink required times back to the driver vertex i.
+func (a *Analyzer) pullNetRequired(i int, n *netlist.Net) {
+	v := &a.verts[i]
+	nd := a.nets[n]
+	pull := func(j, sink int) {
+		w := &a.verts[j]
+		for rf := 0; rf < 2; rf++ {
+			if !w.reqValid[rf][late] || !v.valid[rf][late] {
+				continue
+			}
+			f := a.Cfg.Derate.Factor(NetDelay, v.clockPath, true, v.depth[rf][late])
+			a.lowerReq(i, rf, w.req[rf][late]-nd.sinkDelay[late][sink]*f)
+		}
+	}
+	for si, l := range n.Loads {
+		pull(a.pinIdx[l], si)
+	}
+	if p := n.Port; p != nil && p.Dir == netlist.Output {
+		pull(a.portIdx[p], len(n.Loads))
+	}
+}
+
+// pullArcRequired pulls output-pin required times back through cell arcs to
+// input pin i, recomputing the same derated delays the forward pass used.
+func (a *Analyzer) pullArcRequired(i int) {
+	v := &a.verts[i]
+	c := v.pin.Cell
+	m := a.master(c)
+	for k := range m.Arcs {
+		arc := &m.Arcs[k]
+		if arc.From != v.pin.Name {
+			continue
+		}
+		out := c.Pin(arc.To)
+		if out == nil || out.Net == nil {
+			continue
+		}
+		j := a.pinIdx[out]
+		w := &a.verts[j]
+		nd := a.nets[out.Net]
+		for rfIn := 0; rfIn < 2; rfIn++ {
+			if !v.valid[rfIn][late] {
+				continue
+			}
+			for _, rfOut := range outTransitions(arc.Sense, rfIn) {
+				if !w.reqValid[rfOut][late] {
+					continue
+				}
+				d := a.lateArcDelay(arc, v, rfIn, rfOut, nd)
+				a.lowerReq(i, rfIn, w.req[rfOut][late]-d)
+			}
+		}
+	}
+}
+
+// lateArcDelay recomputes the derated late delay of an arc exactly as the
+// forward pass did.
+func (a *Analyzer) lateArcDelay(arc *liberty.TimingArc, v *vertex, rfIn, rfOut int, nd *netData) float64 {
+	slewIn := v.slew[rfIn][late]
+	load := nd.totalCap[late]
+	d := arc.Delay(rfOut == rise, slewIn, load)
+	d *= a.Cfg.Derate.Factor(CellDelay, v.clockPath, true, v.depth[rfIn][late]+1)
+	if a.Cfg.MIS && arc.MISFactorSlow > 0 {
+		d *= arc.MISFactorSlow
+	}
+	d *= a.cellDerate(v.pin.Cell, true)
+	return d
+}

@@ -1,0 +1,139 @@
+package variation
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/units"
+)
+
+// CharacterizeLVF fills the LVF sigma tables (early and late, rise and
+// fall) of every arc in the library from Monte Carlo over the device
+// threshold: for each cell, the distribution of the delay ratio under Vt
+// variation is sampled once, and its one-sided deviations scale the arc's
+// nominal delay tables. This realizes the paper's §3.1 trajectory — LVF's
+// "one number per load-slew combination per cell", with separate late
+// (setup) and early (hold) sigmas capturing the non-Gaussian asymmetry.
+//
+// The ratio approach is exact for the RC-dominated part of the generator's
+// delay model (delay ∝ Req(Vt)) and slightly conservative for the
+// slew-driven part.
+func CharacterizeLVF(lib *liberty.Library, vtSigma units.Volt, samples int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	// Cache the ratio spread per Vt class (device-level property).
+	type spread struct{ early, late float64 }
+	cache := map[liberty.VtClass]spread{}
+	for _, vt := range liberty.VtClasses {
+		base := lib.Tech.Req(vt, 1, lib.PVT)
+		ratios := make([]float64, samples)
+		for i := range ratios {
+			dvt := rng.NormFloat64() * vtSigma
+			pvt := lib.PVT
+			pvt.Voltage -= dvt
+			r := lib.Tech.Req(vt, 1, pvt) * (lib.PVT.Voltage / (lib.PVT.Voltage - dvt))
+			ratios[i] = r / base
+		}
+		mean := 0.0
+		for _, r := range ratios {
+			mean += r
+		}
+		mean /= float64(samples)
+		var se, sl float64
+		var ne, nl int
+		for _, r := range ratios {
+			d := r - mean
+			if d < 0 {
+				se += d * d
+				ne++
+			} else {
+				sl += d * d
+				nl++
+			}
+		}
+		s := spread{}
+		if ne > 0 {
+			s.early = math.Sqrt(se / float64(ne))
+		}
+		if nl > 0 {
+			s.late = math.Sqrt(sl / float64(nl))
+		}
+		cache[vt] = s
+	}
+	names := make([]string, 0, len(lib.Cells()))
+	for n := range lib.Cells() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := lib.Cell(n)
+		s := cache[c.Vt]
+		for i := range c.Arcs {
+			a := &c.Arcs[i]
+			a.SigmaEarlyRise = a.DelayRise.Scale(s.early)
+			a.SigmaEarlyFall = a.DelayFall.Scale(s.early)
+			a.SigmaLateRise = a.DelayRise.Scale(s.late)
+			a.SigmaLateFall = a.DelayFall.Scale(s.late)
+			// POCV's single symmetric number: the pooled sigma.
+			pooled := (s.early + s.late) / 2
+			a.SigmaRise = a.DelayRise.Scale(pooled)
+			a.SigmaFall = a.DelayFall.Scale(pooled)
+		}
+	}
+}
+
+// GenerateAOCV builds depth-indexed late/early derate tables from Monte
+// Carlo path statistics: derate(d) = (mean ± nσ·σ)/nominal for a path of
+// depth d. Deep paths average out local variation (the √d shrinkage AOCV
+// banks on).
+func GenerateAOCV(base PathMC, depths []int, samples int, nSigma float64) (lateTab, earlyTab []float64) {
+	maxD := 0
+	for _, d := range depths {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	lateTab = make([]float64, maxD)
+	earlyTab = make([]float64, maxD)
+	// Fill every depth up to max by interpolating over the measured set.
+	measL := map[int]float64{}
+	measE := map[int]float64{}
+	for _, d := range depths {
+		p := base
+		p.Stages = d
+		p.Seed = base.Seed + int64(d)
+		st := Summarize(p.Run(samples))
+		nom := p.NominalDelay()
+		measL[d] = (st.Mean + nSigma*st.SigmaLate) / nom
+		measE[d] = (st.Mean - nSigma*st.SigmaEarly) / nom
+	}
+	sort.Ints(depths)
+	for d := 1; d <= maxD; d++ {
+		lateTab[d-1] = interpDepth(measL, depths, d)
+		earlyTab[d-1] = interpDepth(measE, depths, d)
+	}
+	return lateTab, earlyTab
+}
+
+func interpDepth(meas map[int]float64, depths []int, d int) float64 {
+	if v, ok := meas[d]; ok {
+		return v
+	}
+	// Linear between bracketing measured depths; clamp at ends.
+	prev, next := depths[0], depths[len(depths)-1]
+	for _, dd := range depths {
+		if dd <= d {
+			prev = dd
+		}
+		if dd >= d {
+			next = dd
+			break
+		}
+	}
+	if prev == next {
+		return meas[prev]
+	}
+	f := float64(d-prev) / float64(next-prev)
+	return meas[prev] + (meas[next]-meas[prev])*f
+}

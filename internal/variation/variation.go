@@ -1,0 +1,169 @@
+// Package variation provides Monte Carlo process-variation analysis on the
+// device model: the non-Gaussian path-delay statistics of paper Figure 7
+// (the "setup long tail" motivating separate early/late sigmas in LVF),
+// generation of AOCV depth-derate tables and LVF per-arc sigma tables from
+// Monte Carlo, and a transistor-level cross-check on the mini-SPICE
+// substrate.
+package variation
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"newgame/internal/liberty"
+	"newgame/internal/spice"
+	"newgame/internal/units"
+)
+
+// PathMC samples the delay of an N-stage gate path where each stage's
+// devices carry an independent Gaussian threshold shift. Because delay is
+// convex in Vt (∝ 1/(V−Vt)^α), a symmetric Vt distribution produces a
+// right-skewed delay distribution — exactly the asymmetry of Figure 7.
+type PathMC struct {
+	Tech liberty.TechParams
+	PVT  liberty.PVT
+	// Stages is the path depth.
+	Stages int
+	// VtSigma is the per-stage local threshold variation, volts.
+	VtSigma units.Volt
+	// LoadFF is the per-stage load, fF.
+	LoadFF units.FF
+	Seed   int64
+}
+
+// Default16 is a 16nm-class low-voltage path — the regime where the tail
+// is most pronounced.
+func Default16(stages int) PathMC {
+	return PathMC{
+		Tech:   liberty.Node16,
+		PVT:    liberty.PVT{Process: liberty.TT, Voltage: 0.65, Temp: 25},
+		Stages: stages, VtSigma: 0.025, LoadFF: 4, Seed: 7,
+	}
+}
+
+// stageDelay evaluates one stage with threshold shift dvt.
+func (p PathMC) stageDelay(dvt float64) units.Ps {
+	pvt := p.PVT
+	pvt.Voltage -= dvt // (V − (Vt+δ)) ≡ ((V−δ) − Vt)
+	r := p.Tech.Req(liberty.SVT, 1, pvt) * (p.PVT.Voltage / math.Max(p.PVT.Voltage-dvt, 1e-9))
+	if math.IsInf(r, 1) {
+		// Device effectively off: delay dominated by subthreshold leakage;
+		// cap at a large finite value so statistics stay defined.
+		return 1e6
+	}
+	return 0.69 * r * (p.Tech.CparUnit + p.LoadFF)
+}
+
+// NominalDelay is the zero-variation path delay.
+func (p PathMC) NominalDelay() units.Ps {
+	return float64(p.Stages) * p.stageDelay(0)
+}
+
+// Run draws n Monte Carlo path delays.
+func (p PathMC) Run(n int) []units.Ps {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := 0.0
+		for s := 0; s < p.Stages; s++ {
+			d += p.stageDelay(rng.NormFloat64() * p.VtSigma)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Stats summarizes a Monte Carlo sample in Figure-7 terms.
+type Stats struct {
+	Mean, Sigma units.Ps
+	// SigmaEarly/SigmaLate are the one-sided deviations: the LVF split.
+	SigmaEarly, SigmaLate units.Ps
+	// Skewness > 0 is the setup long tail.
+	Skewness float64
+	// Q0001/Q9999 are far tail quantiles.
+	Q0001, Q9999 units.Ps
+}
+
+// Summarize computes sample statistics (sorted copy; input untouched).
+func Summarize(samples []units.Ps) Stats {
+	n := len(samples)
+	if n == 0 {
+		return Stats{}
+	}
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var m2, m3, se, sl float64
+	var ne, nl int
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		if d < 0 {
+			se += d * d
+			ne++
+		} else {
+			sl += d * d
+			nl++
+		}
+	}
+	m2 /= float64(n)
+	m3 /= float64(n)
+	st := Stats{Mean: mean, Sigma: math.Sqrt(m2)}
+	if m2 > 0 {
+		st.Skewness = m3 / math.Pow(m2, 1.5)
+	}
+	if ne > 0 {
+		st.SigmaEarly = math.Sqrt(se / float64(ne))
+	}
+	if nl > 0 {
+		st.SigmaLate = math.Sqrt(sl / float64(nl))
+	}
+	q := func(p float64) float64 {
+		i := p * float64(n-1)
+		lo := int(i)
+		if lo >= n-1 {
+			return xs[n-1]
+		}
+		f := i - float64(lo)
+		return xs[lo] + (xs[lo+1]-xs[lo])*f
+	}
+	st.Q0001 = q(0.001)
+	st.Q9999 = q(0.999)
+	return st
+}
+
+// SpiceMC cross-checks the analytic Monte Carlo at transistor level: n
+// samples of an inverter-chain delay with per-stage Vt shifts.
+func SpiceMC(tech spice.Tech, stages, n int, vtSigma float64, seed int64) ([]units.Ps, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		b := spice.NewBuilder(tech)
+		b.C.V("in", spice.Ground, spice.Ramp(0, tech.VDD, 100, 30))
+		dvt := make([]float64, stages)
+		for s := range dvt {
+			dvt[s] = rng.NormFloat64() * vtSigma
+		}
+		outNode := b.InverterChain("in", stages, dvt)
+		b.C.C(outNode, spice.Ground, 3*tech.CgPerW)
+		res, err := b.C.Transient(spice.TranOpts{Stop: 100 + float64(stages)*60 + 200, Step: 0.5})
+		if err != nil {
+			return nil, err
+		}
+		half := tech.VDD / 2
+		tIn := res.Cross("in", half, true, 90)
+		rising := stages%2 == 0
+		tOut := res.Cross(outNode, half, rising, 90)
+		if math.IsNaN(tOut) {
+			continue
+		}
+		out = append(out, tOut-tIn)
+	}
+	return out, nil
+}

@@ -1,0 +1,137 @@
+package variation
+
+import (
+	"math"
+	"testing"
+
+	"newgame/internal/liberty"
+	"newgame/internal/spice"
+)
+
+func TestPathDelayRightSkewed(t *testing.T) {
+	// Figure 7: the MC path-delay distribution has a setup long tail.
+	p := Default16(10)
+	st := Summarize(p.Run(10000))
+	if st.Skewness <= 0.05 {
+		t.Errorf("skewness = %v, want clearly positive (setup long tail)", st.Skewness)
+	}
+	if st.SigmaLate <= st.SigmaEarly {
+		t.Errorf("σ_late (%v) must exceed σ_early (%v)", st.SigmaLate, st.SigmaEarly)
+	}
+	// Far tails: the late tail reaches farther from the mean.
+	if (st.Q9999 - st.Mean) <= (st.Mean - st.Q0001) {
+		t.Errorf("quantile asymmetry missing: +%v vs -%v", st.Q9999-st.Mean, st.Mean-st.Q0001)
+	}
+}
+
+func TestSkewGrowsAtLowVoltage(t *testing.T) {
+	// The nonlinearity sharpens as V→Vt: low-voltage paths are more skewed.
+	lo := Default16(10)
+	lo.PVT.Voltage = 0.55
+	hi := Default16(10)
+	hi.PVT.Voltage = 0.95
+	sLo := Summarize(lo.Run(8000)).Skewness
+	sHi := Summarize(hi.Run(8000)).Skewness
+	if sLo <= sHi {
+		t.Errorf("low-V skew (%v) should exceed high-V (%v)", sLo, sHi)
+	}
+}
+
+func TestDeepPathsAverageOut(t *testing.T) {
+	// Relative sigma shrinks roughly as 1/√depth — AOCV's premise.
+	shallow := Default16(4)
+	deep := Default16(16)
+	stS := Summarize(shallow.Run(8000))
+	stD := Summarize(deep.Run(8000))
+	relS := stS.Sigma / stS.Mean
+	relD := stD.Sigma / stD.Mean
+	if relD >= relS {
+		t.Fatalf("deep path relative σ (%v) not below shallow (%v)", relD, relS)
+	}
+	want := relS / 2 // √(16/4) = 2
+	if math.Abs(relD-want)/want > 0.35 {
+		t.Errorf("√depth scaling off: got %v, want ≈ %v", relD, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if st := Summarize(nil); st.Mean != 0 || st.Sigma != 0 {
+		t.Error("empty summarize not zero")
+	}
+	st := Summarize([]float64{5, 5, 5, 5})
+	if st.Sigma != 0 || st.Skewness != 0 {
+		t.Errorf("constant sample: %+v", st)
+	}
+}
+
+func TestSpiceMCCrossCheck(t *testing.T) {
+	// Transistor-level MC must agree qualitatively: positive skew at low
+	// supply.
+	tech := spice.Tech28
+	tech.VDD = 0.60
+	samples, err := SpiceMC(tech, 6, 120, 0.03, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 100 {
+		t.Fatalf("only %d spice samples succeeded", len(samples))
+	}
+	st := Summarize(samples)
+	if st.Skewness <= 0 {
+		t.Errorf("spice-level skewness = %v, want positive", st.Skewness)
+	}
+	if st.SigmaLate <= st.SigmaEarly {
+		t.Errorf("spice-level σ split wrong: late %v early %v", st.SigmaLate, st.SigmaEarly)
+	}
+}
+
+func TestCharacterizeLVFFillsTables(t *testing.T) {
+	lib := liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.7, Temp: 25}, liberty.GenOptions{})
+	CharacterizeLVF(lib, 0.025, 4000, 3)
+	c := lib.Cell("INV_X1_SVT")
+	a := c.Arc("A", "Z")
+	if a.SigmaLateRise == nil || a.SigmaEarlyRise == nil || a.SigmaRise == nil {
+		t.Fatal("sigma tables not filled")
+	}
+	slew, load := 20.0, 8.0
+	d := a.Delay(true, slew, load)
+	sl := a.SigmaLateRise.Lookup(slew, load)
+	se := a.SigmaEarlyRise.Lookup(slew, load)
+	if sl <= se {
+		t.Errorf("late σ (%v) should exceed early σ (%v) — the LVF asymmetry", sl, se)
+	}
+	if sl <= 0 || sl > 0.5*d {
+		t.Errorf("late σ = %v vs delay %v, implausible", sl, d)
+	}
+	// HVT cells (smaller overdrive) vary more than LVT.
+	hvt := lib.Cell("INV_X1_HVT").Arc("A", "Z")
+	lvt := lib.Cell("INV_X1_LVT").Arc("A", "Z")
+	hvtRel := hvt.SigmaLateRise.Lookup(slew, load) / hvt.Delay(true, slew, load)
+	lvtRel := lvt.SigmaLateRise.Lookup(slew, load) / lvt.Delay(true, slew, load)
+	if hvtRel <= lvtRel {
+		t.Errorf("HVT relative σ (%v) should exceed LVT (%v)", hvtRel, lvtRel)
+	}
+}
+
+func TestGenerateAOCVShape(t *testing.T) {
+	base := Default16(1)
+	depths := []int{1, 2, 4, 8, 16}
+	late, early := GenerateAOCV(base, depths, 4000, 3)
+	if len(late) != 16 || len(early) != 16 {
+		t.Fatalf("table lengths %d/%d", len(late), len(early))
+	}
+	// Late derates above 1, early below 1, both converging toward 1 with
+	// depth.
+	if late[0] <= 1.02 || early[0] >= 0.98 {
+		t.Errorf("depth-1 derates too mild: late %v early %v", late[0], early[0])
+	}
+	if late[15] >= late[0] {
+		t.Errorf("late derate did not shrink with depth: %v -> %v", late[0], late[15])
+	}
+	for d := 1; d < 16; d++ {
+		if late[d] > late[d-1]+0.01 {
+			t.Errorf("late derate rising at depth %d: %v -> %v", d+1, late[d-1], late[d])
+		}
+	}
+}
