@@ -8,7 +8,13 @@ package newgame
 import (
 	"testing"
 
+	"newgame/internal/circuits"
+	"newgame/internal/core"
 	"newgame/internal/experiments"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -44,3 +50,127 @@ func BenchmarkFig13AVSTypical(b *testing.B)      { benchExperiment(b, "fig13") }
 func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
 
 func BenchmarkLowPower(b *testing.B) { benchExperiment(b, "lowpower") }
+
+// ------------------------------------------------------------------------
+// Sub-benchmarks isolating the concurrent-signoff layers: level-parallel
+// propagation inside one analyzer (serial vs parallel), incremental
+// re-timing after small edits vs full re-timing, and the scenario-parallel
+// MCMM survey. The speedups only materialize with >1 CPU; the serial
+// variants double as allocation-regression sentinels for the reused
+// buffers.
+
+func benchLib() *liberty.Library {
+	return liberty.Generate(liberty.Node16,
+		liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85}, liberty.GenOptions{})
+}
+
+func benchAnalyzer(b *testing.B, workers int) (*sta.Analyzer, *netlist.Design, *liberty.Library) {
+	b.Helper()
+	lib := benchLib()
+	const seed = 42
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "bench", Inputs: 24, Outputs: 24, FFs: 160, Gates: 3000,
+		MaxDepth: 13, Seed: seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0.1, 0.5, 0.4},
+	})
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", 560, d.Port("clk"))
+	a, err := sta.New(d, cons, sta.Config{
+		Lib: lib, Parasitics: sta.NewNetBinder(parasitics.Stack16(), seed),
+		SI: sta.DefaultSI(), Derate: sta.DefaultAOCV(), MIS: true,
+		Workers: workers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a, d, lib
+}
+
+func benchSTARun(b *testing.B, workers int) {
+	a, _, _ := benchAnalyzer(b, workers)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTARunSerial(b *testing.B)   { benchSTARun(b, 1) }
+func BenchmarkSTARunParallel(b *testing.B) { benchSTARun(b, 0) }
+
+// benchRetime measures re-timing after a small edit (one Vt swap per
+// iteration), either incrementally or with a full Run.
+func benchRetime(b *testing.B, incremental bool) {
+	a, d, lib := benchAnalyzer(b, 1)
+	if err := a.Run(); err != nil {
+		b.Fatal(err)
+	}
+	var cands []*netlist.Cell
+	for _, c := range d.Cells {
+		m := lib.Cell(c.TypeName)
+		if m.IsSequential() || m.Vt == liberty.LVT {
+			continue
+		}
+		if lib.Variant(m, m.Drive, liberty.LVT) != nil {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		b.Fatal("no swappable cells")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cands[i%len(cands)]
+		m := lib.Cell(c.TypeName)
+		to := lib.Variant(m, m.Drive, liberty.LVT)
+		if i/len(cands)%2 == 1 {
+			to = lib.Variant(m, m.Drive, liberty.SVT)
+		}
+		if to == nil || to.Name == c.TypeName {
+			continue
+		}
+		c.SetType(to.Name)
+		if incremental {
+			a.InvalidateCell(c)
+			if err := a.Update(); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if err := a.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkIncrementalRetime(b *testing.B) { benchRetime(b, true) }
+func BenchmarkFullRetime(b *testing.B)        { benchRetime(b, false) }
+
+func benchSurvey(b *testing.B, workers int) {
+	stack := parasitics.Stack16()
+	recipe := core.OldGoalPosts(liberty.Node16, stack)
+	const seed = 42
+	d := circuits.Block(recipe.Scenarios[0].Lib, circuits.BlockSpec{
+		Name: "surv", Inputs: 24, Outputs: 24, FFs: 96, Gates: 1400,
+		MaxDepth: 13, Seed: seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0, 0.4, 0.6},
+	})
+	e := &core.Engine{
+		D: d, Recipe: recipe, BasePeriod: 560, ClockPort: d.Port("clk"),
+		Parasitics: sta.NewNetBinder(stack, seed),
+		Workers:    workers,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Survey(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMCMMSurveySerial(b *testing.B)   { benchSurvey(b, 1) }
+func BenchmarkMCMMSurveyParallel(b *testing.B) { benchSurvey(b, 0) }

@@ -30,6 +30,7 @@ func main() {
 	gates := flag.Int("gates", 1400, "combinational gate count")
 	ffs := flag.Int("ffs", 96, "flip-flop count")
 	seed := flag.Int64("seed", 42, "generation seed")
+	workers := flag.Int("workers", 0, "concurrent signoff workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	stack := parasitics.Stack16()
@@ -54,6 +55,7 @@ func main() {
 	e := &core.Engine{
 		D: d, Recipe: recipe, BasePeriod: *period, ClockPort: d.Port("clk"),
 		Parasitics: sta.NewNetBinder(stack, *seed),
+		Workers:    *workers,
 	}
 	powerOf := func() power.Report {
 		cons := sta.NewConstraints()

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"newgame/internal/cts"
 	"newgame/internal/ir"
@@ -33,6 +35,12 @@ type Engine struct {
 	// inputs would otherwise race every port-fed flip-flop's hold check,
 	// which no real SDC allows.
 	InputArrival units.Ps
+	// Workers bounds the goroutines a survey uses to analyze scenarios
+	// concurrently, and is forwarded to each analyzer's level-parallel
+	// propagation: 0 means one per available CPU, 1 forces fully serial
+	// signoff. Results are identical at every setting — scenario results
+	// merge in recipe order and each analyzer is deterministic.
+	Workers int
 
 	store *opt.Store
 	uskew map[*netlist.Cell]units.Ps
@@ -134,6 +142,7 @@ func (e *Engine) analyzer(s Scenario) (*sta.Analyzer, error) {
 		Lib: s.Lib, Parasitics: e.store.Fn(), Scaling: s.Scaling,
 		Derate: s.Derate, SI: s.SI, MIS: s.MIS,
 		CKLatencyScale: e.skewScale(s.Lib),
+		Workers:        e.Workers,
 	}
 	if s.DynamicIR && e.Place != nil {
 		droop := ir.Run(e.Place, s.Lib, ir.DefaultConfig())
@@ -146,6 +155,63 @@ func (e *Engine) analyzer(s Scenario) (*sta.Analyzer, error) {
 	return a, a.Run()
 }
 
+// workers resolves Engine.Workers (0 = one per CPU, min 1).
+func (e *Engine) workers() int {
+	w := e.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runScenarios builds and runs one analyzer per scenario across a bounded
+// worker pool. Results come back indexed by scenario so callers can merge
+// them in recipe order regardless of completion order — the determinism
+// rule of concurrent signoff. The shared parasitics store is warmed
+// serially first so stateful tree synthesis happens in net order, exactly
+// as a serial survey would have generated it.
+func (e *Engine) runScenarios() ([]*sta.Analyzer, error) {
+	e.store.Warm(e.D.Nets)
+	scen := e.Recipe.Scenarios
+	as := make([]*sta.Analyzer, len(scen))
+	errs := make([]error, len(scen))
+	w := e.workers()
+	if w > len(scen) {
+		w = len(scen)
+	}
+	if w <= 1 {
+		for i, s := range scen {
+			as[i], errs[i] = e.analyzer(s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					as[i], errs[i] = e.analyzer(scen[i])
+				}
+			}()
+		}
+		for i := range scen {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", scen[i].Name, err)
+		}
+	}
+	return as, nil
+}
+
 // survey runs every scenario and merges the results. It returns the
 // analyzers of the worst-setup, worst-hold and most-DRC-violating views so
 // the fix phase operates where the problems actually are.
@@ -154,11 +220,12 @@ func (e *Engine) survey() (Iteration, *sta.Analyzer, *sta.Analyzer, *sta.Analyze
 	var worstSetup, worstHold, worstDRC *sta.Analyzer
 	wsv, whv := math.Inf(1), math.Inf(1)
 	maxDRC := 0
-	for _, s := range e.Recipe.Scenarios {
-		a, err := e.analyzer(s)
-		if err != nil {
-			return it, nil, nil, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
-		}
+	as, err := e.runScenarios()
+	if err != nil {
+		return it, nil, nil, nil, err
+	}
+	for si, s := range e.Recipe.Scenarios {
+		a := as[si]
 		st := ScenarioStatus{Name: s.Name}
 		if s.ForSetup {
 			st.SetupWNS = a.WorstSlack(sta.Setup)

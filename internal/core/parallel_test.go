@@ -1,0 +1,97 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/variation"
+)
+
+func detTestDesign(lib *liberty.Library, seed int64) *netlist.Design {
+	return circuits.Block(lib, circuits.BlockSpec{
+		Name: "det", Inputs: 10, Outputs: 10, FFs: 24, Gates: 260,
+		MaxDepth: 9, Seed: seed, ClockBufferLevels: 2,
+		VtMix: [3]float64{0.1, 0.5, 0.4},
+	})
+}
+
+func detEngine(recipe Recipe, d *netlist.Design, seed int64, workers int) *Engine {
+	return &Engine{
+		D: d, Recipe: recipe, BasePeriod: 560, ClockPort: d.Port("clk"),
+		Parasitics: sta.NewNetBinder(parasitics.Stack16(), seed),
+		Workers:    workers,
+	}
+}
+
+// detRecipes builds every experiment recipe once (the LVF characterization
+// behind the new goal posts is expensive).
+func detRecipes(t *testing.T) map[string]Recipe {
+	t.Helper()
+	stack := parasitics.Stack16()
+	libs := GenerateNewLibs(liberty.Node16)
+	for _, l := range []*liberty.Library{libs.SlowHot, libs.SlowCold, libs.FastCold} {
+		variation.CharacterizeLVF(l, 0.02, 400, 5)
+	}
+	return map[string]Recipe{
+		"old": OldGoalPosts(liberty.Node16, stack),
+		"new": NewGoalPosts(libs, stack),
+	}
+}
+
+// Determinism: for every experiment recipe, a concurrent MCMM survey with
+// level-parallel propagation produces bit-identical WNS/TNS/breakdown
+// results to a forced-serial run (Workers=1 escape hatch).
+func TestSurveyDeterministicAcrossWorkers(t *testing.T) {
+	const seed = 42
+	for name, recipe := range detRecipes(t) {
+		lib := recipe.Scenarios[0].Lib
+		d := detTestDesign(lib, seed)
+		serial, err := detEngine(recipe, d, seed, 1).Survey()
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		for _, workers := range []int{2, 4} {
+			par, err := detEngine(recipe, d, seed, workers).Survey()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(par, serial) {
+				t.Fatalf("recipe %s: survey with %d workers differs from serial:\n got  %+v\n want %+v",
+					name, workers, par, serial)
+			}
+		}
+		if len(serial.Scenarios) != len(recipe.Scenarios) {
+			t.Fatalf("recipe %s: %d scenario results, want %d",
+				name, len(serial.Scenarios), len(recipe.Scenarios))
+		}
+	}
+}
+
+// Determinism must hold for the full Figure-1 closure loop too: the fix
+// trajectory (every pass report, every iteration's merged WNS) is identical
+// whether signoff runs serial or concurrent. Close mutates the netlist, so
+// each run gets its own identically-seeded design and binder.
+func TestCloseDeterministicAcrossWorkers(t *testing.T) {
+	const seed = 7
+	stack := parasitics.Stack16()
+	recipe := OldGoalPosts(liberty.Node16, stack)
+	lib := recipe.Scenarios[0].Lib
+	run := func(workers int) *Result {
+		d := detTestDesign(lib, seed)
+		res, err := detEngine(recipe, d, seed, workers).Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	par := run(4)
+	if !reflect.DeepEqual(par, serial) {
+		t.Fatalf("parallel closure trajectory differs from serial:\n got  %v\n want %v", par, serial)
+	}
+}

@@ -663,9 +663,10 @@ func Fig12CornerExplosion() Result {
 	tb.Row("multi-patterning shift combos", sp.MaskShiftCombos)
 	tb.Row("full cross product", full)
 	// Observational pruning on synthetic WNS structure: deeper-V scenarios
-	// dominate shallower ones of the same mode kind.
-	var rs []mcmm.ScenarioResult
-	for _, sc := range sp.Enumerate() {
+	// dominate shallower ones of the same mode kind. Per-scenario
+	// evaluation goes through the concurrent sweep (results merge in input
+	// order, so the output is identical to a serial loop).
+	rs := mcmm.Sweep(sp.Enumerate(), 0, func(_ int, sc mcmm.Scenario) mcmm.ScenarioResult {
 		// Synthetic severity: lower voltage, higher temp, worse BEOL ->
 		// worse WNS. Structure, not absolute truth; the pruner only needs
 		// ordering.
@@ -676,10 +677,8 @@ func Fig12CornerExplosion() Result {
 		if sc.MaskShift > 0 {
 			sev += 2
 		}
-		rs = append(rs, mcmm.ScenarioResult{
-			Scenario: sc, SetupWNS: -sev, HoldWNS: -sev / 8,
-		})
-	}
+		return mcmm.ScenarioResult{Scenario: sc, SetupWNS: -sev, HoldWNS: -sev / 8}
+	})
 	keep, pruned := mcmm.PruneDominated(rs, 10)
 	tb.Row("after dominance pruning", len(keep))
 	txt := tb.String() + fmt.Sprintf("pruned %d of %d scenarios (%.0f%%)\n",

@@ -9,7 +9,9 @@ package mcmm
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"newgame/internal/liberty"
 	"newgame/internal/parasitics"
@@ -164,6 +166,47 @@ type ScenarioResult struct {
 	// cross-scenario fix planning.
 	SetupCritCells []string
 	HoldCritCells  []string
+}
+
+// Sweep evaluates every scenario with eval across a bounded worker pool
+// and returns the results in input order regardless of completion order —
+// the determinism rule of the concurrent signoff engine. workers == 0
+// means one per available CPU; workers == 1 forces serial evaluation.
+// eval must be safe for concurrent calls (per-corner analyses are
+// independent units of work; any shared state belongs behind the caller's
+// own synchronization).
+func Sweep(scenarios []Scenario, workers int, eval func(idx int, s Scenario) ScenarioResult) []ScenarioResult {
+	out := make([]ScenarioResult, len(scenarios))
+	w := workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(scenarios) {
+		w = len(scenarios)
+	}
+	if w <= 1 {
+		for i, s := range scenarios {
+			out[i] = eval(i, s)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = eval(i, scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
 }
 
 // MergedWNS reports the worst setup and hold WNS across scenarios — the

@@ -1,6 +1,7 @@
 package mcmm
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -131,6 +132,38 @@ func TestModeKindStrings(t *testing.T) {
 	for _, m := range DefaultModes() {
 		if m.Kind.String() == "" || m.PeriodScale <= 0 {
 			t.Errorf("bad mode %+v", m)
+		}
+	}
+}
+
+// Sweep must return results in input order at any worker count, and the
+// concurrent evaluation must agree with serial exactly.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	sp := space(4, 3, 2)
+	sp.Modes = DefaultModes()
+	scenarios := sp.Enumerate()
+	eval := func(idx int, s Scenario) ScenarioResult {
+		// Depend on both index and scenario so misordered results or a
+		// scenario/slot mismatch is caught.
+		return ScenarioResult{
+			Scenario: s,
+			SetupWNS: -float64(idx) - (1.0-s.PVT.Voltage)*100,
+			HoldWNS:  -s.PVT.Temp / 8,
+		}
+	}
+	serial := Sweep(scenarios, 1, eval)
+	if len(serial) != len(scenarios) {
+		t.Fatalf("got %d results, want %d", len(serial), len(scenarios))
+	}
+	for i, r := range serial {
+		if r.Scenario != scenarios[i] {
+			t.Fatalf("result %d holds scenario %v, want input order", i, r.Scenario)
+		}
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par := Sweep(scenarios, workers, eval)
+		if !reflect.DeepEqual(par, serial) {
+			t.Fatalf("workers=%d: results differ from serial", workers)
 		}
 	}
 }

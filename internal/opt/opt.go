@@ -138,13 +138,16 @@ func VtSwap(ctx *Context, opts VtSwapOptions) (Report, error) {
 			rep.LeakageDelta += variant.Leakage - m.Leakage
 			rep.AreaDelta += variant.Area - m.Area
 			c.SetType(variant.Name)
+			ctx.A.InvalidateCell(c)
 			rep.Changed++
 			moved++
 		}
 		if moved == 0 {
 			break
 		}
-		if err := ctx.A.Run(); err != nil {
+		// Master swaps are non-structural: incremental re-timing only
+		// touches the swapped cells' cones instead of the whole graph.
+		if err := ctx.A.Update(); err != nil {
 			return rep, err
 		}
 	}
@@ -248,8 +251,9 @@ func runRecovery(ctx *Context, rep *Report, pick func(limit int) []recoveryMove)
 			dLeak += to.Leakage - from.Leakage
 			dArea += to.Area - from.Area
 			mv.c.SetType(mv.to)
+			ctx.A.InvalidateCell(mv.c)
 		}
-		if err := ctx.A.Run(); err != nil {
+		if err := ctx.A.Update(); err != nil {
 			return err
 		}
 		bad := ctx.A.WorstSlack(sta.Setup) < floorWNS-1e-9 ||
@@ -262,8 +266,9 @@ func runRecovery(ctx *Context, rep *Report, pick func(limit int) []recoveryMove)
 			// Revert and shrink the batch to isolate safe moves.
 			for _, mv := range batch {
 				mv.c.SetType(mv.from)
+				ctx.A.InvalidateCell(mv.c)
 			}
-			if err := ctx.A.Run(); err != nil {
+			if err := ctx.A.Update(); err != nil {
 				return err
 			}
 			batchSize /= 2
@@ -354,6 +359,16 @@ func (s *Store) NDROf(n *netlist.Net) (NDR, bool) { r, ok := s.ndr[n]; return r,
 // NewStore wraps a base binder.
 func NewStore(base func(*netlist.Net) *parasitics.Tree) *Store {
 	return &Store{base: base, ndr: map[*netlist.Net]NDR{}}
+}
+
+// Warm touches every net through the base binder, in order. A stateful
+// binder (the seeded NetGen cache) assigns trees in call order, so warming
+// serially before concurrent scenario analyzers share the store keeps tree
+// assignment — and therefore every timing number — deterministic.
+func (s *Store) Warm(nets []*netlist.Net) {
+	for _, n := range nets {
+		s.base(n)
+	}
 }
 
 // Fn returns the binder function to hand to sta.Config.

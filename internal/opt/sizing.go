@@ -72,8 +72,9 @@ func Resize(ctx *Context, opts ResizeOptions) (Report, error) {
 			rep.AreaDelta += to.Area - from.Area
 			rep.LeakageDelta += to.Leakage - from.Leakage
 			mv.c.SetType(mv.to)
+			ctx.A.InvalidateCell(mv.c)
 		}
-		if err := ctx.A.Run(); err != nil {
+		if err := ctx.A.Update(); err != nil {
 			return rep, err
 		}
 		if ctx.A.WorstSlack(sta.Setup) < prevWNS-1e-9 && ctx.A.TNS(sta.Setup) < prevTNS {
@@ -84,8 +85,9 @@ func Resize(ctx *Context, opts ResizeOptions) (Report, error) {
 				rep.AreaDelta -= to.Area - from.Area
 				rep.LeakageDelta -= to.Leakage - from.Leakage
 				mv.c.SetType(mv.from)
+				ctx.A.InvalidateCell(mv.c)
 			}
-			if err := ctx.A.Run(); err != nil {
+			if err := ctx.A.Update(); err != nil {
 				return rep, err
 			}
 			break

@@ -8,38 +8,113 @@ import (
 	"newgame/internal/parasitics"
 )
 
+const (
+	// minParallelNets is the net count below which per-net delay
+	// calculation stays serial: goroutine fan-out costs more than it saves
+	// on tiny designs.
+	minParallelNets = 64
+	// minParallelLevel is the smallest wavefront worth splitting across
+	// workers.
+	minParallelLevel = 32
+)
+
 // Run performs a full graph-based timing update: delay calculation on every
-// net, arrival/slew propagation in topological order, and backward required
-// times. It may be called again after netlist edits (full re-time).
+// net, levelized arrival/slew propagation, and backward required times.
+// Levels fan out across Cfg.Workers goroutines when the design is large
+// enough; every vertex is recomputed by exactly one goroutine from
+// already-finalized earlier levels, so results are bit-identical to a
+// serial run. Run may be called again after netlist edits (full re-time);
+// buffers and the per-net cache are reused across calls.
 func (a *Analyzer) Run() error {
-	// Reset state.
 	for i := range a.verts {
-		v := &a.verts[i]
-		v.valid = [2][2]bool{}
-		v.arr = [2][2]timeVar{}
-		v.slew = [2][2]float64{}
-		v.depth = [2][2]int{}
-		v.pred = [2][2]pred{}
-		v.reqValid = [2][2]bool{}
-		v.req = [2][2]float64{}
+		a.resetForward(i)
+		a.resetRequired(i)
 	}
-	a.nets = make(map[*netlist.Net]*netData, len(a.D.Nets))
-	for _, n := range a.D.Nets {
-		a.nets[n] = a.buildNetData(n)
-	}
+	a.buildNets()
 	a.seedSources()
-	for _, i := range a.order {
-		a.propagateFrom(i)
-	}
+	a.propagateArrivals()
 	a.ran = true
+	a.clearDirty()
 	a.propagateRequired()
 	return nil
 }
 
-// buildNetData runs delay calculation for one net.
-func (a *Analyzer) buildNetData(n *netlist.Net) *netData {
-	nd := &netData{}
+// resetForward clears vertex i's arrival-side state.
+func (a *Analyzer) resetForward(i int) {
+	v := &a.verts[i]
+	v.valid = [2][2]bool{}
+	v.arr = [2][2]timeVar{}
+	v.slew = [2][2]float64{}
+	v.depth = [2][2]int{}
+	v.pred = [2][2]pred{}
+}
+
+// resetRequired clears vertex i's required-side state and endpoint seeds.
+func (a *Analyzer) resetRequired(i int) {
+	v := &a.verts[i]
+	v.reqValid = [2][2]bool{}
+	v.req = [2][2]float64{}
+	v.seedReq = [2]float64{}
+	v.seedValid = [2]bool{}
+}
+
+// buildNets refreshes per-net delay-calculation results, reusing the map
+// and slices allocated by earlier runs. Per-net work is independent, so
+// large designs fan it out across the worker pool.
+func (a *Analyzer) buildNets() {
+	nets := a.D.Nets
+	maxSinks := 0
+	for _, n := range nets {
+		if s := n.Fanout(); s > maxSinks {
+			maxSinks = s
+		}
+	}
+	a.growZeroBuf(maxSinks)
+	// Map writes stay serial; the parallel phase only fills the pointed-to
+	// structs, each from exactly one goroutine.
+	for _, n := range nets {
+		if a.nets[n] == nil {
+			a.nets[n] = &netData{}
+		}
+	}
+	w := a.workers()
+	if w <= 1 || len(nets) < minParallelNets {
+		for _, n := range nets {
+			a.fillNetData(a.nets[n], n)
+		}
+		return
+	}
+	// Tree synthesis may be stateful: a seeded generator behind
+	// Cfg.Parasitics hands out trees in call order. Touch every net
+	// serially first so tree assignment matches a serial run exactly, then
+	// redo the pure per-net delay calc concurrently (cache hits only).
+	if a.Cfg.Parasitics != nil {
+		for _, n := range nets {
+			a.Cfg.Parasitics(n)
+		}
+	}
+	parallelFor(w, len(nets), func(lo, hi int) {
+		for _, n := range nets[lo:hi] {
+			a.fillNetData(a.nets[n], n)
+		}
+	})
+}
+
+// growZeroBuf makes the shared all-zero sink slice at least n long.
+func (a *Analyzer) growZeroBuf(n int) {
+	if len(a.zeroBuf) < n {
+		a.zeroBuf = make([]float64, n)
+	}
+}
+
+// fillNetData runs delay calculation for one net, reusing nd's slices
+// where possible. Lumped nets share the analyzer's zero slice instead of
+// allocating per-net zero vectors.
+func (a *Analyzer) fillNetData(nd *netData, n *netlist.Net) {
+	nd.tree = nil
+	nd.coupling = 0
 	// Receiver pin caps in load order, plus output port load.
+	nd.loadCaps = nd.loadCaps[:0]
 	for _, l := range n.Loads {
 		nd.loadCaps = append(nd.loadCaps, a.master(l.Cell).InputCap(l.Name))
 	}
@@ -75,11 +150,11 @@ func (a *Analyzer) buildNetData(n *netlist.Net) *netData {
 			nd.totalCap[early] = sum
 			nd.totalCap[late] = sum
 		}
-		zero := make([]float64, nSinks)
+		zero := a.zeroBuf[:nSinks]
 		nd.sinkDelay[early] = zero
 		nd.sinkDelay[late] = zero
 		nd.sinkSlew = zero
-		return nd
+		return
 	}
 	caps := nd.loadCaps
 	if portSink && a.Cons != nil {
@@ -116,7 +191,6 @@ func (a *Analyzer) buildNetData(n *netlist.Net) *netData {
 		nd.sinkDelay[late] = wt.ElmoreM(a.Cfg.Scaling, millerL)
 	}
 	nd.sinkSlew = wt.SlewDegradation(a.Cfg.Scaling)
-	return nd
 }
 
 // seedSources initializes arrivals at input ports.
@@ -124,40 +198,118 @@ func (a *Analyzer) seedSources() {
 	if a.Cons == nil {
 		return
 	}
-	slew := a.Cons.InputSlew
 	for _, p := range a.D.Ports {
-		if p.Dir != netlist.Input {
-			continue
+		if p.Dir == netlist.Input {
+			a.seedVertex(a.portIdx[p])
 		}
-		if a.Cons.FalseFrom[p] {
-			continue // set_false_path -from: no arrival, no checks
+	}
+}
+
+// seedVertex applies the external-constraint arrival seed at vertex i, if
+// it is an input port. Other vertices are untouched.
+func (a *Analyzer) seedVertex(i int) {
+	v := &a.verts[i]
+	if v.port == nil || v.port.Dir != netlist.Input || a.Cons == nil {
+		return
+	}
+	p := v.port
+	if a.Cons.FalseFrom[p] {
+		return // set_false_path -from: no arrival, no checks
+	}
+	slew := a.Cons.InputSlew
+	if ck := a.Cons.ClockOf(p); ck != nil {
+		// Clock root: rising edge at source latency.
+		for el := 0; el < 2; el++ {
+			v.valid[rise][el] = true
+			v.arr[rise][el] = timeVar{T: ck.SourceLatency}
+			v.slew[rise][el] = slew
+			v.pred[rise][el] = pred{v: -1}
 		}
-		i := a.portIdx[p]
-		v := &a.verts[i]
-		if ck := a.Cons.ClockOf(p); ck != nil {
-			// Clock root: rising edge at source latency.
-			for el := 0; el < 2; el++ {
-				v.valid[rise][el] = true
-				v.arr[rise][el] = timeVar{T: ck.SourceLatency}
-				v.slew[rise][el] = slew
-				v.pred[rise][el] = pred{v: -1}
+		return
+	}
+	io, ok := a.Cons.InputDelay[p]
+	min, max := 0.0, 0.0
+	if ok {
+		min, max = io.Min, io.Max
+	}
+	for rf := 0; rf < 2; rf++ {
+		v.valid[rf][early] = true
+		v.arr[rf][early] = timeVar{T: min}
+		v.slew[rf][early] = slew
+		v.pred[rf][early] = pred{v: -1}
+		v.valid[rf][late] = true
+		v.arr[rf][late] = timeVar{T: max}
+		v.slew[rf][late] = slew
+		v.pred[rf][late] = pred{v: -1}
+	}
+}
+
+// propagateArrivals sweeps the level wavefronts in ascending order. Within
+// a level each vertex gathers from its own fanins only (all at lower,
+// finalized levels) and writes only itself, so splitting a level across
+// goroutines is race-free and order-independent.
+func (a *Analyzer) propagateArrivals() {
+	w := a.workers()
+	for _, lvl := range a.levels {
+		if w <= 1 || len(lvl) < minParallelLevel {
+			for _, j := range lvl {
+				a.relaxVertex(j)
 			}
 			continue
 		}
-		io, ok := a.Cons.InputDelay[p]
-		min, max := 0.0, 0.0
-		if ok {
-			min, max = io.Min, io.Max
+		parallelFor(w, len(lvl), func(lo, hi int) {
+			for _, j := range lvl[lo:hi] {
+				a.relaxVertex(j)
+			}
+		})
+	}
+}
+
+// relaxVertex pulls vertex j's arrivals from its fanins: the driving net
+// edge for input pins and output ports, the cell arcs for output pins.
+// Input ports have no fanins (their seeds are applied separately).
+func (a *Analyzer) relaxVertex(j int) {
+	v := &a.verts[j]
+	if v.pin != nil && v.pin.Dir == netlist.Output {
+		a.relaxCellArcs(j)
+		return
+	}
+	if nf := a.fanin[j]; nf.driver >= 0 {
+		a.relaxNetEdge(nf.driver, j, a.nets[nf.net], nf.sink, &a.verts[nf.driver])
+	}
+}
+
+// relaxCellArcs gathers output pin vertex j from every arc of its cell that
+// terminates at this pin. Arcs are resolved live from the current master so
+// in-place retyping (Vt swap, resizing) is picked up without rebuild.
+func (a *Analyzer) relaxCellArcs(j int) {
+	v := &a.verts[j]
+	if v.pin.Net == nil {
+		return // unloaded output: no delay calc context, same as before
+	}
+	c := v.pin.Cell
+	nd := a.nets[v.pin.Net]
+	m := a.master(c)
+	for k := range m.Arcs {
+		arc := &m.Arcs[k]
+		if arc.To != v.pin.Name {
+			continue
 		}
-		for rf := 0; rf < 2; rf++ {
-			v.valid[rf][early] = true
-			v.arr[rf][early] = timeVar{T: min}
-			v.slew[rf][early] = slew
-			v.pred[rf][early] = pred{v: -1}
-			v.valid[rf][late] = true
-			v.arr[rf][late] = timeVar{T: max}
-			v.slew[rf][late] = slew
-			v.pred[rf][late] = pred{v: -1}
+		in := c.Pin(arc.From)
+		if in == nil {
+			continue
+		}
+		i := a.pinIdx[in]
+		src := &a.verts[i]
+		for rfIn := 0; rfIn < 2; rfIn++ {
+			for _, rfOut := range outTransitions(arc.Sense, rfIn) {
+				for el := 0; el < 2; el++ {
+					if !src.valid[rfIn][el] {
+						continue
+					}
+					a.relaxArc(i, j, arc, rfIn, rfOut, el, nd)
+				}
+			}
 		}
 	}
 }
@@ -204,36 +356,6 @@ func (a *Analyzer) merge(i, rf, el int, cand timeVar, slew float64, depth int, p
 	return better
 }
 
-// propagateFrom pushes vertex i's finalized arrivals across its outgoing
-// edges (net edges for drivers/ports, cell arcs for input pins).
-func (a *Analyzer) propagateFrom(i int) {
-	v := &a.verts[i]
-	switch {
-	case v.port != nil && v.port.Dir == netlist.Input:
-		a.pushNet(i, v.port.Net)
-	case v.pin != nil && v.pin.Dir == netlist.Output:
-		if v.pin.Net != nil {
-			a.pushNet(i, v.pin.Net)
-		}
-	case v.pin != nil && v.pin.Dir == netlist.Input:
-		a.pushArcs(i)
-	}
-}
-
-// pushNet relaxes driver→sink net edges.
-func (a *Analyzer) pushNet(i int, n *netlist.Net) {
-	v := &a.verts[i]
-	nd := a.nets[n]
-	for si, l := range n.Loads {
-		j := a.pinIdx[l]
-		a.relaxNetEdge(i, j, nd, si, v)
-	}
-	if p := n.Port; p != nil && p.Dir == netlist.Output {
-		j := a.portIdx[p]
-		a.relaxNetEdge(i, j, nd, len(n.Loads), v)
-	}
-}
-
 func (a *Analyzer) relaxNetEdge(i, j int, nd *netData, sink int, v *vertex) {
 	// Useful-skew offsets: an intentional delay element on this flip-flop's
 	// clock pin shifts both early and late clock arrivals.
@@ -258,35 +380,6 @@ func (a *Analyzer) relaxNetEdge(i, j int, nd *netData, sink int, v *vertex) {
 			a.merge(j, rf, el, cand, slew, v.depth[rf][el], pred{
 				v: i, rf: rf, cell: false, delay: d,
 			})
-		}
-	}
-}
-
-// pushArcs relaxes the cell arcs out of input pin vertex i.
-func (a *Analyzer) pushArcs(i int) {
-	v := &a.verts[i]
-	c := v.pin.Cell
-	m := a.master(c)
-	for k := range m.Arcs {
-		arc := &m.Arcs[k]
-		if arc.From != v.pin.Name {
-			continue
-		}
-		out := c.Pin(arc.To)
-		if out == nil || out.Net == nil {
-			continue
-		}
-		j := a.pinIdx[out]
-		nd := a.nets[out.Net]
-		for rfIn := 0; rfIn < 2; rfIn++ {
-			for _, rfOut := range outTransitions(arc.Sense, rfIn) {
-				for el := 0; el < 2; el++ {
-					if !v.valid[rfIn][el] {
-						continue
-					}
-					a.relaxArc(i, j, arc, rfIn, rfOut, el, nd)
-				}
-			}
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package sta
 
 import (
+	"sync"
+
 	"newgame/internal/netlist"
 	"newgame/internal/parasitics"
 )
@@ -10,10 +12,20 @@ import (
 // keeps trees stable across repeated Run calls and across netlist edits:
 // optimization changing a driver does not re-roll its wires, while newly
 // created nets (buffer insertions) get fresh short trees.
+//
+// The binder is safe for concurrent use by analyzers running in parallel
+// (one per MCMM scenario). Tree *generation* order still determines which
+// tree a net gets — the generator draws from one seeded stream — so
+// callers that need run-to-run determinism warm the cache serially in net
+// order before fanning out; a Run's own parallel delay calc does this
+// automatically.
 func NewNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *parasitics.Tree {
 	gen := parasitics.NewNetGen(stack, seed)
 	cache := map[*netlist.Net]*parasitics.Tree{}
+	var mu sync.Mutex
 	return func(n *netlist.Net) *parasitics.Tree {
+		mu.Lock()
+		defer mu.Unlock()
 		if t, ok := cache[n]; ok {
 			// Fanout may have changed (loads moved to a buffer): re-route
 			// only when the sink count no longer matches.

@@ -72,6 +72,12 @@ type Config struct {
 	// analysis and factors > 1 to 1 on early (droop only ever slows late
 	// paths and cannot be credited to early ones).
 	CellDerate func(*netlist.Cell) float64
+	// Workers bounds the goroutines one Run uses for delay calculation and
+	// level-parallel propagation: 0 means one per available CPU
+	// (runtime.GOMAXPROCS), 1 forces fully serial execution. Results are
+	// bit-identical at every setting — each vertex is recomputed by exactly
+	// one goroutine from already-finalized earlier levels.
+	Workers int
 }
 
 const (
@@ -125,6 +131,12 @@ type vertex struct {
 
 	reqValid [2][2]bool
 	req      [2][2]float64
+
+	// seedReq/seedValid record the endpoint-check required time seeded at
+	// this vertex by the backward pass (late analysis, per output rf), so
+	// incremental updates can detect when an endpoint's check moved.
+	seedReq   [2]float64
+	seedValid [2]bool
 }
 
 func (v *vertex) name() string {
@@ -145,6 +157,17 @@ type netData struct {
 	coupling  float64
 }
 
+// netFanin records the single net edge feeding a load vertex: the driver
+// vertex and this vertex's sink index into the net's delay-calc results.
+// Output-pin vertices are instead fed by cell arcs, resolved live from the
+// cell's current master (so in-place Vt/drive swaps never leave stale arc
+// pointers behind).
+type netFanin struct {
+	driver int // -1 when the vertex is not fed by a net edge
+	net    *netlist.Net
+	sink   int
+}
+
 // Analyzer binds a design + constraints + config and runs timing.
 type Analyzer struct {
 	D    *netlist.Design
@@ -154,8 +177,18 @@ type Analyzer struct {
 	verts   []vertex
 	pinIdx  map[*netlist.Pin]int
 	portIdx map[*netlist.Port]int
-	order   []int // topological order
+	order   []int   // topological order
+	level   []int   // per-vertex longest-path level
+	levels  [][]int // vertices grouped by level (the wavefronts)
+	fanin   []netFanin
 	nets    map[*netlist.Net]*netData
+	zeroBuf []float64 // shared all-zero slice for lumped-net sink delays
+
+	// Incremental re-timing state (see incremental.go).
+	dirtyNets   map[*netlist.Net]bool
+	dirtyVerts  map[int]bool
+	dirtyReq    map[int]bool
+	structDirty bool
 
 	ran bool
 }
@@ -171,9 +204,12 @@ func New(d *netlist.Design, cons *Constraints, cfg Config) (*Analyzer, error) {
 	}
 	a := &Analyzer{
 		D: d, Cons: cons, Cfg: cfg,
-		pinIdx:  make(map[*netlist.Pin]int),
-		portIdx: make(map[*netlist.Port]int),
-		nets:    make(map[*netlist.Net]*netData),
+		pinIdx:     make(map[*netlist.Pin]int),
+		portIdx:    make(map[*netlist.Port]int),
+		nets:       make(map[*netlist.Net]*netData),
+		dirtyNets:  make(map[*netlist.Net]bool),
+		dirtyVerts: make(map[int]bool),
+		dirtyReq:   make(map[int]bool),
 	}
 	// Vertices: every cell pin, every port.
 	for _, c := range d.Cells {
@@ -201,7 +237,60 @@ func New(d *netlist.Design, cons *Constraints, cfg Config) (*Analyzer, error) {
 		return nil, err
 	}
 	a.markClockPaths()
+	a.buildTopology()
 	return a, nil
+}
+
+// buildTopology derives the pull-side view of the graph: per-vertex net
+// fanins and longest-path levels. Vertices on the same level have no edges
+// between them, so a level is a safe parallel wavefront; every fanin of a
+// vertex sits at a strictly lower level.
+func (a *Analyzer) buildTopology() {
+	n := len(a.verts)
+	a.fanin = make([]netFanin, n)
+	for i := range a.fanin {
+		a.fanin[i].driver = -1
+	}
+	for _, nl := range a.D.Nets {
+		di := -1
+		if nl.Driver != nil {
+			if i, ok := a.pinIdx[nl.Driver]; ok {
+				di = i
+			}
+		} else if nl.Port != nil && nl.Port.Dir == netlist.Input {
+			if i, ok := a.portIdx[nl.Port]; ok {
+				di = i
+			}
+		}
+		if di < 0 {
+			continue
+		}
+		for si, l := range nl.Loads {
+			a.fanin[a.pinIdx[l]] = netFanin{driver: di, net: nl, sink: si}
+		}
+		if p := nl.Port; p != nil && p.Dir == netlist.Output {
+			a.fanin[a.portIdx[p]] = netFanin{driver: di, net: nl, sink: len(nl.Loads)}
+		}
+	}
+	a.level = make([]int, n)
+	for _, i := range a.order {
+		li := a.level[i]
+		a.successors(i, func(j int) {
+			if li+1 > a.level[j] {
+				a.level[j] = li + 1
+			}
+		})
+	}
+	maxL := 0
+	for _, l := range a.level {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	a.levels = make([][]int, maxL+1)
+	for _, i := range a.order {
+		a.levels[a.level[i]] = append(a.levels[a.level[i]], i)
+	}
 }
 
 // master returns the library master of a cell (known valid after New),

@@ -1,0 +1,337 @@
+package sta
+
+import "newgame/internal/netlist"
+
+// Incremental re-timing: after an optimization pass retypes a handful of
+// cells (Vt swap, resizing, recovery), a full Run re-propagates the whole
+// graph even though only the edited cells' fan-in nets and forward cones
+// moved. InvalidateCell/InvalidateNet record what changed; Update redoes
+// delay calculation for dirty nets only, re-relaxes the affected forward
+// cone level by level (stopping wherever values settle), and recomputes
+// required times backward from the endpoints and edges that actually
+// moved. Because Update re-runs the exact same per-vertex recompute the
+// full pass uses, its results are bit-identical to a fresh Run. Structural
+// edits (changed connectivity, new cells/nets) are detected and fall back
+// to a full Run — and genuinely new graph shapes still need a new Analyzer,
+// exactly as before.
+
+// InvalidateNet marks a net's delay calculation stale (load caps, NDR,
+// or parasitics changed).
+func (a *Analyzer) InvalidateNet(n *netlist.Net) {
+	a.dirtyNets[n] = true
+}
+
+// InvalidateCell marks cell c's timing stale after an in-place master swap
+// (SetType to a variant with identical pin names and directions): the nets
+// driving its inputs see new pin caps, its output vertices get new arc
+// tables, and its input pins' required times depend on those tables.
+func (a *Analyzer) InvalidateCell(c *netlist.Cell) {
+	if a.master(c) == nil {
+		a.structDirty = true
+		return
+	}
+	for _, p := range c.Pins {
+		i, ok := a.pinIdx[p]
+		if !ok {
+			a.structDirty = true
+			return
+		}
+		if p.Dir == netlist.Input {
+			if p.Net != nil {
+				a.InvalidateNet(p.Net)
+			}
+			a.dirtyReq[i] = true
+		} else {
+			a.dirtyVerts[i] = true
+		}
+	}
+}
+
+// Dirty reports whether invalidations are pending.
+func (a *Analyzer) Dirty() bool {
+	return a.structDirty || len(a.dirtyNets) > 0 || len(a.dirtyVerts) > 0 || len(a.dirtyReq) > 0
+}
+
+// clearDirty forgets all pending invalidations (a full Run covers them).
+func (a *Analyzer) clearDirty() {
+	a.structDirty = false
+	clear(a.dirtyNets)
+	clear(a.dirtyVerts)
+	clear(a.dirtyReq)
+}
+
+// netDriverVertex returns the vertex driving net n, or -1.
+func (a *Analyzer) netDriverVertex(n *netlist.Net) int {
+	if n.Driver != nil {
+		if i, ok := a.pinIdx[n.Driver]; ok {
+			return i
+		}
+		return -1
+	}
+	if n.Port != nil && n.Port.Dir == netlist.Input {
+		if i, ok := a.portIdx[n.Port]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// incrementalSafe verifies the dirty nets still have the connectivity the
+// analysis graph was built from; loads or drivers moving between nets is a
+// structural edit that needs a rebuilt Analyzer, so Update falls back.
+func (a *Analyzer) incrementalSafe() bool {
+	for n := range a.dirtyNets {
+		if _, ok := a.nets[n]; !ok {
+			return false
+		}
+		if n.Driver != nil {
+			if _, ok := a.pinIdx[n.Driver]; !ok {
+				return false
+			}
+		}
+		for si, l := range n.Loads {
+			i, ok := a.pinIdx[l]
+			if !ok {
+				return false
+			}
+			if nf := a.fanin[i]; nf.net != n || nf.sink != si {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// levelQueue is a deduplicating worklist bucketed by topological level.
+// Forward sweeps drain ascending (pushes go to higher levels only);
+// backward sweeps drain descending (pushes go to lower levels only), so a
+// bucket is never appended to after it has been drained.
+type levelQueue struct {
+	buckets  [][]int
+	enqueued []bool
+}
+
+func (a *Analyzer) newLevelQueue() *levelQueue {
+	return &levelQueue{
+		buckets:  make([][]int, len(a.levels)),
+		enqueued: make([]bool, len(a.verts)),
+	}
+}
+
+func (q *levelQueue) push(i, level int) {
+	if q.enqueued[i] {
+		return
+	}
+	q.enqueued[i] = true
+	q.buckets[level] = append(q.buckets[level], i)
+}
+
+// fwdState snapshots the arrival-side values change detection compares.
+// pred is deliberately excluded: it is derived alongside these values and
+// cannot change while they stay bit-identical.
+type fwdState struct {
+	valid [2][2]bool
+	arr   [2][2]timeVar
+	slew  [2][2]float64
+	depth [2][2]int
+}
+
+func snapshotFwd(v *vertex) fwdState {
+	return fwdState{valid: v.valid, arr: v.arr, slew: v.slew, depth: v.depth}
+}
+
+func (s fwdState) changed(v *vertex) bool {
+	return s.valid != v.valid || s.arr != v.arr || s.slew != v.slew || s.depth != v.depth
+}
+
+type reqState struct {
+	valid [2][2]bool
+	req   [2][2]float64
+}
+
+func snapshotReq(v *vertex) reqState {
+	return reqState{valid: v.reqValid, req: v.req}
+}
+
+func (s reqState) changed(v *vertex) bool {
+	return s.valid != v.reqValid || s.req != v.req
+}
+
+// pushFanins invokes fn for every timing edge *into* vertex i — the
+// reverse of successors.
+func (a *Analyzer) pushFanins(i int, fn func(j int)) {
+	if nf := a.fanin[i]; nf.driver >= 0 {
+		fn(nf.driver)
+	}
+	v := &a.verts[i]
+	if v.pin != nil && v.pin.Dir == netlist.Output {
+		c := v.pin.Cell
+		m := a.master(c)
+		for k := range m.Arcs {
+			if m.Arcs[k].To != v.pin.Name {
+				continue
+			}
+			if in := c.Pin(m.Arcs[k].From); in != nil {
+				if j, ok := a.pinIdx[in]; ok {
+					fn(j)
+				}
+			}
+		}
+	}
+}
+
+// Update incrementally re-times the design after InvalidateCell /
+// InvalidateNet calls. It falls back to a full Run when no prior Run
+// exists or a structural edit is detected, and is a no-op when nothing is
+// dirty. Results are bit-identical to a fresh Run on the same netlist.
+func (a *Analyzer) Update() error {
+	if !a.ran || a.structDirty || !a.incrementalSafe() {
+		return a.Run()
+	}
+	if !a.Dirty() {
+		return nil
+	}
+
+	// Phase 1: redo delay calculation for dirty nets.
+	for n := range a.dirtyNets {
+		a.growZeroBuf(n.Fanout())
+	}
+	for n := range a.dirtyNets {
+		a.fillNetData(a.nets[n], n)
+	}
+
+	// Phase 2: forward cone. Seed the worklist with every vertex whose
+	// inputs moved — dirty nets touch their driver (arc load) and sinks
+	// (wire delay), retyped cells touch their output pins (arc tables) —
+	// then sweep ascending; a vertex whose recomputed state is unchanged
+	// does not wake its fanout.
+	fw := a.newLevelQueue()
+	seedFwd := func(i int) { fw.push(i, a.level[i]) }
+	for n := range a.dirtyNets {
+		if d := a.netDriverVertex(n); d >= 0 {
+			seedFwd(d)
+		}
+		for _, l := range n.Loads {
+			seedFwd(a.pinIdx[l])
+		}
+		if p := n.Port; p != nil && p.Dir == netlist.Output {
+			seedFwd(a.portIdx[p])
+		}
+	}
+	for i := range a.dirtyVerts {
+		seedFwd(i)
+	}
+	changedFwd := map[int]bool{}
+	for li := 0; li < len(fw.buckets); li++ {
+		for _, i := range fw.buckets[li] {
+			old := snapshotFwd(&a.verts[i])
+			a.resetForward(i)
+			a.seedVertex(i)
+			a.relaxVertex(i)
+			if old.changed(&a.verts[i]) {
+				changedFwd[i] = true
+				a.successors(i, func(j int) { fw.push(j, a.level[j]) })
+			}
+		}
+	}
+
+	// Phase 3: backward cone. Required times must be recomputed wherever
+	// (a) the vertex's own forward state moved (it feeds the edge delays),
+	// (b) an endpoint check's seed moved, (c) an outgoing edge's delay
+	// context moved (dirty net at the driver, new arc tables at retyped
+	// cells' input pins), or (d) a successor's required time moved —
+	// discovered during the descending sweep.
+	if a.Cons != nil {
+		bw := a.newLevelQueue()
+		seedBwd := func(i int) { bw.push(i, a.level[i]) }
+		// Re-derive endpoint seeds from the (already final) new arrivals.
+		type seedRec struct {
+			val   [2]float64
+			valid [2]bool
+		}
+		newSeeds := map[int]seedRec{}
+		for _, e := range a.EndpointSlacks(Setup) {
+			var i int
+			if e.Pin != nil {
+				i = a.pinIdx[e.Pin]
+			} else {
+				i = a.portIdx[e.Port]
+			}
+			r := a.verts[i].arr[e.RF][late].T + e.Slack
+			rec := newSeeds[i]
+			if !rec.valid[e.RF] || r < rec.val[e.RF] {
+				rec.val[e.RF] = r
+				rec.valid[e.RF] = true
+			}
+			newSeeds[i] = rec
+		}
+		for i := range a.verts {
+			v := &a.verts[i]
+			rec, ok := newSeeds[i]
+			if !ok {
+				if v.seedValid != ([2]bool{}) {
+					v.seedValid = [2]bool{}
+					v.seedReq = [2]float64{}
+					seedBwd(i)
+				}
+				continue
+			}
+			if rec.valid != v.seedValid || rec.val != v.seedReq {
+				v.seedValid = rec.valid
+				v.seedReq = rec.val
+				seedBwd(i)
+			}
+		}
+		for i := range changedFwd {
+			seedBwd(i)
+		}
+		for i := range a.dirtyReq {
+			seedBwd(i)
+		}
+		for n := range a.dirtyNets {
+			d := a.netDriverVertex(n)
+			if d < 0 {
+				continue
+			}
+			seedBwd(d)
+			// The driver cell's input pins see the dirty net's new total
+			// cap through their backward arc-delay recomputation.
+			if dv := &a.verts[d]; dv.pin != nil {
+				for _, p := range dv.pin.Cell.Pins {
+					if p.Dir != netlist.Input {
+						continue
+					}
+					if pi, ok := a.pinIdx[p]; ok {
+						seedBwd(pi)
+					}
+				}
+			}
+		}
+		for li := len(bw.buckets) - 1; li >= 0; li-- {
+			for _, i := range bw.buckets[li] {
+				old := snapshotReq(&a.verts[i])
+				a.recomputeRequired(i)
+				if old.changed(&a.verts[i]) {
+					a.pushFanins(i, func(j int) { bw.push(j, a.level[j]) })
+				}
+			}
+		}
+	}
+	a.clearDirty()
+	return nil
+}
+
+// recomputeRequired rebuilds vertex i's required times from scratch: its
+// recorded endpoint seed plus a pull from its (final) successors.
+func (a *Analyzer) recomputeRequired(i int) {
+	v := &a.verts[i]
+	v.reqValid = [2][2]bool{}
+	v.req = [2][2]float64{}
+	for rf := 0; rf < 2; rf++ {
+		if v.seedValid[rf] {
+			v.req[rf][late] = v.seedReq[rf]
+			v.reqValid[rf][late] = true
+		}
+	}
+	a.pullRequired(i)
+}

@@ -1,0 +1,256 @@
+package sta
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+)
+
+// compareState asserts two analyzers over the same design hold bit-identical
+// timing state: every vertex's arrivals, slews, depths and required times,
+// plus the derived endpoint-slack lists and summary metrics.
+func compareState(t *testing.T, got, want *Analyzer, ctx string) {
+	t.Helper()
+	if len(got.verts) != len(want.verts) {
+		t.Fatalf("%s: vertex count %d vs %d", ctx, len(got.verts), len(want.verts))
+	}
+	for i := range got.verts {
+		g, w := &got.verts[i], &want.verts[i]
+		if g.valid != w.valid || g.arr != w.arr || g.slew != w.slew || g.depth != w.depth {
+			t.Fatalf("%s: forward state differs at %s:\n got  valid=%v arr=%v slew=%v depth=%v\n want valid=%v arr=%v slew=%v depth=%v",
+				ctx, g.name(), g.valid, g.arr, g.slew, g.depth, w.valid, w.arr, w.slew, w.depth)
+		}
+		if g.reqValid != w.reqValid || g.req != w.req {
+			t.Fatalf("%s: required state differs at %s:\n got  reqValid=%v req=%v\n want reqValid=%v req=%v",
+				ctx, g.name(), g.reqValid, g.req, w.reqValid, w.req)
+		}
+	}
+	for _, check := range []CheckKind{Setup, Hold} {
+		if gs, ws := got.WorstSlack(check), want.WorstSlack(check); gs != ws {
+			t.Fatalf("%s: WorstSlack(%v) %v vs %v", ctx, check, gs, ws)
+		}
+		ge, we := got.EndpointSlacks(check), want.EndpointSlacks(check)
+		if !reflect.DeepEqual(ge, we) {
+			t.Fatalf("%s: EndpointSlacks(%v) differ (%d vs %d entries)", ctx, check, len(ge), len(we))
+		}
+	}
+	if gt, wt := got.TNS(Setup), want.TNS(Setup); gt != wt {
+		t.Fatalf("%s: TNS %v vs %v", ctx, gt, wt)
+	}
+}
+
+// fullConfig exercises every analysis feature that interacts with the
+// levelized/parallel propagation: SI Miller caps, AOCV depth derates, MIS.
+func fullConfig(lib *liberty.Library, stack *parasitics.Stack, seed int64, workers int) Config {
+	return Config{
+		Lib: lib, Parasitics: NewNetBinder(stack, seed),
+		SI: DefaultSI(), Derate: DefaultAOCV(), MIS: true,
+		Workers: workers,
+	}
+}
+
+func incrTestDesign(lib *liberty.Library, seed int64) (*Constraints, *Analyzer, error) {
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "inc", Inputs: 10, Outputs: 10, FFs: 32, Gates: 420,
+		MaxDepth: 9, Seed: seed, ClockBufferLevels: 2,
+		VtMix: [3]float64{0.2, 0.5, 0.3},
+	})
+	cons := NewConstraints()
+	cons.AddClock("clk", 600, d.Port("clk"))
+	a, err := New(d, cons, fullConfig(lib, parasitics.Stack16(), seed, 1))
+	return cons, a, err
+}
+
+// Parallel propagation must be bit-identical to serial: same design, same
+// seed, Workers=1 vs Workers=4 (forced goroutine fan-out even on one CPU).
+func TestParallelRunMatchesSerial(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	for _, seed := range []int64{3, 17} {
+		d := circuits.Block(lib, circuits.BlockSpec{
+			Name: "par", Inputs: 12, Outputs: 12, FFs: 48, Gates: 900,
+			MaxDepth: 10, Seed: seed, ClockBufferLevels: 2,
+			VtMix: [3]float64{0.2, 0.5, 0.3},
+		})
+		cons := NewConstraints()
+		cons.AddClock("clk", 550, d.Port("clk"))
+		serial, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.Run(); err != nil {
+			t.Fatal(err)
+		}
+		par, err := New(d, cons, fullConfig(lib, stack, seed, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := par.Run(); err != nil {
+			t.Fatal(err)
+		}
+		compareState(t, par, serial, "parallel vs serial")
+		// Re-running with reused buffers must not drift.
+		if err := par.Run(); err != nil {
+			t.Fatal(err)
+		}
+		compareState(t, par, serial, "parallel second run")
+	}
+}
+
+// vtSwapVariant returns an in-place retype target for c, stepping its Vt
+// class (LVT->SVT->HVT->SVT...), or "" when none exists.
+func vtSwapVariant(lib *liberty.Library, typeName string) string {
+	m := lib.Cell(typeName)
+	if m == nil || m.IsSequential() {
+		return ""
+	}
+	var target liberty.VtClass
+	switch m.Vt {
+	case liberty.HVT:
+		target = liberty.SVT
+	case liberty.SVT:
+		target = liberty.LVT
+	default:
+		target = liberty.SVT
+	}
+	v := lib.Variant(m, m.Drive, target)
+	if v == nil {
+		return ""
+	}
+	return v.Name
+}
+
+// Property: N random cell-swap edits followed by Update() match a fresh
+// full Run() on the same netlist, over several rounds of compounding edits.
+func TestIncrementalUpdateMatchesFullRun(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	for _, seed := range []int64{1, 9, 42} {
+		cons, inc, err := incrTestDesign(lib, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inc.Run(); err != nil {
+			t.Fatal(err)
+		}
+		d := inc.D
+		rng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 6; round++ {
+			swapped := 0
+			for tries := 0; swapped < 5 && tries < 80; tries++ {
+				c := d.Cells[rng.Intn(len(d.Cells))]
+				to := vtSwapVariant(lib, c.TypeName)
+				if to == "" {
+					continue
+				}
+				c.SetType(to)
+				inc.InvalidateCell(c)
+				swapped++
+			}
+			if swapped == 0 {
+				t.Fatalf("seed %d round %d: no swappable cells", seed, round)
+			}
+			if !inc.Dirty() {
+				t.Fatalf("seed %d round %d: analyzer not dirty after invalidation", seed, round)
+			}
+			if err := inc.Update(); err != nil {
+				t.Fatal(err)
+			}
+			// Fresh analyzer + full Run over the same (edited) netlist. A
+			// fresh binder with the same seed regenerates identical trees
+			// because generation follows net order in both cases.
+			fresh, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.Run(); err != nil {
+				t.Fatal(err)
+			}
+			compareState(t, inc, fresh, "incremental vs full run")
+			// With nothing dirty, Update must be a no-op.
+			if inc.Dirty() {
+				t.Fatal("dirty after Update")
+			}
+			if err := inc.Update(); err != nil {
+				t.Fatal(err)
+			}
+			compareState(t, inc, fresh, "no-op update")
+		}
+	}
+}
+
+// Incremental updates must also be exact when the analyzer itself runs its
+// waves in parallel.
+func TestIncrementalUpdateParallelWorkers(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	const seed = 5
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "incp", Inputs: 10, Outputs: 10, FFs: 32, Gates: 420,
+		MaxDepth: 9, Seed: seed, ClockBufferLevels: 2,
+		VtMix: [3]float64{0.2, 0.5, 0.3},
+	})
+	cons := NewConstraints()
+	cons.AddClock("clk", 600, d.Port("clk"))
+	inc, err := New(d, cons, fullConfig(lib, stack, seed, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 3; round++ {
+		for swapped, tries := 0, 0; swapped < 8 && tries < 100; tries++ {
+			c := d.Cells[rng.Intn(len(d.Cells))]
+			if to := vtSwapVariant(lib, c.TypeName); to != "" {
+				c.SetType(to)
+				inc.InvalidateCell(c)
+				swapped++
+			}
+		}
+		if err := inc.Update(); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Run(); err != nil {
+			t.Fatal(err)
+		}
+		compareState(t, inc, fresh, "parallel incremental vs serial full")
+	}
+}
+
+// Update on an analyzer that never ran falls back to a full Run.
+func TestUpdateBeforeRunFallsBack(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	const seed = 2
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "fb", Inputs: 8, Outputs: 8, FFs: 16, Gates: 200,
+		MaxDepth: 8, Seed: seed, ClockBufferLevels: 1,
+	})
+	cons := NewConstraints()
+	cons.AddClock("clk", 600, d.Port("clk"))
+	a, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	compareState(t, a, b, "update-before-run vs run")
+}

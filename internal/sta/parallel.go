@@ -1,0 +1,48 @@
+package sta
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workers resolves Cfg.Workers: 0 means one worker per available CPU;
+// anything below 1 forces serial execution.
+func (a *Analyzer) workers() int {
+	w := a.Cfg.Workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn over contiguous chunks of [0, n) on up to w
+// goroutines and blocks until every chunk is done. Each index lands in
+// exactly one chunk, so callers get per-element exclusivity for free.
+func parallelFor(w, n int, fn func(lo, hi int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

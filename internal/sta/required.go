@@ -9,11 +9,35 @@ import (
 // analysis, giving per-pin slacks for optimization and breakdown reports.
 // Required times are mean-based: statistical deraters' sigma is applied at
 // endpoints only (documented limitation; endpoint slacks remain exact).
+// The sweep walks the level wavefronts in descending order — a vertex pulls
+// from its successors, which all sit at strictly higher (already finalized)
+// levels, so a level can fan out across workers just like the forward pass.
 func (a *Analyzer) propagateRequired() {
 	if a.Cons == nil {
 		return
 	}
-	// Seed endpoint requireds from the setup checks.
+	a.seedRequired()
+	w := a.workers()
+	for li := len(a.levels) - 1; li >= 0; li-- {
+		lvl := a.levels[li]
+		if w <= 1 || len(lvl) < minParallelLevel {
+			for _, i := range lvl {
+				a.pullRequired(i)
+			}
+			continue
+		}
+		parallelFor(w, len(lvl), func(lo, hi int) {
+			for _, i := range lvl[lo:hi] {
+				a.pullRequired(i)
+			}
+		})
+	}
+}
+
+// seedRequired seeds endpoint requireds from the setup checks, recording
+// the seed on the vertex so incremental updates can detect when a check's
+// result moved.
+func (a *Analyzer) seedRequired() {
 	for _, e := range a.EndpointSlacks(Setup) {
 		var i int
 		if e.Pin != nil {
@@ -25,25 +49,31 @@ func (a *Analyzer) propagateRequired() {
 		// Store mean-based required: slack + mean arrival keeps pin slack
 		// consistent with the endpoint's sigma-adjusted slack.
 		r := v.arr[e.RF][late].T + e.Slack
+		if !v.seedValid[e.RF] || r < v.seedReq[e.RF] {
+			v.seedReq[e.RF] = r
+			v.seedValid[e.RF] = true
+		}
 		if !v.reqValid[e.RF][late] || r < v.req[e.RF][late] {
 			v.req[e.RF][late] = r
 			v.reqValid[e.RF][late] = true
 		}
 	}
-	// Reverse topological relaxation.
-	for k := len(a.order) - 1; k >= 0; k-- {
-		i := a.order[k]
-		v := &a.verts[i]
-		switch {
-		case v.port != nil && v.port.Dir == netlist.Input:
-			a.pullNetRequired(i, v.port.Net)
-		case v.pin != nil && v.pin.Dir == netlist.Output:
-			if v.pin.Net != nil {
-				a.pullNetRequired(i, v.pin.Net)
-			}
-		case v.pin != nil && v.pin.Dir == netlist.Input:
-			a.pullArcRequired(i)
+}
+
+// pullRequired relaxes vertex i's required time from its outgoing edges:
+// net edges for drivers and input ports, cell arcs for input pins. Only
+// vertex i is written, which is what makes the level sweep race-free.
+func (a *Analyzer) pullRequired(i int) {
+	v := &a.verts[i]
+	switch {
+	case v.port != nil && v.port.Dir == netlist.Input:
+		a.pullNetRequired(i, v.port.Net)
+	case v.pin != nil && v.pin.Dir == netlist.Output:
+		if v.pin.Net != nil {
+			a.pullNetRequired(i, v.pin.Net)
 		}
+	case v.pin != nil && v.pin.Dir == netlist.Input:
+		a.pullArcRequired(i)
 	}
 }
 
