@@ -13,6 +13,7 @@ import (
 	"newgame/internal/experiments"
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 	"newgame/internal/sta"
 )
@@ -174,3 +175,72 @@ func benchSurvey(b *testing.B, workers int) {
 
 func BenchmarkMCMMSurveySerial(b *testing.B)   { benchSurvey(b, 1) }
 func BenchmarkMCMMSurveyParallel(b *testing.B) { benchSurvey(b, 0) }
+
+// ------------------------------------------------------------------------
+// Observability overhead: the same survey and analyzer workloads with
+// recording off (nil Recorder — the shipped default) and on. The deltas
+// between each Off/On pair bound the cost of the instrumentation left
+// permanently in the hot paths; they should stay within noise (<2%).
+
+func benchSurveyObs(b *testing.B, rec bool) {
+	stack := parasitics.Stack16()
+	recipe := core.OldGoalPosts(liberty.Node16, stack)
+	const seed = 42
+	d := circuits.Block(recipe.Scenarios[0].Lib, circuits.BlockSpec{
+		Name: "obsb", Inputs: 24, Outputs: 24, FFs: 96, Gates: 1400,
+		MaxDepth: 13, Seed: seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0, 0.4, 0.6},
+	})
+	e := &core.Engine{
+		D: d, Recipe: recipe, BasePeriod: 560, ClockPort: d.Port("clk"),
+		Parasitics: sta.NewNetBinder(stack, seed),
+		Workers:    0,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec {
+			e.Obs = obs.NewRecorder()
+		}
+		if _, err := e.Survey(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSurveyObsOff(b *testing.B) { benchSurveyObs(b, false) }
+func BenchmarkSurveyObsOn(b *testing.B)  { benchSurveyObs(b, true) }
+
+func benchSTARunObs(b *testing.B, rec bool) {
+	lib := benchLib()
+	const seed = 42
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "obsr", Inputs: 24, Outputs: 24, FFs: 160, Gates: 3000,
+		MaxDepth: 13, Seed: seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0.1, 0.5, 0.4},
+	})
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", 560, d.Port("clk"))
+	cfg := sta.Config{
+		Lib: lib, Parasitics: sta.NewNetBinder(parasitics.Stack16(), seed),
+		SI: sta.DefaultSI(), Derate: sta.DefaultAOCV(), MIS: true,
+		Workers: 0,
+	}
+	if rec {
+		cfg.Obs = obs.NewRecorder()
+	}
+	a, err := sta.New(d, cons, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTARunObsOff(b *testing.B) { benchSTARunObs(b, false) }
+func BenchmarkSTARunObsOn(b *testing.B)  { benchSTARunObs(b, true) }

@@ -5,11 +5,23 @@
 // Usage:
 //
 //	closure -recipe new -period 600 -gates 1400
+//	closure -recipe new -trace trace.json -metrics metrics.json
+//	closure -recipe old -pprof localhost:6060
+//
+// -metrics writes a JSON metrics dump (counters, gauges, histograms, span
+// rollups); -trace writes Chrome trace-event JSON loadable in Perfetto or
+// chrome://tracing, where the scenario-parallel signoff renders as
+// overlapping worker lanes; -pprof serves net/http/pprof for live CPU and
+// heap profiling. Either of -metrics/-trace also prints the obs summary
+// tables after the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
@@ -17,6 +29,7 @@ import (
 	"newgame/internal/circuits"
 	"newgame/internal/core"
 	"newgame/internal/liberty"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 	"newgame/internal/power"
 	"newgame/internal/report"
@@ -31,7 +44,22 @@ func main() {
 	ffs := flag.Int("ffs", 96, "flip-flop count")
 	seed := flag.Int64("seed", 42, "generation seed")
 	workers := flag.Int("workers", 0, "concurrent signoff workers (0 = all CPUs, 1 = serial)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "closure: pprof:", err)
+			}
+		}()
+	}
+	var rec *obs.Recorder
+	if *metricsPath != "" || *tracePath != "" {
+		rec = obs.NewRecorder()
+	}
 
 	stack := parasitics.Stack16()
 	var recipe core.Recipe
@@ -52,33 +80,42 @@ func main() {
 		MaxDepth: 13, Seed: *seed, ClockBufferLevels: 3,
 		VtMix: [3]float64{0, 0.4, 0.6},
 	})
+	// One binder serves both the closure engine and the power analyzer:
+	// they see identical RC trees and the generation work happens once.
+	binder := sta.NewNetBinder(stack, *seed)
 	e := &core.Engine{
 		D: d, Recipe: recipe, BasePeriod: *period, ClockPort: d.Port("clk"),
-		Parasitics: sta.NewNetBinder(stack, *seed),
+		Parasitics: binder,
 		Workers:    *workers,
+		Obs:        rec,
 	}
-	powerOf := func() power.Report {
-		cons := sta.NewConstraints()
-		cons.AddClock("clk", *period, d.Port("clk"))
-		a, err := sta.New(d, cons, sta.Config{Lib: lib, Parasitics: sta.NewNetBinder(stack, *seed)})
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", *period, d.Port("clk"))
+	powerOf := func() (power.Report, error) {
+		sp := rec.Start("power", nil)
+		defer sp.End()
+		a, err := sta.New(d, cons, sta.Config{Lib: lib, Parasitics: binder, Obs: rec})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "closure:", err)
-			os.Exit(1)
+			return power.Report{}, err
 		}
 		if err := a.Run(); err != nil {
-			fmt.Fprintln(os.Stderr, "closure:", err)
-			os.Exit(1)
+			return power.Report{}, err
 		}
-		return power.Compute(a, lib, power.DefaultConfig())
+		return power.Compute(a, lib, power.DefaultConfig()), nil
 	}
-	pBefore := powerOf()
+	pBefore, err := powerOf()
+	if err != nil {
+		fatal(err)
+	}
 	t0 := time.Now()
 	res, err := e.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "closure:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	pAfter := powerOf()
+	pAfter, err := powerOf()
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("recipe %s on %s (%d cells), period %.0f ps\n\n",
 		recipe.Name, d.Name, len(d.Cells), *period)
 	tb := report.NewTable("closure iterations",
@@ -101,7 +138,42 @@ func main() {
 	fmt.Printf("power: %.1f -> %.1f uW total (leak %.1f -> %.1f uW, clock share %.0f%%)\n",
 		pBefore.Total/1000, pAfter.Total/1000, pBefore.Leakage/1000, pAfter.Leakage/1000,
 		100*pAfter.ClockFrac)
+	if rec != nil {
+		fmt.Println()
+		rec.WriteSummary(os.Stdout)
+		if err := exportFile(*metricsPath, rec.WriteMetricsJSON); err != nil {
+			fatal(err)
+		}
+		if err := exportFile(*tracePath, rec.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+	}
 	if !res.Closed {
 		os.Exit(2)
 	}
+}
+
+// exportFile writes one exporter's output to path ("" skips; "-" and
+// /dev/stdout both reach the terminal).
+func exportFile(path string, write func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "closure:", err)
+	os.Exit(1)
 }

@@ -5,19 +5,32 @@
 //	experiments -list
 //	experiments -run fig4
 //	experiments -run all
+//	experiments -run fig2 -metrics metrics.json -trace trace.json
+//
+// -metrics and -trace enable observability recording across every
+// experiment run (each closure engine and corner sweep attaches to the
+// same recorder) and write a JSON metrics dump / Chrome trace-event file
+// afterwards; -pprof serves net/http/pprof while experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 
 	"newgame/internal/experiments"
+	"newgame/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "all", "experiment id to run, or 'all'")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *list {
@@ -26,22 +39,73 @@ func main() {
 		}
 		return
 	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
+	var rec *obs.Recorder
+	if *metricsPath != "" || *tracePath != "" {
+		rec = obs.NewRecorder()
+		experiments.Obs = rec
+	}
+	runOne := func(e experiments.Entry) experiments.Result {
+		sp := rec.Start("experiment:"+e.ID, nil)
+		defer sp.End()
+		return e.Run()
+	}
+	exit := 0
 	if *run == "all" {
 		for _, e := range experiments.All() {
 			fmt.Printf("\n######## %s: %s ########\n", e.ID, e.Title)
-			r := e.Run()
+			r := runOne(e)
 			fmt.Print(r.Text)
 		}
-		return
+	} else {
+		e := experiments.Find(*run)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
+			os.Exit(1)
+		}
+		r := runOne(*e)
+		fmt.Print(r.Text)
+		if r.Title == "error" {
+			exit = 1
+		}
 	}
-	e := experiments.Find(*run)
-	if e == nil {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *run)
-		os.Exit(1)
+	if rec != nil {
+		fmt.Println()
+		rec.WriteSummary(os.Stdout)
+		if err := exportFile(*metricsPath, rec.WriteMetricsJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := exportFile(*tracePath, rec.WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
 	}
-	r := e.Run()
-	fmt.Print(r.Text)
-	if r.Title == "error" {
-		os.Exit(1)
+	os.Exit(exit)
+}
+
+// exportFile writes one exporter's output to path ("" skips; "-" and
+// /dev/stdout both reach the terminal).
+func exportFile(path string, write func(w io.Writer) error) error {
+	if path == "" {
+		return nil
 	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

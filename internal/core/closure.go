@@ -11,6 +11,7 @@ import (
 	"newgame/internal/ir"
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
+	"newgame/internal/obs"
 	"newgame/internal/opt"
 	"newgame/internal/parasitics"
 	"newgame/internal/place"
@@ -41,9 +42,19 @@ type Engine struct {
 	// signoff. Results are identical at every setting — scenario results
 	// merge in recipe order and each analyzer is deterministic.
 	Workers int
+	// Obs, when non-nil, records spans and metrics for the whole closure
+	// run — per-iteration and per-fix-pass spans, per-scenario signoff
+	// spans on worker tracks, violation gauges — and is forwarded to every
+	// analyzer (see internal/obs). Recording never alters results.
+	Obs *obs.Recorder
 
 	store *opt.Store
 	uskew map[*netlist.Cell]units.Ps
+	// obsParent is the span the next survey parents under (the in-flight
+	// iteration during Close, nil for bare Survey calls); obsSurvey is the
+	// in-flight survey span scenario spans attach to. Both are only read
+	// by engine-internal code on the calling goroutine.
+	obsParent, obsSurvey *obs.Span
 }
 
 // Breakdown categorizes the violations of one analysis pass — the "break
@@ -106,6 +117,31 @@ func (r Result) String() string {
 	return b.String()
 }
 
+// recordIteration publishes one survey's merged WNS and violation counts:
+// gauges track the latest state (what a convergence dashboard would show),
+// span args make each iteration self-describing in the trace. Non-finite
+// WNS values (recipes with no setup or no hold scenarios) are skipped.
+func (e *Engine) recordIteration(it Iteration, sp *obs.Span) {
+	if e.Obs == nil {
+		return
+	}
+	b := it.Breakdown
+	e.Obs.Gauge("close.setup_endpoints").Set(float64(b.SetupEndpoints))
+	e.Obs.Gauge("close.hold_endpoints").Set(float64(b.HoldEndpoints))
+	e.Obs.Gauge("close.drc_violations").Set(float64(b.MaxTran + b.MaxCap))
+	e.Obs.Gauge("close.noise_violations").Set(float64(b.Noise))
+	e.Obs.Gauge("close.total_violations").Set(float64(b.Total()))
+	if !math.IsInf(float64(it.MergedSetupWNS), 0) {
+		e.Obs.Gauge("close.setup_wns_ps").Set(float64(it.MergedSetupWNS))
+		sp.SetFloat("setup_wns", float64(it.MergedSetupWNS))
+	}
+	if !math.IsInf(float64(it.MergedHoldWNS), 0) {
+		e.Obs.Gauge("close.hold_wns_ps").Set(float64(it.MergedHoldWNS))
+		sp.SetFloat("hold_wns", float64(it.MergedHoldWNS))
+	}
+	sp.SetFloat("violations", float64(b.Total()))
+}
+
 // skewScale converts useful-skew offsets (scheduled in the reference
 // scenario's time base) to a scenario library's time base: skew buffers
 // speed up and slow down with the corner like every other cell.
@@ -120,8 +156,9 @@ func (e *Engine) skewScale(lib *liberty.Library) float64 {
 }
 
 // analyzer builds the STA view for one scenario with the engine's current
-// netlist, NDR store and useful-skew schedule.
-func (e *Engine) analyzer(s Scenario) (*sta.Analyzer, error) {
+// netlist, NDR store and useful-skew schedule. parent, when recording,
+// parents the analyzer's sta-level spans (typically the scenario span).
+func (e *Engine) analyzer(s Scenario, parent *obs.Span) (*sta.Analyzer, error) {
 	cons := sta.NewConstraints()
 	ck := cons.AddClock("clk", e.BasePeriod*s.PeriodScale, e.ClockPort)
 	ck.SetupUncertainty = s.SetupUncertainty
@@ -143,6 +180,7 @@ func (e *Engine) analyzer(s Scenario) (*sta.Analyzer, error) {
 		Derate: s.Derate, SI: s.SI, MIS: s.MIS,
 		CKLatencyScale: e.skewScale(s.Lib),
 		Workers:        e.Workers,
+		Obs:            e.Obs, ObsSpan: parent,
 	}
 	if s.DynamicIR && e.Place != nil {
 		droop := ir.Run(e.Place, s.Lib, ir.DefaultConfig())
@@ -178,25 +216,36 @@ func (e *Engine) runScenarios() ([]*sta.Analyzer, error) {
 	scen := e.Recipe.Scenarios
 	as := make([]*sta.Analyzer, len(scen))
 	errs := make([]error, len(scen))
+	// evalOne runs scenario i on worker track g (track g+1 in the trace;
+	// track 0 is the main goroutine) and bumps that worker's occupancy
+	// counter so the metrics dump shows how balanced the pool ran.
+	evalOne := func(i, g int) {
+		sp := e.Obs.Start("scenario:"+scen[i].Name, e.obsSurvey).OnTrack(g + 1)
+		as[i], errs[i] = e.analyzer(scen[i], sp)
+		sp.End()
+		if e.Obs != nil {
+			e.Obs.Counter(fmt.Sprintf("core.worker_%02d.scenarios", g)).Add(1)
+		}
+	}
 	w := e.workers()
 	if w > len(scen) {
 		w = len(scen)
 	}
 	if w <= 1 {
-		for i, s := range scen {
-			as[i], errs[i] = e.analyzer(s)
+		for i := range scen {
+			evalOne(i, 0)
 		}
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for g := 0; g < w; g++ {
 			wg.Add(1)
-			go func() {
+			go func(g int) {
 				defer wg.Done()
 				for i := range next {
-					as[i], errs[i] = e.analyzer(scen[i])
+					evalOne(i, g)
 				}
-			}()
+			}(g)
 		}
 		for i := range scen {
 			next <- i
@@ -216,6 +265,9 @@ func (e *Engine) runScenarios() ([]*sta.Analyzer, error) {
 // analyzers of the worst-setup, worst-hold and most-DRC-violating views so
 // the fix phase operates where the problems actually are.
 func (e *Engine) survey() (Iteration, *sta.Analyzer, *sta.Analyzer, *sta.Analyzer, error) {
+	sp := e.Obs.Start("core.survey", e.obsParent)
+	defer sp.End()
+	e.obsSurvey = sp
 	it := Iteration{MergedSetupWNS: math.Inf(1), MergedHoldWNS: math.Inf(1)}
 	var worstSetup, worstHold, worstDRC *sta.Analyzer
 	wsv, whv := math.Inf(1), math.Inf(1)
@@ -319,13 +371,20 @@ func (e *Engine) Close() (*Result, error) {
 	if e.uskew == nil {
 		e.uskew = map[*netlist.Cell]units.Ps{}
 	}
+	root := e.Obs.Start("close."+e.Recipe.Name, nil)
+	defer root.End()
+	defer func() { e.obsParent = nil }()
 	res := &Result{Recipe: e.Recipe.Name}
 	for iter := 1; iter <= e.Recipe.MaxIterations; iter++ {
+		itSp := e.Obs.Start("close.iteration", root).SetFloat("iter", float64(iter))
+		e.obsParent = itSp
 		it, worstSetup, worstHold, worstDRC, err := e.survey()
 		if err != nil {
+			itSp.End()
 			return nil, err
 		}
 		it.Index = iter
+		e.recordIteration(it, itSp)
 		clean := it.MergedSetupWNS >= 0 && it.MergedHoldWNS >= 0 && it.Breakdown.Total() == 0
 		// PBA-only violations do not need fixing.
 		if e.Recipe.UsePBA && it.Breakdown.SetupEndpoints > 0 &&
@@ -335,9 +394,11 @@ func (e *Engine) Close() (*Result, error) {
 			clean = true
 		}
 		if clean {
+			itSp.End()
 			res.Iterations = append(res.Iterations, it)
 			res.Closed = true
 			res.Final = it
+			e.obsParent = root
 			if err := e.recoverMargin(res); err != nil {
 				return nil, err
 			}
@@ -348,14 +409,20 @@ func (e *Engine) Close() (*Result, error) {
 			ctx := &opt.Context{A: worstSetup, Lib: worstSetup.Cfg.Lib, Place: e.Place, Store: e.store}
 			vopts := opt.DefaultVtSwap()
 			vopts.MinIAAware = e.Recipe.MinIAAware
-			for _, fix := range []func() (opt.Report, error){
-				func() (opt.Report, error) { return opt.VtSwap(ctx, vopts) },
-				func() (opt.Report, error) { return opt.Resize(ctx, opt.DefaultResize()) },
-				func() (opt.Report, error) { return opt.FixDRC(ctx, opt.DefaultBuffer()) },
-				func() (opt.Report, error) { return opt.ApplyNDR(ctx, 30) },
+			for _, step := range []struct {
+				name string
+				run  func() (opt.Report, error)
+			}{
+				{"vt_swap", func() (opt.Report, error) { return opt.VtSwap(ctx, vopts) }},
+				{"resize", func() (opt.Report, error) { return opt.Resize(ctx, opt.DefaultResize()) }},
+				{"fix_drc", func() (opt.Report, error) { return opt.FixDRC(ctx, opt.DefaultBuffer()) }},
+				{"ndr", func() (opt.Report, error) { return opt.ApplyNDR(ctx, 30) }},
 			} {
-				rep, err := fix()
+				fsp := e.Obs.Start("fix."+step.name, itSp)
+				rep, err := step.run()
+				fsp.SetFloat("changed", float64(rep.Changed)).End()
 				if err != nil {
+					itSp.End()
 					return nil, err
 				}
 				it.Fixes = append(it.Fixes, rep)
@@ -366,8 +433,11 @@ func (e *Engine) Close() (*Result, error) {
 				}
 			}
 			if e.Recipe.UseUsefulSkew && ctx.A.WorstSlack(sta.Setup) < 0 {
+				ssp := e.Obs.Start("fix.useful_skew", itSp)
 				us, err := cts.ScheduleUsefulSkew(ctx.A, ctx.Lib, cts.DefaultUsefulSkew())
+				ssp.End()
 				if err != nil {
+					itSp.End()
 					return nil, err
 				}
 				for ff, off := range us.Offsets {
@@ -382,8 +452,11 @@ func (e *Engine) Close() (*Result, error) {
 		if worstHold != nil && it.MergedHoldWNS < 0 {
 			ctx := &opt.Context{A: worstHold, Lib: worstHold.Cfg.Lib, Store: e.store,
 				SetupGuard: worstSetup}
+			hsp := e.Obs.Start("fix.hold", itSp)
 			rep, err := opt.FixHold(ctx, 100)
+			hsp.End()
 			if err != nil {
+				itSp.End()
 				return nil, err
 			}
 			it.Fixes = append(it.Fixes, rep)
@@ -404,8 +477,11 @@ func (e *Engine) Close() (*Result, error) {
 			if a != nil {
 				ctx := &opt.Context{A: a, Lib: a.Cfg.Lib, Store: e.store}
 				if it.Breakdown.MaxTran+it.Breakdown.MaxCap > 0 {
+					dsp := e.Obs.Start("fix.drc_closure", itSp)
 					rep, err := opt.FixDRC(ctx, opt.DefaultBuffer())
+					dsp.End()
 					if err != nil {
+						itSp.End()
 						return nil, err
 					}
 					it.Fixes = append(it.Fixes, rep)
@@ -413,22 +489,28 @@ func (e *Engine) Close() (*Result, error) {
 					res.LeakageDelta += rep.LeakageDelta
 				}
 				if it.Breakdown.Noise > 0 {
+					nsp := e.Obs.Start("fix.noise", itSp)
 					rep, err := opt.FixNoise(ctx, 60)
+					nsp.End()
 					if err != nil {
+						itSp.End()
 						return nil, err
 					}
 					it.Fixes = append(it.Fixes, rep)
 				}
 			}
 		}
+		itSp.End()
 		res.Iterations = append(res.Iterations, it)
 	}
 	// Final signoff after the last repair pass.
+	e.obsParent = root
 	fin, _, _, _, err := e.survey()
 	if err != nil {
 		return nil, err
 	}
 	fin.Index = e.Recipe.MaxIterations + 1
+	e.recordIteration(fin, nil)
 	res.Final = fin
 	res.Closed = fin.MergedSetupWNS >= 0 && fin.MergedHoldWNS >= 0 && fin.Breakdown.Total() == 0
 	if !res.Closed && e.Recipe.UsePBA &&
@@ -468,7 +550,9 @@ func (e *Engine) recoverMargin(res *Result) error {
 	if setupScen == nil {
 		return nil
 	}
-	a, err := e.analyzer(*setupScen)
+	rsp := e.Obs.Start("close.recover_margin", e.obsParent)
+	defer rsp.End()
+	a, err := e.analyzer(*setupScen, rsp)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"newgame/internal/liberty"
+	"newgame/internal/obs"
+	"newgame/internal/parasitics"
+)
+
+// Recording must not perturb the closure trajectory: a bare serial run, a
+// recorded serial run and a recorded parallel run all produce identical
+// Results. The recorded runs must also export the span hierarchy the
+// trace viewer depends on — one root, per-iteration spans, one span per
+// scenario evaluation — with worker occupancy counters that add up.
+func TestCloseDeterministicWithRecording(t *testing.T) {
+	const seed = 7
+	stack := parasitics.Stack16()
+	recipe := OldGoalPosts(liberty.Node16, stack)
+	lib := recipe.Scenarios[0].Lib
+	run := func(workers int, rec *obs.Recorder) *Result {
+		d := detTestDesign(lib, seed)
+		e := detEngine(recipe, d, seed, workers)
+		e.Obs = rec
+		res, err := e.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	bare := run(1, nil)
+	recSerial := obs.NewRecorder()
+	if got := run(1, recSerial); !reflect.DeepEqual(got, bare) {
+		t.Fatalf("serial closure with recording differs from bare run")
+	}
+	recPar := obs.NewRecorder()
+	if got := run(4, recPar); !reflect.DeepEqual(got, bare) {
+		t.Fatalf("parallel closure with recording differs from bare serial run")
+	}
+
+	for _, tc := range []struct {
+		name string
+		rec  *obs.Recorder
+	}{{"serial", recSerial}, {"parallel", recPar}} {
+		var b bytes.Buffer
+		if err := tc.rec.WriteMetricsJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		var d struct {
+			Counters map[string]int64 `json:"counters"`
+			Spans    map[string]struct {
+				Count int `json:"count"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(b.Bytes(), &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Spans["close."+recipe.Name].Count != 1 {
+			t.Fatalf("%s: root close span count = %d, want 1", tc.name, d.Spans["close."+recipe.Name].Count)
+		}
+		if d.Spans["close.iteration"].Count == 0 {
+			t.Fatalf("%s: no iteration spans", tc.name)
+		}
+		if d.Spans["core.survey"].Count == 0 {
+			t.Fatalf("%s: no survey spans", tc.name)
+		}
+		scenarioSpans := 0
+		for name, st := range d.Spans {
+			if strings.HasPrefix(name, "scenario:") {
+				scenarioSpans += st.Count
+			}
+		}
+		if scenarioSpans == 0 {
+			t.Fatalf("%s: no scenario spans", tc.name)
+		}
+		var workerTotal int64
+		for name, v := range d.Counters {
+			if strings.HasPrefix(name, "core.worker_") {
+				workerTotal += v
+			}
+		}
+		if workerTotal != int64(scenarioSpans) {
+			t.Fatalf("%s: worker occupancy counters sum to %d, but %d scenario spans recorded",
+				tc.name, workerTotal, scenarioSpans)
+		}
+	}
+
+	// The Chrome trace export of the parallel run is valid JSON with a
+	// lane per signoff worker.
+	var tr bytes.Buffer
+	if err := recPar.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(tr.Bytes(), &events); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	lanes := map[float64]bool{}
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			lanes[ev["tid"].(float64)] = true
+		}
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("parallel trace uses %d lanes, want worker fan-out visible", len(lanes))
+	}
+}
+
+// Survey alone (the per-iteration MCMM sweep) must also be unperturbed by
+// recording at every worker count the determinism suite covers.
+func TestSurveyDeterministicWithRecording(t *testing.T) {
+	const seed = 42
+	for name, recipe := range detRecipes(t) {
+		lib := recipe.Scenarios[0].Lib
+		d := detTestDesign(lib, seed)
+		bare, err := detEngine(recipe, d, seed, 1).Survey()
+		if err != nil {
+			t.Fatalf("%s bare: %v", name, err)
+		}
+		for _, workers := range []int{1, 4} {
+			e := detEngine(recipe, d, seed, workers)
+			e.Obs = obs.NewRecorder()
+			got, err := e.Survey()
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(got, bare) {
+				t.Fatalf("recipe %s: recorded survey (workers=%d) differs from bare serial", name, workers)
+			}
+		}
+	}
+}

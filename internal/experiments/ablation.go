@@ -141,6 +141,7 @@ func ablationPBAClosure(keys map[string]float64) string {
 		e := &core.Engine{
 			D: d, Recipe: recipe, BasePeriod: 590, ClockPort: d.Port("clk"),
 			Parasitics: sta.NewNetBinder(stack, 314),
+			Obs:        Obs,
 		}
 		res, err := e.Close()
 		if err != nil {

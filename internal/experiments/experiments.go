@@ -20,6 +20,7 @@ import (
 	"newgame/internal/liberty"
 	"newgame/internal/mcmm"
 	"newgame/internal/nodes"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 	"newgame/internal/place"
 	"newgame/internal/report"
@@ -37,6 +38,11 @@ type Result struct {
 	// Keys holds the headline numbers for EXPERIMENTS.md.
 	Keys map[string]float64
 }
+
+// Obs, when non-nil, is attached to every closure engine and corner sweep
+// the experiments build — cmd/experiments wires its -metrics/-trace flags
+// here. Nil (the default) records nothing.
+var Obs *obs.Recorder
 
 // Entry registers an experiment.
 type Entry struct {
@@ -95,6 +101,7 @@ func Fig01ClosureLoop() Result {
 	e := &core.Engine{
 		D: d, Recipe: recipe, BasePeriod: 580, ClockPort: d.Port("clk"),
 		Parasitics: sta.NewNetBinder(parasitics.Stack16(), 101),
+		Obs:        Obs,
 	}
 	res, err := e.Close()
 	if err != nil {
@@ -149,6 +156,7 @@ func Fig02OldVsNew() Result {
 		e := &core.Engine{
 			D: d, Recipe: r, BasePeriod: 600, ClockPort: d.Port("clk"),
 			Parasitics: sta.NewNetBinder(stack, seed),
+			Obs:        Obs,
 		}
 		res, err := e.Close()
 		if err != nil {
@@ -666,7 +674,8 @@ func Fig12CornerExplosion() Result {
 	// dominate shallower ones of the same mode kind. Per-scenario
 	// evaluation goes through the concurrent sweep (results merge in input
 	// order, so the output is identical to a serial loop).
-	rs := mcmm.Sweep(sp.Enumerate(), 0, func(_ int, sc mcmm.Scenario) mcmm.ScenarioResult {
+	swSpan := Obs.Start("experiment:fig12.sweep", nil)
+	rs := mcmm.SweepObs(Obs, swSpan, sp.Enumerate(), 0, func(_ int, sc mcmm.Scenario) mcmm.ScenarioResult {
 		// Synthetic severity: lower voltage, higher temp, worse BEOL ->
 		// worse WNS. Structure, not absolute truth; the pruner only needs
 		// ordering.
@@ -679,6 +688,7 @@ func Fig12CornerExplosion() Result {
 		}
 		return mcmm.ScenarioResult{Scenario: sc, SetupWNS: -sev, HoldWNS: -sev / 8}
 	})
+	swSpan.End()
 	keep, pruned := mcmm.PruneDominated(rs, 10)
 	tb.Row("after dominance pruning", len(keep))
 	txt := tb.String() + fmt.Sprintf("pruned %d of %d scenarios (%.0f%%)\n",

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"newgame/internal/liberty"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 	"newgame/internal/units"
 )
@@ -176,7 +177,24 @@ type ScenarioResult struct {
 // independent units of work; any shared state belongs behind the caller's
 // own synchronization).
 func Sweep(scenarios []Scenario, workers int, eval func(idx int, s Scenario) ScenarioResult) []ScenarioResult {
+	return SweepObs(nil, nil, scenarios, workers, eval)
+}
+
+// SweepObs is Sweep with observability: each scenario evaluation gets a
+// span on its worker's trace track (parented under parent, e.g. a survey
+// or experiment span) and bumps that worker's occupancy counter, so the
+// exported trace shows how the corner sweep actually packed the pool. A
+// nil rec records nothing and costs almost nothing.
+func SweepObs(rec *obs.Recorder, parent *obs.Span, scenarios []Scenario, workers int, eval func(idx int, s Scenario) ScenarioResult) []ScenarioResult {
 	out := make([]ScenarioResult, len(scenarios))
+	evalOne := func(i, g int) {
+		sp := rec.Start("scenario:"+scenarios[i].Name(), parent).OnTrack(g + 1)
+		out[i] = eval(i, scenarios[i])
+		sp.End()
+		if rec != nil {
+			rec.Counter(fmt.Sprintf("mcmm.worker_%02d.scenarios", g)).Add(1)
+		}
+	}
 	w := workers
 	if w == 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -185,8 +203,8 @@ func Sweep(scenarios []Scenario, workers int, eval func(idx int, s Scenario) Sce
 		w = len(scenarios)
 	}
 	if w <= 1 {
-		for i, s := range scenarios {
-			out[i] = eval(i, s)
+		for i := range scenarios {
+			evalOne(i, 0)
 		}
 		return out
 	}
@@ -194,12 +212,12 @@ func Sweep(scenarios []Scenario, workers int, eval func(idx int, s Scenario) Sce
 	next := make(chan int)
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for i := range next {
-				out[i] = eval(i, scenarios[i])
+				evalOne(i, g)
 			}
-		}()
+		}(g)
 	}
 	for i := range scenarios {
 		next <- i

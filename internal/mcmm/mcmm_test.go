@@ -1,10 +1,13 @@
 package mcmm
 
 import (
+	"bytes"
+	"encoding/json"
 	"reflect"
 	"strings"
 	"testing"
 
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 )
 
@@ -165,5 +168,53 @@ func TestSweepDeterministicAcrossWorkers(t *testing.T) {
 		if !reflect.DeepEqual(par, serial) {
 			t.Fatalf("workers=%d: results differ from serial", workers)
 		}
+	}
+}
+
+// SweepObs records one span and one worker-counter bump per scenario
+// evaluation without changing the results, and stays nil-safe when the
+// recorder is absent.
+func TestSweepObsRecordsWithoutPerturbing(t *testing.T) {
+	sp := space(3, 2, 1)
+	sp.Modes = DefaultModes()[:2]
+	scenarios := sp.Enumerate()
+	eval := func(idx int, s Scenario) ScenarioResult {
+		return ScenarioResult{Scenario: s, SetupWNS: -float64(idx), HoldWNS: -1}
+	}
+	bare := Sweep(scenarios, 1, eval)
+	rec := obs.NewRecorder()
+	parent := rec.Start("sweep", nil)
+	got := SweepObs(rec, parent, scenarios, 3, eval)
+	parent.End()
+	if !reflect.DeepEqual(got, bare) {
+		t.Fatal("recorded sweep differs from bare sweep")
+	}
+	var b bytes.Buffer
+	if err := rec.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var d struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    map[string]struct {
+			Count int `json:"count"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	spans, counted := 0, int64(0)
+	for name, st := range d.Spans {
+		if strings.HasPrefix(name, "scenario:") {
+			spans += st.Count
+		}
+	}
+	for name, v := range d.Counters {
+		if strings.HasPrefix(name, "mcmm.worker_") {
+			counted += v
+		}
+	}
+	if spans != len(scenarios) || counted != int64(len(scenarios)) {
+		t.Fatalf("recorded %d spans / %d counter bumps, want %d scenarios",
+			spans, counted, len(scenarios))
 	}
 }

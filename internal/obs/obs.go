@@ -1,0 +1,245 @@
+// Package obs is the observability layer for the closure engine:
+// hierarchical wall-clock spans, typed metrics (counters, gauges and
+// histograms with fixed bucket boundaries), and per-run export to a
+// human-readable summary, a JSON metrics dump, and Chrome trace-event JSON
+// (see export.go). It depends on the standard library and internal/report
+// only.
+//
+// Everything hangs off a per-run *Recorder. A nil *Recorder is the
+// disabled state: every method on a nil Recorder, Span, Counter, Gauge or
+// Histogram is a cheap no-op, so instrumented code keeps its probes
+// unconditionally and pays roughly one nil check per probe when
+// observability is off. Recording never feeds values back into analysis —
+// the engine's serial==parallel and incremental==full determinism
+// guarantees hold with recording on or off (asserted by test).
+//
+// Histogram bucket boundaries are fixed at registration, so bucket counts
+// of a deterministic workload are identical run to run; wall-clock span
+// durations and float sums are the only nondeterministic exports.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects the spans and metrics of one run.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	spans    []*Span
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRecorder starts a recorder; its creation time is the zero point of
+// every span timestamp.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Span is one timed region. Parent links make spans hierarchical; Track
+// assigns the span to a lane of the Chrome trace (0 = main, n = worker n),
+// which is how scenario/level parallelism becomes visible in Perfetto.
+type Span struct {
+	r      *Recorder
+	id     int
+	parent int // span id, -1 for roots
+	name   string
+	track  int
+	start  time.Duration // since Recorder start
+	dur    time.Duration
+	done   bool
+	args   []spanArg
+}
+
+type spanArg struct {
+	key string
+	val float64
+}
+
+// Start opens a span. A nil Recorder (or receiver method chain) returns a
+// nil Span, on which every method is a no-op. The new span inherits the
+// parent's track; pass parent == nil for a root span.
+func (r *Recorder) Start(name string, parent *Span) *Span {
+	if r == nil {
+		return nil
+	}
+	s := &Span{r: r, name: name, parent: -1, start: time.Since(r.start)}
+	if parent != nil {
+		s.parent = parent.id
+		s.track = parent.track
+	}
+	r.mu.Lock()
+	s.id = len(r.spans)
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+	return s
+}
+
+// OnTrack moves the span to a trace lane and returns it for chaining.
+func (s *Span) OnTrack(track int) *Span {
+	if s != nil {
+		s.track = track
+	}
+	return s
+}
+
+// SetFloat attaches a numeric argument rendered in the trace viewer.
+func (s *Span) SetFloat(key string, val float64) *Span {
+	if s != nil {
+		s.args = append(s.args, spanArg{key, val})
+	}
+	return s
+}
+
+// End closes the span. Ending twice keeps the first duration; exporters
+// treat still-open spans as ending at export time.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.dur = time.Since(s.r.start) - s.start
+	s.done = true
+}
+
+// Counter is a monotonically growing int64, safe for concurrent Add.
+type Counter struct{ v atomic.Int64 }
+
+// Counter returns the named counter, registering it at zero on first use
+// (registration makes the name appear in exports even when never hit).
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value reads the counter (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Gauge returns the named gauge, registering it at zero on first use.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram buckets observations by fixed upper bounds set at
+// registration: bucket i counts values ≤ bounds[i]; the final implicit
+// bucket counts everything above the last bound. Fixed boundaries keep
+// bucket counts deterministic for a deterministic workload.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last = overflow
+	n      atomic.Int64
+	sum    atomicFloat
+}
+
+// Histogram returns the named histogram, registering it with the given
+// ascending upper bounds on first use (later calls reuse the registered
+// bounds and ignore the argument).
+func (r *Recorder) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.add(v)
+}
+
+// Count reads the observation count (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// atomicFloat is a CAS-looped float64 accumulator.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }

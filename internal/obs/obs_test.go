@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The disabled state is a nil *Recorder: every method on every type in the
+// package must be a safe no-op so instrumented code never branches on
+// "is observability on".
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	sp := r.Start("x", nil)
+	if sp != nil {
+		t.Fatalf("nil recorder Start returned non-nil span")
+	}
+	// Chain every span method off the nil span.
+	sp.OnTrack(3).SetFloat("k", 1.5).End()
+	sp.End() // double End on nil
+
+	c := r.Counter("c")
+	if c != nil {
+		t.Fatalf("nil recorder Counter returned non-nil")
+	}
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter Value = %d", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge Value = %v", g.Value())
+	}
+	h := r.Histogram("h", 1, 2)
+	h.Observe(1.5)
+	if h.Count() != 0 {
+		t.Fatalf("nil histogram Count = %d", h.Count())
+	}
+
+	// Exporters on a nil recorder emit valid empty documents.
+	var sum, met, tr bytes.Buffer
+	r.WriteSummary(&sum)
+	if sum.Len() != 0 {
+		t.Fatalf("nil WriteSummary wrote %q", sum.String())
+	}
+	if err := r.WriteMetricsJSON(&met); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(met.String()); got != "{}" {
+		t.Fatalf("nil WriteMetricsJSON = %q, want {}", got)
+	}
+	if err := r.WriteChromeTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(tr.String()); got != "[]" {
+		t.Fatalf("nil WriteChromeTrace = %q, want []", got)
+	}
+}
+
+func TestSpanHierarchyAndTracks(t *testing.T) {
+	r := NewRecorder()
+	root := r.Start("root", nil)
+	if root.parent != -1 {
+		t.Fatalf("root parent = %d, want -1", root.parent)
+	}
+	child := r.Start("child", root)
+	if child.parent != root.id {
+		t.Fatalf("child parent = %d, want %d", child.parent, root.id)
+	}
+	if child.track != root.track {
+		t.Fatalf("child did not inherit track")
+	}
+	lane := r.Start("lane", root).OnTrack(4)
+	if lane.track != 4 {
+		t.Fatalf("OnTrack track = %d", lane.track)
+	}
+	grand := r.Start("grand", lane)
+	if grand.track != 4 {
+		t.Fatalf("grandchild track = %d, want inherited 4", grand.track)
+	}
+	grand.End()
+	lane.End()
+	child.End()
+	root.End()
+
+	// Double End keeps the first duration.
+	s := r.Start("twice", nil)
+	s.End()
+	d := s.dur
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.dur != d {
+		t.Fatalf("second End changed duration %v -> %v", d, s.dur)
+	}
+}
+
+func TestCounterGaugeValues(t *testing.T) {
+	r := NewRecorder()
+	c := r.Counter("hits")
+	if c2 := r.Counter("hits"); c2 != c {
+		t.Fatalf("second Counter(hits) returned a different instance")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 {
+		t.Fatalf("counter = %d, want 800", c.Value())
+	}
+	g := r.Gauge("level")
+	g.Set(1.5)
+	g.Set(-2.25)
+	if g.Value() != -2.25 {
+		t.Fatalf("gauge = %v, want last write", g.Value())
+	}
+}
+
+// Bucket i counts v <= bounds[i]; the implicit final bucket is overflow.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRecorder()
+	h := r.Histogram("sizes", 1, 4, 16)
+	if h2 := r.Histogram("sizes", 99); h2 != h {
+		t.Fatalf("re-registration returned a different instance")
+	}
+	for _, v := range []float64{0.5, 1, 1.1, 4, 16, 17, 1e9} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 2} // <=1: {0.5,1}; <=4: {1.1,4}; <=16: {16}; inf: {17,1e9}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count = %d, want 7", h.Count())
+	}
+	line := histLine(h)
+	for _, frag := range []string{"n=7", "<=1:2", "<=4:2", "<=16:1", "inf:2"} {
+		if !strings.Contains(line, frag) {
+			t.Fatalf("histLine %q missing %q", line, frag)
+		}
+	}
+}
+
+// Registering an instrument is enough for the name to appear in the JSON
+// dump — a run that never hits the fallback path must still export
+// "fallback: 0" rather than omitting the key.
+func TestMetricsJSONIncludesZeroMetrics(t *testing.T) {
+	r := NewRecorder()
+	r.Counter("never_hit")
+	r.Gauge("never_set")
+	r.Histogram("never_observed", 1, 2)
+	r.Counter("hit").Add(3)
+	r.Start("sp", nil).End()
+
+	var b bytes.Buffer
+	if err := r.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("metrics dump is not valid JSON: %s", b.String())
+	}
+	var d struct {
+		WallMs     float64          `json:"wall_ms"`
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]float64
+		Histograms map[string]struct {
+			Bounds []float64 `json:"bounds"`
+			Counts []int64   `json:"counts"`
+			Count  int64     `json:"count"`
+		}
+		Spans map[string]struct {
+			Count int `json:"count"`
+		}
+	}
+	if err := json.Unmarshal(b.Bytes(), &d); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := d.Counters["never_hit"]; !ok || v != 0 {
+		t.Fatalf("zero counter missing from dump: %v", d.Counters)
+	}
+	if d.Counters["hit"] != 3 {
+		t.Fatalf("hit counter = %d", d.Counters["hit"])
+	}
+	if _, ok := d.Gauges["never_set"]; !ok {
+		t.Fatalf("zero gauge missing from dump")
+	}
+	h, ok := d.Histograms["never_observed"]
+	if !ok || h.Count != 0 || len(h.Counts) != len(h.Bounds)+1 {
+		t.Fatalf("zero histogram wrong in dump: %+v", h)
+	}
+	if d.Spans["sp"].Count != 1 {
+		t.Fatalf("span rollup missing: %+v", d.Spans)
+	}
+	if d.WallMs <= 0 {
+		t.Fatalf("wall_ms = %v", d.WallMs)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	r := NewRecorder()
+	root := r.Start("close", nil)
+	sc := r.Start("scenario:ss", root).OnTrack(2)
+	sc.SetFloat("wns", -12.5)
+	sc.SetFloat("bad", math.Inf(1)) // must be clamped, not break the JSON
+	sc.End()
+	root.End()
+	r.Start("open", nil) // deliberately left open: exporter closes it at wall
+
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("trace is not valid JSON: %s", b.String())
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	meta, complete := 0, map[string]map[string]any{}
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete[ev["name"].(string)] = ev
+		}
+	}
+	if meta != 2 { // tracks 0 and 2
+		t.Fatalf("thread_name metadata events = %d, want 2", meta)
+	}
+	ev, ok := complete["scenario:ss"]
+	if !ok {
+		t.Fatalf("scenario span missing from trace: %v", events)
+	}
+	if ev["tid"].(float64) != 2 {
+		t.Fatalf("scenario tid = %v, want 2", ev["tid"])
+	}
+	args := ev["args"].(map[string]any)
+	if args["parent_id"].(float64) != 0 {
+		t.Fatalf("scenario parent_id = %v, want 0 (root)", args["parent_id"])
+	}
+	if args["wns"].(float64) != -12.5 {
+		t.Fatalf("span arg wns = %v", args["wns"])
+	}
+	if args["bad"].(float64) != math.MaxFloat64 {
+		t.Fatalf("Inf arg not clamped: %v", args["bad"])
+	}
+	if _, ok := complete["open"]; !ok {
+		t.Fatalf("still-open span missing from trace")
+	}
+	if dur := complete["open"]["dur"].(float64); dur < 0 {
+		t.Fatalf("open span dur = %v", dur)
+	}
+}
+
+func TestJSONSafe(t *testing.T) {
+	cases := map[float64]float64{
+		math.NaN():   0,
+		math.Inf(1):  math.MaxFloat64,
+		math.Inf(-1): -math.MaxFloat64,
+		3.25:         3.25,
+		-1e308:       -1e308,
+	}
+	for in, want := range cases {
+		if got := jsonSafe(in); got != want {
+			t.Errorf("jsonSafe(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestWriteSummaryRendersTables(t *testing.T) {
+	r := NewRecorder()
+	s := r.Start("work", nil)
+	time.Sleep(time.Millisecond)
+	s.End()
+	r.Counter("n").Add(2)
+	r.Gauge("g").Set(7)
+	r.Histogram("h", 10).Observe(3)
+
+	var b bytes.Buffer
+	r.WriteSummary(&b)
+	out := b.String()
+	for _, frag := range []string{"obs spans", "work", "obs metrics", "counter", "gauge", "histogram", "n=1"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// The obs package renders its run summary through report.Table, so obs
+// imports report and this test must live in the external test package to
+// exercise the two together without an import cycle.
+package report_test
+
+import (
+	"strings"
+	"testing"
+
+	"newgame/internal/obs"
+)
+
+func TestObsSummaryRendersAsReportTables(t *testing.T) {
+	rec := obs.NewRecorder()
+	root := rec.Start("close.old_goal_posts", nil)
+	rec.Start("scenario:func_ss_cw", root).OnTrack(1).End()
+	root.End()
+	rec.Counter("sta.update.full_run_fallback")
+	rec.Counter("core.worker_00.scenarios").Add(1)
+	rec.Gauge("close.total_violations").Set(12)
+	rec.Histogram("sta.update.cone_vertices", 4, 16).Observe(9)
+
+	var b strings.Builder
+	rec.WriteSummary(&b)
+	out := b.String()
+
+	for _, frag := range []string{
+		"== obs spans",
+		"== obs metrics ==",
+		"close.old_goal_posts",
+		"scenario:func_ss_cw",
+		"sta.update.full_run_fallback",
+		"counter",
+		"gauge",
+		"histogram",
+		"n=1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, out)
+		}
+	}
+
+	// Both tables carry a header/separator pair: the separator line of a
+	// report table is all dashes and spaces.
+	seps := 0
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && strings.Trim(trimmed, "- ") == "" {
+			seps++
+		}
+	}
+	if seps != 2 {
+		t.Fatalf("expected 2 table separators, got %d:\n%s", seps, out)
+	}
+}

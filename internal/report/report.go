@@ -22,10 +22,16 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, headers: headers}
 }
 
-// Row appends a row; values are formatted with %v, floats with %.2f.
+// Row appends a row; values are formatted with %v, floats with %.2f. Rows
+// are clamped to the header count: missing cells render empty, surplus
+// values are dropped (a surplus cell previously crashed Render, which
+// sizes columns by header).
 func (t *Table) Row(vals ...interface{}) {
-	row := make([]string, len(vals))
+	row := make([]string, len(t.headers))
 	for i, v := range vals {
+		if i >= len(row) {
+			break
+		}
 		switch x := v.(type) {
 		case float64:
 			if math.Abs(x) >= 1000 {

@@ -29,6 +29,52 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// Rows with the wrong arity are clamped to the header count: short rows
+// pad with empty cells, surplus cells are dropped. Render used to index
+// past the header-sized widths slice and panic on surplus cells.
+func TestTableRowMismatchedColumns(t *testing.T) {
+	tb := NewTable("mismatch", "a", "b", "c")
+	tb.Row("short")
+	tb.Row("x", "y", "z", "surplus", "more")
+	tb.Row()
+	out := tb.String()
+	if strings.Contains(out, "surplus") {
+		t.Errorf("surplus cell rendered: %s", out)
+	}
+	// title, header, separator, 3 rows (the all-empty row renders as a
+	// blank-padded line), then the final newline.
+	lines := strings.Split(out, "\n")
+	if len(lines) != 7 {
+		t.Fatalf("expected 7 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "short") {
+		t.Errorf("short row lost its cell: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "z") {
+		t.Errorf("full row truncated too far: %q", lines[4])
+	}
+}
+
+func TestSeriesDegenerate(t *testing.T) {
+	// Empty and mismatched-length inputs render nothing rather than panic.
+	if got := Series("empty", []float64{}, []float64{}, 20, 6); got != "" {
+		t.Errorf("empty series rendered %q", got)
+	}
+	if got := Series("mismatch", []float64{1, 2}, []float64{1}, 20, 6); got != "" {
+		t.Errorf("length-mismatched series rendered %q", got)
+	}
+	// A single point has zero x- and y-range; both get widened to avoid
+	// divide-by-zero and the point still plots.
+	s := Series("one", []float64{3}, []float64{7}, 12, 4)
+	if s == "" || strings.Count(s, "*") != 1 {
+		t.Errorf("single-point series: %q", s)
+	}
+	// Tiny canvas sizes are rejected.
+	if got := Series("tiny", []float64{1}, []float64{1}, 4, 2); got != "" {
+		t.Errorf("undersized canvas rendered %q", got)
+	}
+}
+
 func TestSeries(t *testing.T) {
 	xs := []float64{0, 1, 2, 3, 4}
 	ys := []float64{0, 1, 4, 9, 16}

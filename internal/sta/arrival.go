@@ -26,16 +26,24 @@ const (
 // serial run. Run may be called again after netlist edits (full re-time);
 // buffers and the per-net cache are reused across calls.
 func (a *Analyzer) Run() error {
+	run := a.Cfg.Obs.Start("sta.run", a.Cfg.ObsSpan)
+	defer run.End()
 	for i := range a.verts {
 		a.resetForward(i)
 		a.resetRequired(i)
 	}
+	dc := a.Cfg.Obs.Start("sta.delay_calc", run)
 	a.buildNets()
+	dc.End()
 	a.seedSources()
+	fw := a.Cfg.Obs.Start("sta.arrivals", run)
 	a.propagateArrivals()
+	fw.End()
 	a.ran = true
 	a.clearDirty()
+	bw := a.Cfg.Obs.Start("sta.required", run)
 	a.propagateRequired()
+	bw.End()
 	return nil
 }
 
@@ -251,12 +259,17 @@ func (a *Analyzer) seedVertex(i int) {
 func (a *Analyzer) propagateArrivals() {
 	w := a.workers()
 	for _, lvl := range a.levels {
+		a.obsLevelWidth.Observe(float64(len(lvl)))
 		if w <= 1 || len(lvl) < minParallelLevel {
+			if w > 1 {
+				a.obsLevelsSerial.Add(1)
+			}
 			for _, j := range lvl {
 				a.relaxVertex(j)
 			}
 			continue
 		}
+		a.obsLevelsParallel.Add(1)
 		parallelFor(w, len(lvl), func(lo, hi int) {
 			for _, j := range lvl[lo:hi] {
 				a.relaxVertex(j)

@@ -332,19 +332,21 @@ func (a *Analyzer) WorstSlack(kind CheckKind) units.Ps {
 }
 
 // TNS returns the total negative slack (sum over violating endpoints,
-// counting each endpoint's worst transition once).
+// counting each endpoint's worst transition once). The sum runs in the
+// sorted order EndpointSlacks returns (worst first): summing while
+// iterating a map gave a run-to-run ULP wobble that broke bit-exact
+// determinism between otherwise identical runs.
 func (a *Analyzer) TNS(kind CheckKind) units.Ps {
-	worst := map[string]float64{}
+	seen := map[string]bool{}
+	t := 0.0
 	for _, e := range a.EndpointSlacks(kind) {
 		k := e.Name()
-		if cur, ok := worst[k]; !ok || e.Slack < cur {
-			worst[k] = e.Slack
+		if seen[k] {
+			continue
 		}
-	}
-	t := 0.0
-	for _, s := range worst {
-		if s < 0 {
-			t += s
+		seen[k] = true
+		if e.Slack < 0 {
+			t += e.Slack
 		}
 	}
 	return t

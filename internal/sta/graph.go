@@ -6,6 +6,7 @@ import (
 
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 )
 
@@ -78,6 +79,13 @@ type Config struct {
 	// bit-identical at every setting — each vertex is recomputed by exactly
 	// one goroutine from already-finalized earlier levels.
 	Workers int
+	// Obs, when non-nil, records spans and metrics for this analyzer's
+	// runs and incremental updates (see internal/obs). Recording never
+	// alters analysis results; nil disables it at ~zero cost.
+	Obs *obs.Recorder
+	// ObsSpan optionally parents this analyzer's spans — e.g. the scenario
+	// span of a concurrent MCMM survey. Its trace track is inherited.
+	ObsSpan *obs.Span
 }
 
 const (
@@ -191,6 +199,17 @@ type Analyzer struct {
 	structDirty bool
 
 	ran bool
+
+	// Observability instruments, cached at New so hot loops skip the
+	// name lookup (all nil and no-ops when Cfg.Obs is nil).
+	obsLevelWidth      *obs.Histogram
+	obsLevelsSerial    *obs.Counter // levels below the parallel threshold despite Workers > 1
+	obsLevelsParallel  *obs.Counter
+	obsFullRunFallback *obs.Counter // Update calls that fell back to a full Run
+	obsIncUpdates      *obs.Counter
+	obsConeVerts       *obs.Histogram // vertices recomputed per incremental Update
+	obsConeRatio       *obs.Histogram // recomputed / graph size per incremental Update
+	obsVertsRecomputed *obs.Counter
 }
 
 // New builds the analysis graph. It fails on unknown cell masters or
@@ -238,7 +257,30 @@ func New(d *netlist.Design, cons *Constraints, cfg Config) (*Analyzer, error) {
 	}
 	a.markClockPaths()
 	a.buildTopology()
+	a.bindObs()
 	return a, nil
+}
+
+// bindObs registers and caches this analyzer's instruments. Registration
+// at New (not first hit) makes every metric name appear in exports even
+// when its count stays zero — a dump that says full_run_fallback=0 is a
+// stronger statement than one that omits the key. Bucket boundaries are
+// fixed here for deterministic bucket counts.
+func (a *Analyzer) bindObs() {
+	r := a.Cfg.Obs
+	if r == nil {
+		return // instruments stay nil; every probe is a nil-check no-op
+	}
+	a.obsLevelWidth = r.Histogram("sta.level_width", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	a.obsLevelsSerial = r.Counter("sta.levels_serial_fallback")
+	a.obsLevelsParallel = r.Counter("sta.levels_parallel")
+	a.obsFullRunFallback = r.Counter("sta.update.full_run_fallback")
+	a.obsIncUpdates = r.Counter("sta.update.incremental")
+	a.obsConeVerts = r.Histogram("sta.update.cone_vertices", 1, 4, 16, 64, 256, 1024, 4096, 16384)
+	a.obsConeRatio = r.Histogram("sta.update.cone_ratio", 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1)
+	a.obsVertsRecomputed = r.Counter("sta.update.vertices_recomputed")
+	r.Gauge("sta.graph_vertices").Set(float64(len(a.verts)))
+	r.Gauge("sta.graph_levels").Set(float64(len(a.levels)))
 }
 
 // buildTopology derives the pull-side view of the graph: per-vertex net

@@ -186,11 +186,16 @@ func (a *Analyzer) pushFanins(i int, fn func(j int)) {
 // dirty. Results are bit-identical to a fresh Run on the same netlist.
 func (a *Analyzer) Update() error {
 	if !a.ran || a.structDirty || !a.incrementalSafe() {
+		a.obsFullRunFallback.Add(1)
 		return a.Run()
 	}
 	if !a.Dirty() {
 		return nil
 	}
+	sp := a.Cfg.Obs.Start("sta.update", a.Cfg.ObsSpan)
+	defer sp.End()
+	a.obsIncUpdates.Add(1)
+	recomputed := 0
 
 	// Phase 1: redo delay calculation for dirty nets.
 	for n := range a.dirtyNets {
@@ -228,6 +233,7 @@ func (a *Analyzer) Update() error {
 			a.resetForward(i)
 			a.seedVertex(i)
 			a.relaxVertex(i)
+			recomputed++
 			if old.changed(&a.verts[i]) {
 				changedFwd[i] = true
 				a.successors(i, func(j int) { fw.push(j, a.level[j]) })
@@ -311,6 +317,7 @@ func (a *Analyzer) Update() error {
 			for _, i := range bw.buckets[li] {
 				old := snapshotReq(&a.verts[i])
 				a.recomputeRequired(i)
+				recomputed++
 				if old.changed(&a.verts[i]) {
 					a.pushFanins(i, func(j int) { bw.push(j, a.level[j]) })
 				}
@@ -318,6 +325,12 @@ func (a *Analyzer) Update() error {
 		}
 	}
 	a.clearDirty()
+	a.obsVertsRecomputed.Add(int64(recomputed))
+	a.obsConeVerts.Observe(float64(recomputed))
+	if n := len(a.verts); n > 0 {
+		a.obsConeRatio.Observe(float64(recomputed) / float64(n))
+	}
+	sp.SetFloat("vertices_recomputed", float64(recomputed))
 	return nil
 }
 

@@ -21,11 +21,15 @@ func (a *Analyzer) propagateRequired() {
 	for li := len(a.levels) - 1; li >= 0; li-- {
 		lvl := a.levels[li]
 		if w <= 1 || len(lvl) < minParallelLevel {
+			if w > 1 {
+				a.obsLevelsSerial.Add(1)
+			}
 			for _, i := range lvl {
 				a.pullRequired(i)
 			}
 			continue
 		}
+		a.obsLevelsParallel.Add(1)
 		parallelFor(w, len(lvl), func(lo, hi int) {
 			for _, i := range lvl[lo:hi] {
 				a.pullRequired(i)
