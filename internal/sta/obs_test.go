@@ -1,0 +1,117 @@
+package sta
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/obs"
+	"newgame/internal/parasitics"
+)
+
+// Recording must not perturb analysis: an instrumented analyzer running
+// incremental updates across parallel waves matches a bare serial full Run
+// bit-for-bit, and the recorder ends up holding the advertised metrics —
+// the full-Run-fallback counter, incremental-update counter, cone-size
+// histogram and level-width histogram.
+func TestRecordingDoesNotPerturbAnalysis(t *testing.T) {
+	lib := testLib()
+	stack := parasitics.Stack16()
+	const seed = 11
+	rec := obs.NewRecorder()
+
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "obs", Inputs: 10, Outputs: 10, FFs: 32, Gates: 420,
+		MaxDepth: 9, Seed: seed, ClockBufferLevels: 2,
+		VtMix: [3]float64{0.2, 0.5, 0.3},
+	})
+	cons := NewConstraints()
+	cons.AddClock("clk", 600, d.Port("clk"))
+	cfg := fullConfig(lib, stack, seed, 4)
+	cfg.Obs = rec
+	inc, err := New(d, cons, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Update before Run falls back to a full Run and counts it.
+	if err := inc.Update(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.Counter("sta.update.full_run_fallback").Value(); got != 1 {
+		t.Fatalf("full_run_fallback = %d, want 1", got)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for round := 0; round < 4; round++ {
+		swapped := 0
+		for tries := 0; swapped < 5 && tries < 80; tries++ {
+			c := d.Cells[rng.Intn(len(d.Cells))]
+			if to := vtSwapVariant(lib, c.TypeName); to != "" {
+				c.SetType(to)
+				inc.InvalidateCell(c)
+				swapped++
+			}
+		}
+		if swapped == 0 {
+			t.Fatalf("round %d: no swappable cells", round)
+		}
+		if err := inc.Update(); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := New(d, cons, fullConfig(lib, stack, seed, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Run(); err != nil {
+			t.Fatal(err)
+		}
+		compareState(t, inc, fresh, "recorded incremental vs bare full run")
+	}
+
+	if got := rec.Counter("sta.update.incremental").Value(); got != 4 {
+		t.Fatalf("incremental update counter = %d, want 4", got)
+	}
+	if rec.Counter("sta.update.vertices_recomputed").Value() == 0 {
+		t.Fatal("vertices_recomputed counter never incremented")
+	}
+	if rec.Histogram("sta.update.cone_vertices").Count() != 4 {
+		t.Fatalf("cone_vertices histogram n = %d, want 4", rec.Histogram("sta.update.cone_vertices").Count())
+	}
+	if rec.Histogram("sta.level_width").Count() == 0 {
+		t.Fatal("level_width histogram never observed")
+	}
+	if rec.Gauge("sta.graph_vertices").Value() == 0 {
+		t.Fatal("graph_vertices gauge never set")
+	}
+
+	// The JSON dump carries the acceptance-critical keys.
+	var b bytes.Buffer
+	if err := rec.WriteMetricsJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Counters   map[string]int64          `json:"counters"`
+		Histograms map[string]map[string]any `json:"histograms"`
+		Spans      map[string]struct {
+			Count int `json:"count"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dump.Counters["sta.update.full_run_fallback"]; !ok {
+		t.Fatal("full_run_fallback missing from metrics dump")
+	}
+	if _, ok := dump.Histograms["sta.update.cone_vertices"]; !ok {
+		t.Fatal("cone_vertices histogram missing from metrics dump")
+	}
+	if dump.Spans["sta.run"].Count == 0 {
+		t.Fatal("no sta.run spans recorded")
+	}
+	if dump.Spans["sta.update"].Count != 4 {
+		t.Fatalf("sta.update spans = %d, want 4", dump.Spans["sta.update"].Count)
+	}
+}
