@@ -15,7 +15,9 @@ import (
 	"newgame/internal/netlist"
 	"newgame/internal/obs"
 	"newgame/internal/parasitics"
+	"newgame/internal/spice"
 	"newgame/internal/sta"
+	"newgame/internal/variation"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -244,3 +246,62 @@ func benchSTARunObs(b *testing.B, rec bool) {
 
 func BenchmarkSTARunObsOff(b *testing.B) { benchSTARunObs(b, false) }
 func BenchmarkSTARunObsOn(b *testing.B)  { benchSTARunObs(b, true) }
+
+// ------------------------------------------------------------------------
+// Characterization pipeline (DESIGN.md §9): library generation, LVF Monte
+// Carlo, and the SPICE transient kernel underneath both, each as
+// serial-vs-parallel pairs. On one CPU the pairs coincide and the serial
+// numbers measure the kernel wins (profile LU, scratch reuse, early exit,
+// table memoization); with more CPUs the Parallel variants show the pool
+// scaling. Output is byte-identical either way (see the determinism tests
+// in internal/liberty, internal/variation, internal/ffchar).
+
+func BenchmarkLibgen(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Serial", 1}, {"Parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				liberty.Generate(liberty.Node16,
+					liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85},
+					liberty.GenOptions{Workers: bc.workers})
+			}
+		})
+	}
+}
+
+func BenchmarkCharLVF(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Serial", 1}, {"Parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			lib := benchLib()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				variation.CharacterizeLVFOpts(lib, 0.02, 6000, 1,
+					variation.MCOpts{Workers: bc.workers})
+			}
+		})
+	}
+}
+
+func BenchmarkSpiceTransient(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"Serial", 1}, {"Parallel", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := variation.SpiceMCOpts(spice.Tech65, 5, 8, 0.02, 7,
+					variation.MCOpts{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -31,7 +31,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	workers := flag.Int("workers", 0, "characterization worker pool size (0 = all CPUs, 1 = serial); figure output is identical either way")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	if *list {
 		for _, e := range experiments.All() {

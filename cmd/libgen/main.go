@@ -24,6 +24,7 @@ func main() {
 	temp := flag.Float64("temp", 85, "temperature, C")
 	lvf := flag.Bool("lvf", false, "characterize LVF sigma tables (Monte Carlo)")
 	vtSigma := flag.Float64("vtsigma", 0.02, "local Vt sigma for LVF characterization, V")
+	workers := flag.Int("workers", 0, "characterization worker pool size (0 = all CPUs, 1 = serial); output is identical either way")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -49,9 +50,10 @@ func main() {
 	if v == 0 {
 		v = tech.VDDNominal
 	}
-	lib := liberty.Generate(tech, liberty.PVT{Process: pc, Voltage: v, Temp: *temp}, liberty.GenOptions{})
+	lib := liberty.Generate(tech, liberty.PVT{Process: pc, Voltage: v, Temp: *temp},
+		liberty.GenOptions{Workers: *workers})
 	if *lvf {
-		variation.CharacterizeLVF(lib, *vtSigma, 6000, 1)
+		variation.CharacterizeLVFOpts(lib, *vtSigma, 6000, 1, variation.MCOpts{Workers: *workers})
 	}
 	w := os.Stdout
 	if *out != "" {

@@ -34,9 +34,10 @@ func Ablations() Result {
 // §3.1 modeling trajectory quantified.
 func ablationDerating(keys map[string]float64) string {
 	lib := liberty.Generate(liberty.Node16,
-		liberty.PVT{Process: liberty.TT, Voltage: 0.65, Temp: 25}, liberty.GenOptions{})
+		liberty.PVT{Process: liberty.TT, Voltage: 0.65, Temp: 25},
+		liberty.GenOptions{Workers: Workers, Obs: Obs})
 	const vtSigma = 0.025
-	variation.CharacterizeLVF(lib, vtSigma, 6000, 11)
+	variation.CharacterizeLVFOpts(lib, vtSigma, 6000, 11, mcOpts())
 	d := circuits.Chain(lib, circuits.ChainSpec{Stages: 14, Vt: liberty.SVT})
 
 	arrivalWith := func(derate sta.Derater) float64 {

@@ -44,6 +44,15 @@ type Result struct {
 // here. Nil (the default) records nothing.
 var Obs *obs.Recorder
 
+// Workers bounds every characterization pool the experiments touch —
+// library generation, Monte Carlo fan-outs, flip-flop searches (0 = one
+// worker per CPU, 1 = serial). Figure output is identical either way;
+// cmd/experiments wires its -workers flag here.
+var Workers int
+
+// mcOpts bundles the experiment-wide knobs for the variation samplers.
+func mcOpts() variation.MCOpts { return variation.MCOpts{Workers: Workers, Obs: Obs} }
+
 // Entry registers an experiment.
 type Entry struct {
 	ID    string
@@ -142,7 +151,7 @@ func Fig02OldVsNew() Result {
 	old := core.OldGoalPosts(liberty.Node16, stack)
 	libs := core.GenerateNewLibs(liberty.Node16)
 	for _, l := range []*liberty.Library{libs.SlowHot, libs.SlowCold, libs.FastCold} {
-		variation.CharacterizeLVF(l, 0.02, 2000, 5)
+		variation.CharacterizeLVFOpts(l, 0.02, 2000, 5, mcOpts())
 	}
 	nw := core.NewGoalPosts(libs, stack)
 
@@ -389,6 +398,7 @@ func Fig06cGateWire() Result {
 // Fig07MCAsymmetry runs the Monte Carlo path-delay study.
 func Fig07MCAsymmetry() Result {
 	p := variation.Default16(10)
+	p.Workers = Workers
 	st := variation.Summarize(p.Run(10000))
 	tb := report.NewTable("Figure 7: Monte Carlo path delay distribution (10-stage, 0.65V)",
 		"statistic", "value")
@@ -516,6 +526,7 @@ func Fig09AgingAVS() Result {
 func Fig10FFInterdep() Result {
 	cfg := ffchar.Default65()
 	cfg.Step = 0.75
+	cfg.Workers = Workers
 	ref, err := cfg.ReferenceC2Q()
 	if err != nil {
 		return errResult("fig10", err)

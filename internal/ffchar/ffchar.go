@@ -11,9 +11,11 @@ package ffchar
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"newgame/internal/spice"
 	"newgame/internal/units"
+	"newgame/internal/workpool"
 )
 
 // Config drives the characterization bench.
@@ -28,11 +30,42 @@ type Config struct {
 	// Pushout is the c2q degradation fraction defining the constraint
 	// (0.10 = the conventional 10% pushout criterion).
 	Pushout float64
+	// Workers bounds the pool that evaluates sweep points and search
+	// probes (0 = one per CPU, 1 = serial). Probe positions and sweep
+	// points are fixed before evaluation, so results never depend on the
+	// worker count.
+	Workers int
+
+	// memo caches capture trials across searches and sweeps; shared by all
+	// copies of a Default65 Config. Keys carry every bench parameter, so
+	// copies with modified fields can never read a stale entry.
+	memo *captureMemo
 }
 
 // Default65 characterizes the paper's 65nm-class flip-flop.
 func Default65() Config {
-	return Config{Tech: spice.Tech65, Slew: 40, Step: 0.5, SettleTime: 400, Pushout: 0.10}
+	return Config{Tech: spice.Tech65, Slew: 40, Step: 0.5, SettleTime: 400, Pushout: 0.10,
+		memo: &captureMemo{m: map[captureKey]captureVal{}}}
+}
+
+// captureKey identifies one capture trial: the full bench configuration
+// plus the trial's setup/hold offsets. Setup, hold and c2q searches probe
+// overlapping trial points (every search starts from the same reference
+// corner), so memoizing on this key simulates each point once.
+type captureKey struct {
+	tech               string
+	slew, step, settle float64
+	setup, hold        float64
+}
+
+type captureVal struct {
+	c2q float64
+	err error
+}
+
+type captureMemo struct {
+	mu sync.Mutex
+	m  map[captureKey]captureVal
 }
 
 // bench builds the DFF testbench: clock rises at tEdge; D follows the
@@ -49,8 +82,29 @@ func (c Config) bench(dWave, ckWave spice.Waveform) *spice.Builder {
 
 // captureRise runs one trial: D rises setup ps before the clock edge and
 // falls hold ps after it (a data pulse); returns the c2q delay if Q
-// captured high, or NaN if capture failed.
+// captured high, or NaN if capture failed. Trials are memoized on the full
+// bench configuration (see captureKey); concurrent duplicate computation
+// is harmless since equal keys give equal results.
 func (c Config) captureRise(setup, hold units.Ps) (units.Ps, error) {
+	if c.memo != nil {
+		k := captureKey{tech: c.Tech.Name, slew: c.Slew, step: c.Step,
+			settle: c.SettleTime, setup: setup, hold: hold}
+		c.memo.mu.Lock()
+		v, ok := c.memo.m[k]
+		c.memo.mu.Unlock()
+		if ok {
+			return v.c2q, v.err
+		}
+		d, err := c.captureRiseUncached(setup, hold)
+		c.memo.mu.Lock()
+		c.memo.m[k] = captureVal{c2q: d, err: err}
+		c.memo.mu.Unlock()
+		return d, err
+	}
+	return c.captureRiseUncached(setup, hold)
+}
+
+func (c Config) captureRiseUncached(setup, hold units.Ps) (units.Ps, error) {
 	vdd := c.Tech.VDD
 	tEdge := c.SettleTime
 	// Data pulse: low, rise at tEdge−setup, fall at tEdge+hold.
@@ -94,39 +148,49 @@ func (c Config) ReferenceC2Q() (units.Ps, error) {
 	return d, nil
 }
 
-// C2QvsSetup sweeps setup time at generous hold, returning (setup, c2q)
-// points — Figure 10's left panel. Points where capture fails are omitted.
-func (c Config) C2QvsSetup(setups []units.Ps) ([]Point, error) {
+// sweep evaluates capture trials at the given (setup, hold) pairs on the
+// worker pool and returns the successful points in input order (failed
+// captures omitted, the lowest-index simulation error reported).
+func (c Config) sweep(setups, holds []units.Ps) ([]Point, error) {
+	n := len(setups)
+	c2qs := make([]float64, n)
+	errs := make([]error, n)
+	workpool.Do(c.Workers, n, func(i int) {
+		c2qs[i], errs[i] = c.captureRise(setups[i], holds[i])
+	})
 	var out []Point
-	for _, s := range setups {
-		d, err := c.captureRise(s, 500)
-		if err != nil {
-			return nil, err
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if !math.IsNaN(d) {
-			out = append(out, Point{Setup: s, Hold: 500, C2Q: d})
+		if !math.IsNaN(c2qs[i]) {
+			out = append(out, Point{Setup: setups[i], Hold: holds[i], C2Q: c2qs[i]})
 		}
 	}
 	return out, nil
+}
+
+// C2QvsSetup sweeps setup time at generous hold, returning (setup, c2q)
+// points — Figure 10's left panel. Points where capture fails are omitted.
+func (c Config) C2QvsSetup(setups []units.Ps) ([]Point, error) {
+	holds := make([]units.Ps, len(setups))
+	for i := range holds {
+		holds[i] = 500
+	}
+	return c.sweep(setups, holds)
 }
 
 // C2QvsHold sweeps hold time at generous setup — Figure 10's middle panel.
 func (c Config) C2QvsHold(holds []units.Ps) ([]Point, error) {
-	var out []Point
-	for _, h := range holds {
-		d, err := c.captureRise(300, h)
-		if err != nil {
-			return nil, err
-		}
-		if !math.IsNaN(d) {
-			out = append(out, Point{Setup: 300, Hold: h, C2Q: d})
-		}
+	setups := make([]units.Ps, len(holds))
+	for i := range setups {
+		setups[i] = 300
 	}
-	return out, nil
+	return c.sweep(setups, holds)
 }
 
 // SetupTime finds the minimum setup (at generous hold) meeting the pushout
-// criterion, by bisection.
+// criterion, by multi-section search (see searchDown).
 func (c Config) SetupTime() (units.Ps, error) {
 	ref, err := c.ReferenceC2Q()
 	if err != nil {
@@ -140,7 +204,7 @@ func (c Config) SetupTime() (units.Ps, error) {
 		}
 		return !math.IsNaN(d) && d <= limit, nil
 	}
-	return bisectDown(ok, -20, 300, 0.5)
+	return c.searchDown(ok, -20, 300, 0.5)
 }
 
 // HoldTime finds the minimum hold (at generous setup) meeting the pushout
@@ -158,7 +222,7 @@ func (c Config) HoldTime() (units.Ps, error) {
 		}
 		return !math.IsNaN(d) && d <= limit, nil
 	}
-	return bisectDown(ok, -20, 500, 0.5)
+	return c.searchDown(ok, -20, 500, 0.5)
 }
 
 // SetupVsHold traces the interdependency contour — Figure 10's right
@@ -170,32 +234,61 @@ func (c Config) SetupVsHold(holds []units.Ps) ([]Point, error) {
 		return nil, err
 	}
 	limit := ref * (1 + c.Pushout)
-	var out []Point
-	for _, h := range holds {
+	// One search per hold value, fanned across the pool; each search runs
+	// its probe rounds serially (inner Workers=1) to keep the pool flat.
+	type holdRes struct {
+		p    Point
+		keep bool
+		err  error
+	}
+	inner := c
+	inner.Workers = 1
+	rs := make([]holdRes, len(holds))
+	workpool.Do(c.Workers, len(holds), func(i int) {
+		h := holds[i]
 		ok := func(s float64) (bool, error) {
-			d, err := c.captureRise(s, h)
+			d, err := inner.captureRise(s, h)
 			if err != nil {
 				return false, err
 			}
 			return !math.IsNaN(d) && d <= limit, nil
 		}
-		s, err := bisectDown(ok, -20, 300, 0.5)
+		s, err := inner.searchDown(ok, -20, 300, 0.5)
 		if err != nil {
-			continue // this hold is infeasible at any setup
+			return // this hold is infeasible at any setup
 		}
-		d, err := c.captureRise(s, h)
+		d, err := inner.captureRise(s, h)
 		if err != nil {
-			return nil, err
+			rs[i] = holdRes{err: err}
+			return
 		}
-		out = append(out, Point{Setup: s, Hold: h, C2Q: d})
+		rs[i] = holdRes{p: Point{Setup: s, Hold: h, C2Q: d}, keep: true}
+	})
+	var out []Point
+	for _, r := range rs {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.keep {
+			out = append(out, r.p)
+		}
 	}
 	return out, nil
 }
 
-// bisectDown finds the smallest x in [lo, hi] with ok(x) true, assuming ok
+// searchProbes is the number of interior points each searchDown round
+// evaluates concurrently. The probe layout depends only on the bracketing
+// interval — never on the worker count — so parallel and serial searches
+// visit identical points and converge to identical answers.
+const searchProbes = 3
+
+// searchDown finds the smallest x in [lo, hi] with ok(x) true, assuming ok
 // is monotone (false below a threshold, true above). It errs when even hi
-// fails.
-func bisectDown(ok func(float64) (bool, error), lo, hi, tol float64) (float64, error) {
+// fails. Each round splits the bracket with searchProbes equispaced interior
+// probes evaluated on the worker pool, shrinking the bracket by
+// 1/(searchProbes+1) per round — a multi-section generalization of
+// bisection that trades a few extra evaluations for parallel rounds.
+func (c Config) searchDown(ok func(float64) (bool, error), lo, hi, tol float64) (float64, error) {
 	good, err := ok(hi)
 	if err != nil {
 		return 0, err
@@ -208,16 +301,54 @@ func bisectDown(ok func(float64) (bool, error), lo, hi, tol float64) (float64, e
 	} else if good {
 		return lo, nil
 	}
+	var (
+		xs   [searchProbes]float64
+		oks  [searchProbes]bool
+		errs [searchProbes]error
+	)
+	serial := workpool.Workers(c.Workers) == 1
 	for hi-lo > tol {
-		mid := (lo + hi) / 2
-		good, err := ok(mid)
-		if err != nil {
-			return 0, err
+		for k := 0; k < searchProbes; k++ {
+			xs[k] = lo + (hi-lo)*float64(k+1)/(searchProbes+1)
+			oks[k], errs[k] = false, nil
 		}
-		if good {
-			hi = mid
+		if serial {
+			// The collapse below only consults probes up to the lowest
+			// passing one, so a serial round stops there — on average fewer
+			// evaluations than running all probes, approaching bisection
+			// cost while keeping the identical probe layout.
+			for k := 0; k < searchProbes; k++ {
+				oks[k], errs[k] = ok(xs[k])
+				if errs[k] != nil || oks[k] {
+					break
+				}
+			}
 		} else {
-			lo = mid
+			workpool.Do(c.Workers, searchProbes, func(i int) {
+				oks[i], errs[i] = ok(xs[i])
+			})
+		}
+		// The bracket collapses around the lowest passing probe (ok is
+		// monotone, so everything right of it passes too). Errors at probes
+		// past that point are ignored — the serial path never evaluates
+		// them, and both paths must agree exactly.
+		next := -1
+		for k := 0; k < searchProbes; k++ {
+			if errs[k] != nil {
+				return 0, errs[k]
+			}
+			if oks[k] {
+				next = k
+				break
+			}
+		}
+		switch {
+		case next == 0:
+			hi = xs[0]
+		case next > 0:
+			lo, hi = xs[next-1], xs[next]
+		default:
+			lo = xs[searchProbes-1]
 		}
 	}
 	return hi, nil

@@ -1,0 +1,30 @@
+package liberty
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestGenerateWorkerDeterminism: the golden-byte guarantee of the parallel
+// characterization pipeline — the rendered .lib is identical for every
+// worker count, including the GOMAXPROCS default. Run under -race in CI.
+func TestGenerateWorkerDeterminism(t *testing.T) {
+	render := func(w int) string {
+		lib := Generate(Node16, PVT{Process: TT, Voltage: 0.8, Temp: 85}, GenOptions{Workers: w})
+		var buf bytes.Buffer
+		if err := WriteLib(&buf, lib); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	if len(ref) == 0 {
+		t.Fatal("empty library text")
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		if got := render(w); got != ref {
+			t.Fatalf("library text differs between workers=1 and workers=%d", w)
+		}
+	}
+}

@@ -2,8 +2,11 @@ package liberty
 
 import (
 	"math"
+	"sync"
 
+	"newgame/internal/obs"
 	"newgame/internal/units"
+	"newgame/internal/workpool"
 )
 
 // funcSpec describes how to characterize one logic function: its input pins,
@@ -62,6 +65,14 @@ type GenOptions struct {
 	SlewAxis, LoadAxis []float64
 	// MaxTran is the max-transition DRC limit, ps (0 = default per node).
 	MaxTran units.Ps
+	// Workers bounds the characterization pool (0 = one per CPU, 1 =
+	// serial). Output is byte-identical for any worker count: workers fill
+	// a cell slot per (function, drive, Vt) job and the library is
+	// assembled serially in job order.
+	Workers int
+	// Obs, when set, records per-cell characterization spans on worker
+	// lanes plus char-cache hit/miss counters.
+	Obs *obs.Recorder
 }
 
 func (o *GenOptions) fill(tp TechParams, pvt PVT) {
@@ -96,30 +107,191 @@ func (o *GenOptions) fill(tp TechParams, pvt PVT) {
 // Generate characterizes a full multi-Vt, multi-drive library at the given
 // PVT point from the node's device model. The same generator run at
 // different PVT points yields the corner libraries MCMM signoff consumes.
+//
+// Cells are characterized on a bounded worker pool (GenOptions.Workers);
+// each (function, drive, Vt) job writes only its own slot and the library
+// is assembled serially in job order afterwards, so the result — down to
+// WriteLib bytes — does not depend on the worker count. Table points
+// shared between arcs, pins and cells (symmetric functions like XOR/XNOR,
+// the DFF and ICG clock paths, per-pin stack variants that collapse to the
+// same effective R) are characterized once per call through a memo cache
+// keyed on the table family's physical parameters.
 func Generate(tech TechParams, pvt PVT, opts GenOptions) *Library {
 	opts.fill(tech, pvt)
 	lib := NewLibrary(tech.Name+"_"+pvt.Process.Name, tech, pvt)
+	cache := newGenCache(workpool.Workers(opts.Workers) == 1, tech.SlewDerate, opts.SlewAxis, opts.LoadAxis)
+
+	type cellJob struct {
+		name string
+		run  func() []*Cell
+	}
+	var jobs []cellJob
 	for _, fn := range CombFunctions {
+		fn := fn
 		spec := cellFuncs[fn]
 		for _, drive := range opts.Drives {
 			for _, vt := range opts.Vts {
-				lib.Add(genComb(tech, pvt, opts, fn, spec, drive, vt))
+				drive, vt := drive, vt
+				jobs = append(jobs, cellJob{name: CellName(fn, drive, vt), run: func() []*Cell {
+					return []*Cell{genComb(tech, pvt, opts, fn, spec, drive, vt, cache)}
+				}})
 			}
 		}
 	}
 	for _, drive := range opts.Drives {
 		for _, vt := range opts.Vts {
-			lib.Add(genDFF(tech, pvt, opts, drive, vt))
-			lib.Add(genICG(tech, pvt, opts, drive, vt))
+			drive, vt := drive, vt
+			jobs = append(jobs, cellJob{name: CellName("DFF", drive, vt), run: func() []*Cell {
+				return []*Cell{
+					genDFF(tech, pvt, opts, drive, vt, cache),
+					genICG(tech, pvt, opts, drive, vt, cache),
+				}
+			}})
 		}
 	}
+
+	out := make([][]*Cell, len(jobs))
+	workpool.DoObs(opts.Obs, nil, "libgen.cell", opts.Workers, len(jobs), func(i, _ int) {
+		out[i] = jobs[i].run()
+	})
+	for _, cells := range out {
+		for _, c := range cells {
+			lib.Add(c)
+		}
+	}
+	cache.report(opts.Obs)
 	return lib
+}
+
+// tabKey identifies one memoized table: up to three physical parameters of
+// its family (effective R / parasitic cap / intrinsic for delay tables,
+// affine coefficients for constraint tables).
+type tabKey struct{ p0, p1, p2 float64 }
+
+// genCache memoizes the characterization tables of one Generate call. All
+// tables in a call share the same axes, so the key is just the family's
+// physical parameters; equal keys produce pointer-identical tables whether
+// the call runs serial or parallel, which keeps WriteLib output
+// byte-identical across worker counts. Sharing *Table2D values is safe:
+// nothing outside this package mutates table contents (derived tables go
+// through Scale/Map, which copy).
+type genCache struct {
+	mu           sync.Mutex
+	serial       bool // pool has one worker: skip all locking
+	derate       float64
+	slew, load   []float64
+	delay        map[tabKey]*tabEntry // intr + gateDelay(r, cpar, load, slew)
+	slews        map[tabKey]*tabEntry // gateSlew(derate, r, cpar, load, slew)
+	affine       map[tabKey]*tabEntry // a + b·slewRow + c·slewCol
+	hits, misses int
+}
+
+// tabEntry latches one table: the map slot is claimed under the cache lock,
+// but the build itself runs outside it under a per-entry Once, so workers
+// characterizing different keys never serialize on each other.
+type tabEntry struct {
+	once  sync.Once
+	fam   tabFam
+	k     tabKey
+	thunk func()
+	t     *Table2D
+}
+
+func newGenCache(serial bool, derate float64, slew, load []float64) *genCache {
+	// Sized for a default Generate (~1100 distinct tables) so inserts
+	// never rehash.
+	return &genCache{
+		serial: serial, derate: derate, slew: slew, load: load,
+		delay:  make(map[tabKey]*tabEntry, 1024),
+		slews:  make(map[tabKey]*tabEntry, 512),
+		affine: make(map[tabKey]*tabEntry, 64),
+	}
+}
+
+// Table families: how to rebuild a table from its key alone. Building from
+// (family, key) instead of a caller-supplied closure keeps the hit path
+// allocation-free — a per-get build closure would escape into the entry's
+// Once and heap-allocate on every lookup.
+type tabFam int
+
+const (
+	famDelay  tabFam = iota // p2 + gateDelay(p0, p1, load, slew)
+	famSlew                 // gateSlew(derate, p0, p1, load, slew)
+	famAffine               // p0 + p1·slewRow + p2·slewCol
+)
+
+func (gc *genCache) build(fam tabFam, k tabKey) *Table2D {
+	switch fam {
+	case famDelay:
+		return NewTable2D(gc.slew, gc.load, func(s, l float64) float64 {
+			return k.p2 + gateDelay(k.p0, k.p1, l, s)
+		})
+	case famSlew:
+		return NewTable2D(gc.slew, gc.load, func(s, l float64) float64 {
+			return gateSlew(gc.derate, k.p0, k.p1, l, s)
+		})
+	default:
+		return NewTable2D(gc.slew, gc.slew, func(row, col float64) float64 {
+			return k.p0 + k.p1*row + k.p2*col
+		})
+	}
+}
+
+// get is the shared lookup: each key is characterized exactly once per
+// Generate call, concurrent distinct keys build in parallel.
+func (gc *genCache) get(m map[tabKey]*tabEntry, fam tabFam, k tabKey) *Table2D {
+	if gc.serial {
+		if e, ok := m[k]; ok {
+			gc.hits++
+			return e.t
+		}
+		e := &tabEntry{t: gc.build(fam, k)}
+		m[k] = e
+		gc.misses++
+		return e.t
+	}
+	gc.mu.Lock()
+	e, ok := m[k]
+	if ok {
+		gc.hits++
+	} else {
+		e = &tabEntry{fam: fam, k: k}
+		e.thunk = func() { e.t = gc.build(e.fam, e.k) }
+		m[k] = e
+		gc.misses++
+	}
+	gc.mu.Unlock()
+	e.once.Do(e.thunk)
+	return e.t
+}
+
+func (gc *genCache) delayTab(r, cpar, intr float64) *Table2D {
+	return gc.get(gc.delay, famDelay, tabKey{r, cpar, intr})
+}
+
+func (gc *genCache) slewTab(r, cpar float64) *Table2D {
+	return gc.get(gc.slews, famSlew, tabKey{r, cpar, 0})
+}
+
+func (gc *genCache) affineTab(a, b, c float64) *Table2D {
+	return gc.get(gc.affine, famAffine, tabKey{a, b, c})
+}
+
+func (gc *genCache) report(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	gc.mu.Lock()
+	h, m := gc.hits, gc.misses
+	gc.mu.Unlock()
+	rec.Counter("libgen.cache.hits").Add(int64(h))
+	rec.Counter("libgen.cache.misses").Add(int64(m))
 }
 
 // genICG characterizes an integrated clock-gating cell: a latch-based AND
 // of clock and enable. The gated-clock arc behaves like a buffer; the
 // enable pin carries setup/hold constraints against the clock edge.
-func genICG(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass) *Cell {
+func genICG(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass, cache *genCache) *Cell {
 	r := tech.Req(vt, drive, pvt)
 	rUnit := tech.Req(vt, 1, pvt)
 	cpar := tech.CparUnit * drive * 1.5
@@ -140,27 +312,15 @@ func genICG(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass
 	tau := rUnit * tech.CinUnit
 	c.Gate = &GatingSpec{
 		Clock: "CK", Enable: "EN", Out: "GCK",
-		SetupRise: NewTable2D(opts.SlewAxis, opts.SlewAxis, func(es, cs float64) float64 {
-			return 2.4*tau + 0.5*es + 0.2*cs
-		}),
-		HoldRise: NewTable2D(opts.SlewAxis, opts.SlewAxis, func(es, cs float64) float64 {
-			return 0.3*tau - 0.2*es + 0.4*cs
-		}),
+		SetupRise: cache.affineTab(2.4*tau, 0.5, 0.2),
+		HoldRise:  cache.affineTab(0.3*tau, -0.2, 0.4),
 	}
 	c.Arcs = append(c.Arcs, TimingArc{
 		From: "CK", To: "GCK", Sense: PositiveUnate,
-		DelayRise: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return 0.4*tau + gateDelay(r*1.2, cpar, l, s)
-		}),
-		DelayFall: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return 0.4*tau + gateDelay(r*1.25, cpar, l, s)
-		}),
-		SlewRise: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, r*1.2, cpar, l, s)
-		}),
-		SlewFall: NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, r*1.25, cpar, l, s)
-		}),
+		DelayRise:     cache.delayTab(r*1.2, cpar, 0.4*tau),
+		DelayFall:     cache.delayTab(r*1.25, cpar, 0.4*tau),
+		SlewRise:      cache.slewTab(r*1.2, cpar),
+		SlewFall:      cache.slewTab(r*1.25, cpar),
 		MISFactorFast: 1, MISFactorSlow: 1,
 	})
 	return c
@@ -183,7 +343,7 @@ func gateSlew(derate float64, r units.KOhm, cpar, cload units.FF, slewIn units.P
 	return derate*rc + 0.08*slewIn
 }
 
-func genComb(tech TechParams, pvt PVT, opts GenOptions, fn string, spec funcSpec, drive float64, vt VtClass) *Cell {
+func genComb(tech TechParams, pvt PVT, opts GenOptions, fn string, spec funcSpec, drive float64, vt VtClass, cache *genCache) *Cell {
 	// Cross corners (FSG/SFG) skew the pullup against the pulldown.
 	rfSkew := pvt.Process.RiseFallSkew
 	rRise := tech.Req(vt, drive, pvt) * spec.riseRes * (1 + rfSkew)
@@ -211,18 +371,10 @@ func genComb(tech TechParams, pvt PVT, opts GenOptions, fn string, spec funcSpec
 		// Later inputs in a series stack are slightly faster (closer to the
 		// output node); model a small per-pin spread so arcs differ.
 		pinFac := 1 + 0.06*float64(len(spec.inputs)-1-i)
-		dr := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return intr + gateDelay(rRise*pinFac, cpar, l, s)
-		})
-		df := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return intr + gateDelay(rFall*pinFac, cpar, l, s)
-		})
-		sr := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, rRise*pinFac, cpar, l, s)
-		})
-		sf := NewTable2D(opts.SlewAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, rFall*pinFac, cpar, l, s)
-		})
+		dr := cache.delayTab(rRise*pinFac, cpar, intr)
+		df := cache.delayTab(rFall*pinFac, cpar, intr)
+		sr := cache.slewTab(rRise*pinFac, cpar)
+		sf := cache.slewTab(rFall*pinFac, cpar)
 		arc := TimingArc{
 			From: in, To: "Z", Sense: spec.sense,
 			DelayRise: dr, DelayFall: df, SlewRise: sr, SlewFall: sf,
@@ -241,7 +393,7 @@ func genComb(tech TechParams, pvt PVT, opts GenOptions, fn string, spec funcSpec
 	return c
 }
 
-func genDFF(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass) *Cell {
+func genDFF(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass, cache *genCache) *Cell {
 	r := tech.Req(vt, drive, pvt)
 	rUnit := tech.Req(vt, 1, pvt)
 	cpar := tech.CparUnit * drive * 2
@@ -270,22 +422,17 @@ func genDFF(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass
 	// these tables are the fixed "pushout criterion" values commercial
 	// libraries ship.
 	tau := rUnit * tech.CinUnit // unit inverter time constant, ps
-	setup := func(ds, cs float64) float64 { return 3.2*tau + 0.55*ds + 0.25*cs }
-	hold := func(ds, cs float64) float64 { return 0.4*tau - 0.25*ds + 0.45*cs }
-	dsAxis := opts.SlewAxis
-	csAxis := opts.SlewAxis
+	// Constraint surfaces are affine in the two slews, so they go through
+	// the cache's affine family; SetupFall's ×1.05 derate folds into the
+	// coefficients.
 	ff := &FFSpec{
 		Clock: "CK", Data: "D", Q: "Q",
-		SetupRise: NewTable2D(dsAxis, csAxis, setup),
-		SetupFall: NewTable2D(dsAxis, csAxis, func(ds, cs float64) float64 { return setup(ds, cs) * 1.05 }),
-		HoldRise:  NewTable2D(dsAxis, csAxis, hold),
-		HoldFall:  NewTable2D(dsAxis, csAxis, func(ds, cs float64) float64 { return hold(ds, cs) + 0.1*tau }),
-		C2QRise: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return 2.0*tau + gateDelay(r*1.4, cpar, l, s)
-		}),
-		C2QFall: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return 2.1*tau + gateDelay(r*1.45, cpar, l, s)
-		}),
+		SetupRise: cache.affineTab(3.2*tau, 0.55, 0.25),
+		SetupFall: cache.affineTab(3.2*tau*1.05, 0.55*1.05, 0.25*1.05),
+		HoldRise:  cache.affineTab(0.4*tau, -0.25, 0.45),
+		HoldFall:  cache.affineTab(0.4*tau+0.1*tau, -0.25, 0.45),
+		C2QRise:   cache.delayTab(r*1.4, cpar, 2.0*tau),
+		C2QFall:   cache.delayTab(r*1.45, cpar, 2.1*tau),
 	}
 	c.FF = ff
 	// The CK→Q arc is exposed as a regular timing arc so the STA engine
@@ -295,12 +442,8 @@ func genDFF(tech TechParams, pvt PVT, opts GenOptions, drive float64, vt VtClass
 	c.Arcs = append(c.Arcs, TimingArc{
 		From: "CK", To: "Q", Sense: NonUnate,
 		DelayRise: ff.C2QRise, DelayFall: ff.C2QFall,
-		SlewRise: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, r*1.4, cpar, l, s)
-		}),
-		SlewFall: NewTable2D(csAxis, opts.LoadAxis, func(s, l float64) float64 {
-			return gateSlew(tech.SlewDerate, r*1.45, cpar, l, s)
-		}),
+		SlewRise:      cache.slewTab(r*1.4, cpar),
+		SlewFall:      cache.slewTab(r*1.45, cpar),
 		MISFactorFast: 1.0, MISFactorSlow: 1.0,
 	})
 	return c

@@ -72,7 +72,10 @@ type mosfet struct {
 
 // Circuit is a device container plus node name table. Build it once, then
 // run Transient (possibly repeatedly with different source waveforms by
-// rebuilding — circuits here are tiny).
+// rebuilding — circuits here are tiny). A Circuit is not safe for
+// concurrent Transient runs: device companion state and the solver scratch
+// both live on it. Parallel characterization builds one Circuit per worker
+// job instead.
 type Circuit struct {
 	nodes map[string]int
 	names []string
@@ -81,6 +84,7 @@ type Circuit struct {
 	vs    []vsource
 	mos   []mosfet
 	gmin  float64
+	scr   scratch
 }
 
 // NewCircuit returns an empty circuit containing only ground.

@@ -1,0 +1,254 @@
+package spice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseSolveRef is the plain dense LU the profile solver must match
+// bit-for-bit: the pre-optimization algorithm, kept here as the oracle.
+func denseSolveRef(m *matrix, b, x []float64) error {
+	n := m.n
+	lu := make([]float64, len(m.a))
+	copy(lu, m.a)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, best := k, math.Abs(lu[perm[k]*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[perm[i]*n+k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-14 {
+			return errSingular
+		}
+		perm[k], perm[p] = perm[p], perm[k]
+		pk := perm[k] * n
+		for i := k + 1; i < n; i++ {
+			pi := perm[i] * n
+			f := lu[pi+k] / lu[pk+k]
+			lu[pi+k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[pi+j] -= f * lu[pk+j]
+			}
+		}
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[perm[i]]
+		pi := perm[i] * n
+		for j := 0; j < i; j++ {
+			s -= lu[pi+j] * y[j]
+		}
+		y[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		pi := perm[i] * n
+		for j := i + 1; j < n; j++ {
+			s -= lu[pi+j] * x[j]
+		}
+		x[i] = s / lu[pi+i]
+	}
+	return nil
+}
+
+var errSingular = &singularErr{}
+
+type singularErr struct{}
+
+func (*singularErr) Error() string { return "singular" }
+
+// TestProfileLUMatchesDense: the structural-zero skipping in matrix.solve
+// must never change a bit of the answer relative to plain dense LU with
+// partial pivoting — on banded, arrow, and dense random patterns.
+func TestProfileLUMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	patterns := []func(n, r, c int) bool{
+		func(n, r, c int) bool { return r == c || r == c+1 || c == r+1 }, // tridiagonal
+		func(n, r, c int) bool { return absInt(r-c) <= 2 },               // pentadiagonal
+		func(n, r, c int) bool { return r == c || r == n-1 || c == n-1 }, // arrow (vsource-like)
+		func(n, r, c int) bool { return true },                           // dense
+		func(n, r, c int) bool { return r == c || rng.Float64() < 0.3 },  // random sparse
+	}
+	for pi, pat := range patterns {
+		for _, n := range []int{1, 2, 5, 9, 16} {
+			m := newMatrix(n)
+			b := make([]float64, n)
+			for r := 0; r < n; r++ {
+				b[r] = rng.NormFloat64()
+				for c := 0; c < n; c++ {
+					if pat(n, r, c) {
+						v := rng.NormFloat64()
+						if r == c {
+							v += 4 // keep well-conditioned
+						}
+						m.add(r, c, v)
+					}
+				}
+			}
+			want := make([]float64, n)
+			got := make([]float64, n)
+			errW := denseSolveRef(m, b, want)
+			errG := m.solve(b, got)
+			if (errW == nil) != (errG == nil) {
+				t.Fatalf("pattern %d n=%d: error mismatch dense=%v profile=%v", pi, n, errW, errG)
+			}
+			if errW != nil {
+				continue
+			}
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("pattern %d n=%d x[%d]: dense %v != profile %v (bitwise)",
+						pi, n, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestCrossMatchesLinearScan: the grid-indexed Cross must agree with a
+// straight linear scan for every 'after' value, including ones between
+// samples, before the waveform, and past its end.
+func TestCrossMatchesLinearScan(t *testing.T) {
+	c := NewCircuit()
+	c.V("in", Ground, Pulse(0, 1, 5, 20, 2))
+	c.R("in", "out", 2)
+	c.C("out", Ground, 3)
+	res, err := c.Transient(TranOpts{Stop: 60, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linearCross := func(node string, level float64, rising bool, after float64) float64 {
+		idx := res.nodes[node]
+		for i := 1; i < len(res.Times); i++ {
+			if res.Times[i] < after {
+				continue
+			}
+			v0, v1 := res.v[i-1][idx], res.v[i][idx]
+			var hit bool
+			if rising {
+				hit = v0 < level && v1 >= level
+			} else {
+				hit = v0 > level && v1 <= level
+			}
+			if hit {
+				t0, t1 := res.Times[i-1], res.Times[i]
+				return t0 + (t1-t0)*(level-v0)/(v1-v0)
+			}
+		}
+		return math.NaN()
+	}
+	afters := []float64{-5, 0, 0.1, 4.99, 5, 5.125, 10, 24.875, 25, 26, 59.9, 60, 1000}
+	for _, node := range []string{"in", "out"} {
+		for _, level := range []float64{0.1, 0.5, 0.9} {
+			for _, rising := range []bool{true, false} {
+				for _, after := range afters {
+					want := linearCross(node, level, rising, after)
+					got := res.Cross(node, level, rising, after)
+					same := math.IsNaN(want) && math.IsNaN(got) ||
+						math.Float64bits(want) == math.Float64bits(got)
+					if !same {
+						t.Fatalf("Cross(%s, %v, rising=%v, after=%v) = %v, linear scan %v",
+							node, level, rising, after, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransientEarlyExit: a fast RC driven by a short pulse settles long
+// before Stop; the run should terminate early, and the shortened tail must
+// not change probed values (Final clamps to the settled voltage, crossings
+// are all before the cut).
+func TestTransientEarlyExit(t *testing.T) {
+	build := func() *Circuit {
+		c := NewCircuit()
+		c.V("in", Ground, Pulse(0, 1, 5, 10, 1))
+		c.R("in", "out", 1)
+		c.C("out", Ground, 1)
+		return c
+	}
+	res, err := build().Transient(TranOpts{Stop: 10000, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Times[len(res.Times)-1]
+	if got >= 10000 {
+		t.Fatalf("expected early exit well before Stop=10000, last sample at t=%v", got)
+	}
+	if v := res.Final("out"); math.Abs(v) > 1e-4 {
+		t.Fatalf("settled output should be ~0 after the pulse, got %v", v)
+	}
+	// The same circuit with a shorter Stop (no early exit headroom) must
+	// agree on every probe.
+	ref, err := build().Transient(TranOpts{Stop: 40, Step: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct {
+		level  float64
+		rising bool
+	}{{0.5, true}, {0.5, false}, {0.9, true}} {
+		w := ref.Cross("out", probe.level, probe.rising, 0)
+		g := res.Cross("out", probe.level, probe.rising, 0)
+		if math.Float64bits(w) != math.Float64bits(g) &&
+			!(math.IsNaN(w) && math.IsNaN(g)) {
+			t.Fatalf("early-exit run diverges at Cross(out, %v, %v): %v vs %v",
+				probe.level, probe.rising, g, w)
+		}
+	}
+}
+
+// TestTransientScratchReuse: repeated Transient calls on one Circuit (the
+// MIS and ffchar pattern) must give bit-identical results to a fresh
+// Circuit — the reused scratch cannot leak state between runs.
+func TestTransientScratchReuse(t *testing.T) {
+	build := func() *Circuit {
+		b := NewBuilder(Tech65)
+		b.C.V("in", Ground, Ramp(0, Tech65.VDD, 50, 30))
+		out := b.InverterChain("in", 3, nil)
+		b.C.C(out, Ground, 3*Tech65.CgPerW)
+		return b.C
+	}
+	opts := TranOpts{Stop: 400, Step: 0.5}
+	reused := build()
+	first, err := reused.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := reused.Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := build().Transient(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second.Times) != len(first.Times) || len(second.Times) != len(fresh.Times) {
+		t.Fatalf("sample counts differ: first %d, second %d, fresh %d",
+			len(first.Times), len(second.Times), len(fresh.Times))
+	}
+	for i := range second.v {
+		for j := range second.v[i] {
+			if math.Float64bits(second.v[i][j]) != math.Float64bits(fresh.v[i][j]) {
+				t.Fatalf("re-run on reused circuit diverges from fresh circuit at sample %d node %d", i, j)
+			}
+		}
+	}
+}

@@ -72,7 +72,28 @@ func (r *Result) Cross(node string, level float64, rising bool, after float64) f
 	if !ok {
 		return math.NaN()
 	}
-	for i := 1; i < len(r.Times); i++ {
+	// Jump straight to the first sample at or past 'after' using the
+	// uniform grid (the same trick At uses), instead of scanning from the
+	// start. The grid was built by repeated addition, so nudge the estimate
+	// to land exactly where the linear scan would have.
+	start := 1
+	if n := len(r.Times); n >= 2 && after > r.Times[1] {
+		h := r.Times[1] - r.Times[0]
+		start = int(math.Ceil((after - r.Times[0]) / h))
+		if start < 1 {
+			start = 1
+		}
+		if start > n-1 {
+			start = n - 1
+		}
+		for start > 1 && r.Times[start-1] >= after {
+			start--
+		}
+		for start < n-1 && r.Times[start] < after {
+			start++
+		}
+	}
+	for i := start; i < len(r.Times); i++ {
 		if r.Times[i] < after {
 			continue
 		}
@@ -118,9 +139,22 @@ func (r *Result) Final(node string) float64 {
 	return r.v[len(r.Times)-1][idx]
 }
 
+// settleStreak is how many consecutive accepted steps must change no node
+// voltage by more than Tol — after every source waveform has finished —
+// before Transient stops early. Early exit only shortens the sampled tail
+// of an already-settled waveform: At/Final clamp to the last sample and no
+// further crossings can occur, so probe results are unchanged.
+const settleStreak = 3
+
 // Transient integrates the circuit from an all-zero initial state (a
 // power-up transient: hold inputs long enough to settle before measuring).
 // It returns the sampled waveforms of every node.
+//
+// Solver scratch (the MNA matrix, LU workspace, RHS and voltage buffers)
+// lives on the Circuit and is reused across calls, so repeated Transient
+// runs on one Circuit do not reallocate; this also means a Circuit must not
+// run Transient concurrently with itself (it never could — companion state
+// already lives on the devices).
 func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
 	opts.fill()
 	nn := c.NumNodes() // includes ground
@@ -136,18 +170,40 @@ func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
 		c.caps[i].vPrev = 0
 	}
 
+	// Early exit is possible only when every source waveform has a known
+	// last breakpoint (constant afterwards); an unrecognized Waveform
+	// implementation disables it.
+	lastBrk, canEarly := 0.0, true
+	for i := range c.vs {
+		tb, ok := lastBreakpoint(c.vs[i].wave)
+		if !ok {
+			canEarly = false
+			break
+		}
+		if tb > lastBrk {
+			lastBrk = tb
+		}
+	}
+
 	// Index helpers: node 0 is ground (eliminated).
 	// Unknown index of node n is n-1.
 	steps := int(opts.Stop/opts.Step) + 1
 	res := &Result{nodes: c.nodes, Times: make([]float64, 0, steps+1), v: make([][]float64, 0, steps+1)}
 
-	volt := make([]float64, nn) // current node voltages (with ground)
-	x := make([]float64, dim)   // solver unknowns
-	A := newMatrix(dim)
-	b := make([]float64, dim)
+	c.ensureScratch(nn, dim)
+	volt := c.scr.volt // current node voltages (with ground)
+	prev := c.scr.prev // voltages at the previous accepted step
+	x := c.scr.x       // solver unknowns
+	A := c.scr.A
+	b := c.scr.b
 
+	// One flat arena for all sample rows (sliced with a full-cap bound so
+	// rows can never grow into each other). Rows outlive the call as part
+	// of the Result, so the arena is per-call, not part of the scratch.
+	arena := make([]float64, (steps+1)*nn)
 	record := func(t float64) {
-		row := make([]float64, nn)
+		row := arena[:nn:nn]
+		arena = arena[nn:]
 		copy(row, volt)
 		res.Times = append(res.Times, t)
 		res.v = append(res.v, row)
@@ -155,7 +211,9 @@ func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
 	record(0)
 
 	h := opts.Step
+	settled := 0
 	for t := h; t <= opts.Stop+1e-9; t += h {
+		copy(prev, volt)
 		// Newton iteration for the step ending at time t.
 		converged := false
 		for it := 0; it < opts.MaxNewton; it++ {
@@ -201,8 +259,52 @@ func (c *Circuit) Transient(opts TranOpts) (*Result, error) {
 			cp.iPrev = iNew
 		}
 		record(t)
+		if canEarly && t >= lastBrk {
+			stepd := 0.0
+			for n := 1; n < nn; n++ {
+				if d := math.Abs(volt[n] - prev[n]); d > stepd {
+					stepd = d
+				}
+			}
+			if stepd < opts.Tol {
+				if settled++; settled >= settleStreak {
+					break
+				}
+			} else {
+				settled = 0
+			}
+		}
 	}
 	return res, nil
+}
+
+// scratch holds the per-Circuit solver workspace reused across Transient
+// calls (and, inside one call, across every Newton iteration and timestep).
+type scratch struct {
+	A          *matrix
+	b, x       []float64
+	volt, prev []float64
+}
+
+func (c *Circuit) ensureScratch(nn, dim int) {
+	s := &c.scr
+	if s.A == nil || s.A.n != dim {
+		s.A = newMatrix(dim)
+		s.b = make([]float64, dim)
+		s.x = make([]float64, dim)
+	}
+	if len(s.volt) != nn {
+		s.volt = make([]float64, nn)
+		s.prev = make([]float64, nn)
+	}
+	for i := range s.volt {
+		s.volt[i] = 0
+		s.prev[i] = 0
+	}
+	for i := range s.b {
+		s.b[i] = 0
+		s.x[i] = 0
+	}
 }
 
 // stamp assembles the Newton linear system at node voltages volt, time t,
@@ -287,13 +389,29 @@ func (c *Circuit) stamp(A *matrix, b []float64, volt []float64, t, h float64) {
 	_ = nv
 }
 
-// matrix is a dense LU solver adequate for the tiny circuits here.
+// matrix is an LU solver adequate for the tiny circuits here. It is stored
+// dense, but solve tracks each row's occupied column range — MNA matrices of
+// gate chains are near-banded — and skips the structural zeros outside it.
+// Skipped work only ever touches entries that are exactly 0.0, so the
+// factorization (pivot choices included) is bit-identical to the plain
+// dense algorithm. The LU workspace is allocated once and reused across
+// solves.
 type matrix struct {
-	n int
-	a []float64
+	n      int
+	a      []float64
+	lu     []float64 // factorization workspace
+	perm   []int     // row permutation
+	y      []float64 // forward-substitution intermediate
+	lo, hi []int     // per original row: first/last occupied column
 }
 
-func newMatrix(n int) *matrix { return &matrix{n: n, a: make([]float64, n*n)} }
+func newMatrix(n int) *matrix {
+	return &matrix{
+		n: n, a: make([]float64, n*n),
+		lu: make([]float64, n*n), perm: make([]int, n), y: make([]float64, n),
+		lo: make([]int, n), hi: make([]int, n),
+	}
+}
 
 func (m *matrix) zero() {
 	for i := range m.a {
@@ -303,20 +421,41 @@ func (m *matrix) zero() {
 
 func (m *matrix) add(r, c int, v float64) { m.a[r*m.n+c] += v }
 
-// solve performs in-place LU with partial pivoting on a copy and solves
-// A·x = b. b is not modified.
+// solve performs LU with partial pivoting on a copy and solves A·x = b.
+// b is not modified.
 func (m *matrix) solve(b, x []float64) error {
 	n := m.n
-	lu := make([]float64, len(m.a))
+	lu := m.lu
 	copy(lu, m.a)
-	perm := make([]int, n)
+	perm := m.perm
 	for i := range perm {
 		perm[i] = i
 	}
+	// Occupied column range of each row. Zeros inside the range are fine
+	// (treated as occupied); outside it, entries are exactly 0.0 and stay
+	// that way until fill-in widens hi below.
+	lo, hi := m.lo, m.hi
+	for r := 0; r < n; r++ {
+		row := lu[r*n : r*n+n]
+		l, h := n, -1
+		for j, v := range row {
+			if v != 0 {
+				if l == n {
+					l = j
+				}
+				h = j
+			}
+		}
+		lo[r], hi[r] = l, h
+	}
 	for k := 0; k < n; k++ {
-		// Pivot.
+		// Pivot. Rows whose range starts past column k hold an exact 0.0
+		// there and can never win the strict > comparison, so skip them.
 		p, best := k, math.Abs(lu[perm[k]*n+k])
 		for i := k + 1; i < n; i++ {
+			if lo[perm[i]] > k {
+				continue
+			}
 			if v := math.Abs(lu[perm[i]*n+k]); v > best {
 				p, best = i, v
 			}
@@ -325,34 +464,50 @@ func (m *matrix) solve(b, x []float64) error {
 			return fmt.Errorf("singular matrix at column %d", k)
 		}
 		perm[k], perm[p] = perm[p], perm[k]
-		pk := perm[k] * n
+		pr := perm[k]
+		pk := pr * n
+		piv := lu[pk+k]
+		ph := hi[pr]
 		for i := k + 1; i < n; i++ {
-			pi := perm[i] * n
-			f := lu[pi+k] / lu[pk+k]
+			ri := perm[i]
+			if lo[ri] > k {
+				continue // multiplier is exactly 0: nothing to eliminate
+			}
+			pi := ri * n
+			f := lu[pi+k] / piv
 			lu[pi+k] = f
 			if f == 0 {
 				continue
 			}
-			for j := k + 1; j < n; j++ {
+			// Elimination touches only the pivot row's occupied columns;
+			// beyond ph the pivot row is exactly 0.0 and x -= f*0 is a
+			// no-op. Fill-in can widen this row's range up to ph.
+			for j := k + 1; j <= ph; j++ {
 				lu[pi+j] -= f * lu[pk+j]
+			}
+			if ph > hi[ri] {
+				hi[ri] = ph
 			}
 		}
 	}
-	// Forward substitution.
-	y := make([]float64, n)
+	// Forward substitution. Multipliers left of a row's original lo were
+	// never written (their rows were skipped above), so start there.
+	y := m.y
 	for i := 0; i < n; i++ {
-		s := b[perm[i]]
-		pi := perm[i] * n
-		for j := 0; j < i; j++ {
+		ri := perm[i]
+		pi := ri * n
+		s := b[ri]
+		for j := lo[ri]; j < i; j++ {
 			s -= lu[pi+j] * y[j]
 		}
 		y[i] = s
 	}
-	// Back substitution.
+	// Back substitution: U entries right of hi are exact zeros.
 	for i := n - 1; i >= 0; i-- {
+		ri := perm[i]
+		pi := ri * n
 		s := y[i]
-		pi := perm[i] * n
-		for j := i + 1; j < n; j++ {
+		for j := i + 1; j <= hi[ri]; j++ {
 			s -= lu[pi+j] * x[j]
 		}
 		x[i] = s / lu[pi+i]

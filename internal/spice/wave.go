@@ -38,6 +38,27 @@ func (p PWL) At(t float64) float64 {
 	return v0 + (v1-v0)*(t-t0)/(t1-t0)
 }
 
+// lastBreakpoint reports the time after which the waveform is constant,
+// for the known implementations. The second result is false for waveform
+// types it cannot see inside — Transient then disables early exit.
+func lastBreakpoint(w Waveform) (float64, bool) {
+	switch v := w.(type) {
+	case DC:
+		return 0, true
+	case PWL:
+		if len(v.T) == 0 {
+			return 0, true
+		}
+		return v.T[len(v.T)-1], true
+	case *PWL:
+		if len(v.T) == 0 {
+			return 0, true
+		}
+		return v.T[len(v.T)-1], true
+	}
+	return 0, false
+}
+
 // Ramp builds a single transition: v0 until start, then a linear ramp of
 // the given transition time to v1.
 func Ramp(v0, v1, start, trans float64) PWL {

@@ -2,11 +2,11 @@ package variation
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"newgame/internal/liberty"
 	"newgame/internal/units"
+	"newgame/internal/workpool"
 )
 
 // CharacterizeLVF fills the LVF sigma tables (early and late, rise and
@@ -20,21 +20,37 @@ import (
 // The ratio approach is exact for the RC-dominated part of the generator's
 // delay model (delay ∝ Req(Vt)) and slightly conservative for the
 // slew-driven part.
+//
+// Samples fan out across all CPUs; see CharacterizeLVFOpts.
 func CharacterizeLVF(lib *liberty.Library, vtSigma units.Volt, samples int, seed int64) {
-	rng := rand.New(rand.NewSource(seed))
+	CharacterizeLVFOpts(lib, vtSigma, samples, seed, MCOpts{})
+}
+
+// CharacterizeLVFOpts is CharacterizeLVF with an explicit fan-out
+// configuration. Sample i of Vt class k draws from the nested stream
+// (streamSeed(seed, k), i) — see stream.go — and writes only ratios[i];
+// the spread reduction then runs serially in index order, so the sigma
+// tables are byte-identical for every worker count and stable under
+// increasing the sample count.
+func CharacterizeLVFOpts(lib *liberty.Library, vtSigma units.Volt, samples int, seed int64, opts MCOpts) {
 	// Cache the ratio spread per Vt class (device-level property).
 	type spread struct{ early, late float64 }
 	cache := map[liberty.VtClass]spread{}
-	for _, vt := range liberty.VtClasses {
+	for vtIdx, vt := range liberty.VtClasses {
 		base := lib.Tech.Req(vt, 1, lib.PVT)
+		vtSeed := streamSeed(seed, vtIdx)
 		ratios := make([]float64, samples)
-		for i := range ratios {
-			dvt := rng.NormFloat64() * vtSigma
-			pvt := lib.PVT
-			pvt.Voltage -= dvt
-			r := lib.Tech.Req(vt, 1, pvt) * (lib.PVT.Voltage / (lib.PVT.Voltage - dvt))
-			ratios[i] = r / base
-		}
+		workpool.DoChunksObs(opts.Obs, nil, "variation.lvf."+vt.String(), opts.Workers, samples,
+			func(lo, hi, _ int) {
+				smp := newSampler()
+				for i := lo; i < hi; i++ {
+					dvt := smp.at(vtSeed, i).NormFloat64() * vtSigma
+					pvt := lib.PVT
+					pvt.Voltage -= dvt
+					r := lib.Tech.Req(vt, 1, pvt) * (lib.PVT.Voltage / (lib.PVT.Voltage - dvt))
+					ratios[i] = r / base
+				}
+			})
 		mean := 0.0
 		for _, r := range ratios {
 			mean += r
@@ -87,6 +103,10 @@ func CharacterizeLVF(lib *liberty.Library, vtSigma units.Volt, samples int, seed
 // Carlo path statistics: derate(d) = (mean ± nσ·σ)/nominal for a path of
 // depth d. Deep paths average out local variation (the √d shrinkage AOCV
 // banks on).
+//
+// Depths characterize in parallel — each already has its own seed
+// (base.Seed + depth), so each measured point depends only on its depth;
+// within a depth the samples run serially to keep the pool flat.
 func GenerateAOCV(base PathMC, depths []int, samples int, nSigma float64) (lateTab, earlyTab []float64) {
 	maxD := 0
 	for _, d := range depths {
@@ -97,16 +117,25 @@ func GenerateAOCV(base PathMC, depths []int, samples int, nSigma float64) (lateT
 	lateTab = make([]float64, maxD)
 	earlyTab = make([]float64, maxD)
 	// Fill every depth up to max by interpolating over the measured set.
-	measL := map[int]float64{}
-	measE := map[int]float64{}
-	for _, d := range depths {
+	type meas struct{ late, early float64 }
+	measured := make([]meas, len(depths))
+	workpool.Do(base.Workers, len(depths), func(i int) {
 		p := base
-		p.Stages = d
-		p.Seed = base.Seed + int64(d)
+		p.Stages = depths[i]
+		p.Seed = base.Seed + int64(depths[i])
+		p.Workers = 1
 		st := Summarize(p.Run(samples))
 		nom := p.NominalDelay()
-		measL[d] = (st.Mean + nSigma*st.SigmaLate) / nom
-		measE[d] = (st.Mean - nSigma*st.SigmaEarly) / nom
+		measured[i] = meas{
+			late:  (st.Mean + nSigma*st.SigmaLate) / nom,
+			early: (st.Mean - nSigma*st.SigmaEarly) / nom,
+		}
+	})
+	measL := map[int]float64{}
+	measE := map[int]float64{}
+	for i, d := range depths {
+		measL[d] = measured[i].late
+		measE[d] = measured[i].early
 	}
 	sort.Ints(depths)
 	for d := 1; d <= maxD; d++ {

@@ -1,0 +1,131 @@
+package variation
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"newgame/internal/liberty"
+	"newgame/internal/spice"
+)
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCharacterizeLVFWorkerDeterminism: the sigma tables written into the
+// library (and hence the rendered ocv_sigma groups) are byte-identical for
+// workers ∈ {1, 4, GOMAXPROCS}. Run under -race in CI.
+func TestCharacterizeLVFWorkerDeterminism(t *testing.T) {
+	render := func(w int) string {
+		lib := liberty.Generate(liberty.Node16,
+			liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85},
+			liberty.GenOptions{Workers: 1})
+		CharacterizeLVFOpts(lib, 0.02, 1500, 5, MCOpts{Workers: w})
+		var buf bytes.Buffer
+		if err := liberty.WriteLib(&buf, lib); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := render(w); got != ref {
+			t.Fatalf("LVF sigma tables differ between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+// TestSamplerMatchesSampleRNG: the chunk-reused sampler must reproduce the
+// reference per-sample generator draw-for-draw — sampleRNG defines the
+// stream scheme, sampler is its allocation-free equivalent.
+func TestSamplerMatchesSampleRNG(t *testing.T) {
+	smp := newSampler()
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for i := 0; i < 20; i++ {
+			ref := sampleRNG(seed, i)
+			got := smp.at(seed, i)
+			for d := 0; d < 8; d++ {
+				w, g := ref.NormFloat64(), got.NormFloat64()
+				if math.Float64bits(w) != math.Float64bits(g) {
+					t.Fatalf("seed=%d sample=%d draw=%d: sampler %v != sampleRNG %v", seed, i, d, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPathMCWorkerDeterminism: Run's samples are bitwise identical for any
+// worker count.
+func TestPathMCWorkerDeterminism(t *testing.T) {
+	serial := Default16(8)
+	serial.Workers = 1
+	ref := serial.Run(500)
+	for _, w := range []int{4, 0} {
+		p := Default16(8)
+		p.Workers = w
+		if !bitsEqual(p.Run(500), ref) {
+			t.Fatalf("PathMC.Run differs between workers=1 and workers=%d", w)
+		}
+	}
+}
+
+// TestPathMCPrefixStability: sample k depends only on (Seed, k), never on
+// the total sample count — growing n must leave earlier samples untouched.
+func TestPathMCPrefixStability(t *testing.T) {
+	p := Default16(6)
+	small := p.Run(50)
+	big := p.Run(200)
+	if !bitsEqual(small, big[:50]) {
+		t.Fatal("first 50 samples changed when n grew from 50 to 200")
+	}
+}
+
+// TestSpiceMCDeterminism: the transistor-level Monte Carlo is bitwise
+// worker-independent and prefix-stable too (each sample simulates its own
+// Circuit from its own stream).
+func TestSpiceMCDeterminism(t *testing.T) {
+	run := func(n, w int) []float64 {
+		d, err := SpiceMCOpts(spice.Tech65, 2, n, 0.02, 3, MCOpts{Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	ref := run(4, 1)
+	if len(ref) != 4 {
+		t.Fatalf("expected 4 clean samples, got %d", len(ref))
+	}
+	if !bitsEqual(run(4, 4), ref) {
+		t.Fatal("SpiceMC differs between workers=1 and workers=4")
+	}
+	if !bitsEqual(run(2, 1), ref[:2]) {
+		t.Fatal("first 2 SpiceMC samples changed when n grew from 2 to 4")
+	}
+}
+
+// TestGenerateAOCVWorkerDeterminism: the depth fan-out produces identical
+// derate tables for any worker count.
+func TestGenerateAOCVWorkerDeterminism(t *testing.T) {
+	run := func(w int) ([]float64, []float64) {
+		base := Default16(1)
+		base.Workers = w
+		return GenerateAOCV(base, []int{1, 4, 8, 16}, 400, 3)
+	}
+	lateRef, earlyRef := run(1)
+	for _, w := range []int{4, 0} {
+		late, early := run(w)
+		if !bitsEqual(late, lateRef) || !bitsEqual(early, earlyRef) {
+			t.Fatalf("AOCV tables differ between workers=1 and workers=%d", w)
+		}
+	}
+}

@@ -8,13 +8,24 @@ package variation
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"newgame/internal/liberty"
+	"newgame/internal/obs"
 	"newgame/internal/spice"
 	"newgame/internal/units"
+	"newgame/internal/workpool"
 )
+
+// MCOpts tunes the Monte Carlo fan-out shared by this package's samplers.
+// The zero value parallelizes across all CPUs with no recording; results
+// are byte-identical for every Workers value (see stream.go).
+type MCOpts struct {
+	// Workers bounds the sample pool (0 = one per CPU, 1 = serial).
+	Workers int
+	// Obs, when set, records one span per worker lane.
+	Obs *obs.Recorder
+}
 
 // PathMC samples the delay of an N-stage gate path where each stage's
 // devices carry an independent Gaussian threshold shift. Because delay is
@@ -30,6 +41,9 @@ type PathMC struct {
 	// LoadFF is the per-stage load, fF.
 	LoadFF units.FF
 	Seed   int64
+	// Workers bounds the sample pool (0 = one per CPU, 1 = serial); the
+	// sampled delays are identical either way.
+	Workers int
 }
 
 // Default16 is a 16nm-class low-voltage path — the regime where the tail
@@ -60,17 +74,22 @@ func (p PathMC) NominalDelay() units.Ps {
 	return float64(p.Stages) * p.stageDelay(0)
 }
 
-// Run draws n Monte Carlo path delays.
+// Run draws n Monte Carlo path delays. Sample i draws its per-stage Vt
+// shifts from its own stream seeded by (Seed, i) — see stream.go — so the
+// fan-out across Workers goroutines is bit-deterministic and prefix-stable.
 func (p PathMC) Run(n int) []units.Ps {
-	rng := rand.New(rand.NewSource(p.Seed))
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := 0.0
-		for s := 0; s < p.Stages; s++ {
-			d += p.stageDelay(rng.NormFloat64() * p.VtSigma)
+	workpool.DoChunks(p.Workers, n, func(lo, hi int) {
+		smp := newSampler()
+		for i := lo; i < hi; i++ {
+			rng := smp.at(p.Seed, i)
+			d := 0.0
+			for s := 0; s < p.Stages; s++ {
+				d += p.stageDelay(rng.NormFloat64() * p.VtSigma)
+			}
+			out[i] = d
 		}
-		out[i] = d
-	}
+	})
 	return out
 }
 
@@ -139,31 +158,56 @@ func Summarize(samples []units.Ps) Stats {
 }
 
 // SpiceMC cross-checks the analytic Monte Carlo at transistor level: n
-// samples of an inverter-chain delay with per-stage Vt shifts.
+// samples of an inverter-chain delay with per-stage Vt shifts. Parallel
+// across all CPUs; see SpiceMCOpts.
 func SpiceMC(tech spice.Tech, stages, n int, vtSigma float64, seed int64) ([]units.Ps, error) {
-	rng := rand.New(rand.NewSource(seed))
+	return SpiceMCOpts(tech, stages, n, vtSigma, seed, MCOpts{})
+}
+
+// SpiceMCOpts is SpiceMC with an explicit fan-out configuration. Each
+// sample draws its Vt shifts from stream (seed, i) and simulates its own
+// Circuit, so workers share nothing; per-sample results are reduced in
+// index order (failed crossings dropped, the lowest-index simulation error
+// reported), making the output independent of the worker count.
+func SpiceMCOpts(tech spice.Tech, stages, n int, vtSigma float64, seed int64, opts MCOpts) ([]units.Ps, error) {
+	delays := make([]float64, n)
+	errs := make([]error, n)
+	workpool.DoChunksObs(opts.Obs, nil, "variation.spicemc", opts.Workers, n, func(lo, hi, _ int) {
+		smp := newSampler()
+		for i := lo; i < hi; i++ {
+			rng := smp.at(seed, i)
+			b := spice.NewBuilder(tech)
+			b.C.V("in", spice.Ground, spice.Ramp(0, tech.VDD, 100, 30))
+			dvt := make([]float64, stages)
+			for s := range dvt {
+				dvt[s] = rng.NormFloat64() * vtSigma
+			}
+			outNode := b.InverterChain("in", stages, dvt)
+			b.C.C(outNode, spice.Ground, 3*tech.CgPerW)
+			res, err := b.C.Transient(spice.TranOpts{Stop: 100 + float64(stages)*60 + 200, Step: 0.5})
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			half := tech.VDD / 2
+			tIn := res.Cross("in", half, true, 90)
+			rising := stages%2 == 0
+			tOut := res.Cross(outNode, half, rising, 90)
+			if math.IsNaN(tOut) {
+				delays[i] = math.NaN()
+				continue
+			}
+			delays[i] = tOut - tIn
+		}
+	})
 	out := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
-		b := spice.NewBuilder(tech)
-		b.C.V("in", spice.Ground, spice.Ramp(0, tech.VDD, 100, 30))
-		dvt := make([]float64, stages)
-		for s := range dvt {
-			dvt[s] = rng.NormFloat64() * vtSigma
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		outNode := b.InverterChain("in", stages, dvt)
-		b.C.C(outNode, spice.Ground, 3*tech.CgPerW)
-		res, err := b.C.Transient(spice.TranOpts{Stop: 100 + float64(stages)*60 + 200, Step: 0.5})
-		if err != nil {
-			return nil, err
+		if !math.IsNaN(delays[i]) {
+			out = append(out, delays[i])
 		}
-		half := tech.VDD / 2
-		tIn := res.Cross("in", half, true, 90)
-		rising := stages%2 == 0
-		tOut := res.Cross(outNode, half, rising, 90)
-		if math.IsNaN(tOut) {
-			continue
-		}
-		out = append(out, tOut-tIn)
 	}
 	return out, nil
 }

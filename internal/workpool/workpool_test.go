@@ -1,0 +1,73 @@
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"newgame/internal/obs"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Fatalf("Workers(-3) = %d, want 1", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestDoCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 16} {
+		const n = 137
+		counts := make([]int32, n)
+		Do(w, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+	ran := false
+	Do(4, 0, func(int) { ran = true })
+	if ran {
+		t.Fatal("Do with n=0 ran a job")
+	}
+}
+
+func TestDoChunksPartition(t *testing.T) {
+	for _, w := range []int{1, 3, 4, 32} {
+		const n = 101
+		counts := make([]int32, n)
+		DoChunks(w, n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoObsRecordsLaneSpans(t *testing.T) {
+	rec := obs.NewRecorder()
+	var total int32
+	DoObs(rec, nil, "pool.test", 4, 20, func(i, g int) {
+		if g < 0 || g >= 4 {
+			t.Errorf("worker id %d out of range", g)
+		}
+		atomic.AddInt32(&total, 1)
+	})
+	if total != 20 {
+		t.Fatalf("ran %d of 20 jobs", total)
+	}
+}
