@@ -5,17 +5,25 @@
 // Usage:
 //
 //	sta -circuit c5315 -period 700 -corner ssg -beol rcw -derate lvf
+//
+// -workers bounds the level-parallel propagation fan-out (0 = all CPUs,
+// 1 = serial; results are bit-identical at every setting). -metrics and
+// -trace export the run's observability data — a JSON metrics dump and
+// Chrome trace-event JSON (Perfetto) respectively — matching the closure
+// command's flags.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"newgame/internal/circuits"
 	"newgame/internal/em"
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
+	"newgame/internal/obs"
 	"newgame/internal/parasitics"
 	"newgame/internal/power"
 	"newgame/internal/report"
@@ -33,7 +41,15 @@ func main() {
 	si := flag.Bool("si", true, "enable SI delta-delay analysis")
 	mis := flag.Bool("mis", true, "enable multi-input-switching derates")
 	paths := flag.Int("paths", 5, "worst paths to report")
+	workers := flag.Int("workers", 0, "propagation workers (0 = all CPUs, 1 = serial)")
+	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
 	flag.Parse()
+
+	var rec *obs.Recorder
+	if *metricsPath != "" || *tracePath != "" {
+		rec = obs.NewRecorder()
+	}
 
 	var lib *liberty.Library
 	if *libFile != "" {
@@ -61,6 +77,8 @@ func main() {
 		Scaling:    stack.Corner(beolKind(*beol), 3),
 		Derate:     derater(*derate),
 		MIS:        *mis,
+		Workers:    *workers,
+		Obs:        rec,
 	}
 	if *si {
 		cfg.SI = sta.DefaultSI()
@@ -118,6 +136,37 @@ func main() {
 		fmt.Printf("%2d. %-40s depth=%2d  GBA slack %8.1f  PBA slack %8.1f (recovered %.1f)\n",
 			i+1, p.Endpoint.Name(), p.Depth(), p.GBASlack, r.Slack, r.Pessimism)
 	}
+
+	if rec != nil {
+		fmt.Println()
+		rec.WriteSummary(os.Stdout)
+		if err := exportFile(*metricsPath, rec.WriteMetricsJSON); err != nil {
+			fatal(err)
+		}
+		if err := exportFile(*tracePath, rec.WriteChromeTrace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// exportFile writes one exporter's output to path ("" skips; "-" and
+// ordinary paths go to stdout and a fresh file respectively).
+func exportFile(path string, write func(w io.Writer) error) error {
+	if path == "" {
+		return nil
+	}
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildLibrary(corner, derate string) *liberty.Library {

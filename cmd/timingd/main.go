@@ -1,0 +1,173 @@
+// Command timingd serves resident timing signoff: it loads the design and
+// MCMM scenario set once, keeps every scenario's levelized timing graph
+// warm, and answers slack/path/what-if queries over HTTP/JSON until shut
+// down. ECO commits advance an epoch; every response is tagged with the
+// epoch it was computed at.
+//
+// Serve mode:
+//
+//	timingd -addr :8374 -recipe old -gates 1400 -ffs 96 -period 560
+//
+// Load-generator mode (drives a running daemon and prints a latency
+// table):
+//
+//	timingd -loadgen -target http://localhost:8374 -duration 5s -clients 8
+//
+// Shutdown is graceful: SIGINT/SIGTERM stop admission, drain in-flight
+// queries, then exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/obs"
+	"newgame/internal/parasitics"
+	"newgame/internal/timingd"
+	"newgame/internal/timingd/loadgen"
+	"newgame/internal/variation"
+)
+
+func main() {
+	addr := flag.String("addr", ":8374", "listen address (serve mode)")
+	recipeName := flag.String("recipe", "old", "signoff recipe: old, new")
+	period := flag.Float64("period", 560, "functional clock period, ps")
+	gates := flag.Int("gates", 1400, "combinational gate count")
+	ffs := flag.Int("ffs", 96, "flip-flop count")
+	seed := flag.Int64("seed", 42, "generation seed")
+	workers := flag.Int("workers", 0, "scenario-level workers (0 = all CPUs)")
+	queryWorkers := flag.Int("query-workers", 0, "query workers draining the admission queue (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
+	cacheSize := flag.Int("cache", 256, "query cache entries per epoch")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+
+	loadgenMode := flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
+	target := flag.String("target", "http://localhost:8374", "loadgen target base URL")
+	duration := flag.Duration("duration", 3*time.Second, "loadgen run duration")
+	clients := flag.Int("clients", 8, "loadgen concurrent clients")
+	qps := flag.Int("qps", 0, "loadgen target aggregate QPS (0 = unpaced)")
+	minQPS := flag.Float64("min-qps", 0, "loadgen: exit nonzero if achieved QPS falls below this")
+	whatIfCell := flag.String("whatif-cell", "", "loadgen: cell for the what-if mix (empty disables what-ifs)")
+	whatIfTo := flag.String("whatif-to", "", "loadgen: replacement master for -whatif-cell")
+	flag.Parse()
+
+	if *loadgenMode {
+		runLoadgen(*target, *duration, *clients, *qps, *minQPS, *whatIfCell, *whatIfTo)
+		return
+	}
+
+	rec := obs.NewRecorder()
+	stack := parasitics.Stack16()
+	recipe := buildRecipe(*recipeName, stack)
+	lib := recipe.Scenarios[0].Lib
+	d := circuits.Block(lib, circuits.BlockSpec{
+		Name: "soc", Inputs: 24, Outputs: 24, FFs: *ffs, Gates: *gates,
+		MaxDepth: 13, Seed: *seed, ClockBufferLevels: 3,
+		VtMix: [3]float64{0, 0.4, 0.6},
+	})
+
+	start := time.Now()
+	srv, err := timingd.NewServer(timingd.Config{
+		Design: d, Recipe: recipe, Stack: stack,
+		BasePeriod: *period, Seed: *seed,
+		Workers: *workers, QueryWorkers: *queryWorkers,
+		QueueDepth: *queue, CacheSize: *cacheSize,
+		RequestTimeout: *timeout, Obs: rec,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("timingd: %s ready in %.2fs: %d cells, %d nets, %d scenarios, epoch %d\n",
+		d.Name, time.Since(start).Seconds(), st.Cells, st.Nets, len(recipe.Scenarios), srv.Epoch())
+	if cell, to := exampleResize(d, lib); cell != "" {
+		fmt.Printf("timingd: example op: {\"op\":\"resize\",\"cell\":\"%s\",\"to\":\"%s\"}\n", cell, to)
+	}
+	fmt.Printf("timingd: listening on %s\n", *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("timingd: draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	srv.Close()
+	fmt.Println("timingd: bye")
+}
+
+func runLoadgen(target string, duration time.Duration, clients, qps int, minQPS float64, whatIfCell, whatIfTo string) {
+	cfg := loadgen.Config{
+		Base: target, Clients: clients, Duration: duration, TargetQPS: qps,
+		SlackWeight: 8, PathsWeight: 2,
+	}
+	if whatIfCell != "" && whatIfTo != "" {
+		cfg.WhatIfWeight = 1
+		cfg.WhatIfOps = []timingd.Op{{Kind: "resize", Cell: whatIfCell, To: whatIfTo}}
+	}
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if minQPS > 0 && rep.QPS < minQPS {
+		fatal(fmt.Errorf("achieved %.0f qps, below required %.0f", rep.QPS, minQPS))
+	}
+}
+
+func buildRecipe(name string, stack *parasitics.Stack) core.Recipe {
+	switch name {
+	case "new":
+		libs := core.GenerateNewLibs(liberty.Node16)
+		for _, l := range []*liberty.Library{libs.SlowHot, libs.SlowCold, libs.FastCold} {
+			variation.CharacterizeLVF(l, 0.02, 2000, 5)
+		}
+		return core.NewGoalPosts(libs, stack)
+	default:
+		return core.OldGoalPosts(liberty.Node16, stack)
+	}
+}
+
+// exampleResize finds a combinational cell with an in-library Vt variant,
+// giving operators a copy-pasteable what-if op in the startup banner.
+func exampleResize(d *netlist.Design, lib *liberty.Library) (cell, to string) {
+	swap := map[string]string{"_SVT": "_LVT", "_LVT": "_SVT", "_HVT": "_SVT"}
+	for _, c := range d.Cells {
+		m := lib.Cell(c.TypeName)
+		if m == nil || m.IsSequential() {
+			continue
+		}
+		for from, rep := range swap {
+			if strings.HasSuffix(c.TypeName, from) {
+				v := strings.TrimSuffix(c.TypeName, from) + rep
+				if lib.Cell(v) != nil {
+					return c.Name, v
+				}
+			}
+		}
+	}
+	return "", ""
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timingd:", err)
+	os.Exit(1)
+}

@@ -155,23 +155,35 @@ func (e *Engine) skewScale(lib *liberty.Library) float64 {
 	return num / den
 }
 
+// ConstraintsFor builds the SDC view of one scenario on a design: the
+// mode-scaled clock with the scenario's uncertainties rooted at clockPort,
+// and an external arrival window on every data input port (inputArrival of
+// 0 selects the 30 ps default — unconstrained inputs would race every
+// port-fed flip-flop's hold check, which no real SDC allows). It is the
+// scenario-dependent, netlist-independent half of analyzer construction,
+// shared by the closure engine and the resident timingd service.
+func ConstraintsFor(d *netlist.Design, clockPort *netlist.Port, basePeriod, inputArrival units.Ps, s Scenario) *sta.Constraints {
+	cons := sta.NewConstraints()
+	ck := cons.AddClock("clk", basePeriod*s.PeriodScale, clockPort)
+	ck.SetupUncertainty = s.SetupUncertainty
+	ck.HoldUncertainty = s.HoldUncertainty
+	arrive := inputArrival
+	if arrive == 0 {
+		arrive = 30
+	}
+	for _, p := range d.Ports {
+		if p.Dir == netlist.Input && p != clockPort {
+			cons.InputDelay[p] = sta.IODelay{Min: arrive, Max: arrive}
+		}
+	}
+	return cons
+}
+
 // analyzer builds the STA view for one scenario with the engine's current
 // netlist, NDR store and useful-skew schedule. parent, when recording,
 // parents the analyzer's sta-level spans (typically the scenario span).
 func (e *Engine) analyzer(s Scenario, parent *obs.Span) (*sta.Analyzer, error) {
-	cons := sta.NewConstraints()
-	ck := cons.AddClock("clk", e.BasePeriod*s.PeriodScale, e.ClockPort)
-	ck.SetupUncertainty = s.SetupUncertainty
-	ck.HoldUncertainty = s.HoldUncertainty
-	arrive := e.InputArrival
-	if arrive == 0 {
-		arrive = 30
-	}
-	for _, p := range e.D.Ports {
-		if p.Dir == netlist.Input && p != e.ClockPort {
-			cons.InputDelay[p] = sta.IODelay{Min: arrive, Max: arrive}
-		}
-	}
+	cons := ConstraintsFor(e.D, e.ClockPort, e.BasePeriod, e.InputArrival, s)
 	for ff, off := range e.uskew {
 		cons.ExtraCKLatency[ff] = off
 	}

@@ -8,6 +8,7 @@
 package mcmm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -225,6 +226,58 @@ func SweepObs(rec *obs.Recorder, parent *obs.Span, scenarios []Scenario, workers
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// SweepCtx is Sweep with cancellation: when ctx is done the dispatcher
+// stops handing out scenarios, waits for the in-flight evaluations to
+// finish (eval itself decides whether to observe ctx internally), and
+// returns nil results with ctx's error. A completed sweep returns results
+// identical to Sweep — input order, any worker count.
+func SweepCtx(ctx context.Context, scenarios []Scenario, workers int, eval func(idx int, s Scenario) ScenarioResult) ([]ScenarioResult, error) {
+	out := make([]ScenarioResult, len(scenarios))
+	w := workers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(scenarios) {
+		w = len(scenarios)
+	}
+	if w <= 1 {
+		for i := range scenarios {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = eval(i, scenarios[i])
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = eval(i, scenarios[i])
+			}
+		}()
+	}
+	var err error
+dispatch:
+	for i := range scenarios {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // MergedWNS reports the worst setup and hold WNS across scenarios — the

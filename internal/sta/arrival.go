@@ -24,26 +24,39 @@ const (
 // enough; every vertex is recomputed by exactly one goroutine from
 // already-finalized earlier levels, so results are bit-identical to a
 // serial run. Run may be called again after netlist edits (full re-time);
-// buffers and the per-net cache are reused across calls.
+// buffers and the per-net cache are reused across calls. Under RunCtx a
+// cancellation abandons the run (ran stays false, so the next query
+// re-times from scratch).
 func (a *Analyzer) Run() error {
 	run := a.Cfg.Obs.Start("sta.run", a.Cfg.ObsSpan)
 	defer run.End()
+	a.ran = false
 	for i := range a.verts {
 		a.resetForward(i)
 		a.resetRequired(i)
+	}
+	if err := a.canceled(); err != nil {
+		return err
 	}
 	dc := a.Cfg.Obs.Start("sta.delay_calc", run)
 	a.buildNets()
 	dc.End()
 	a.seedSources()
 	fw := a.Cfg.Obs.Start("sta.arrivals", run)
-	a.propagateArrivals()
+	err := a.propagateArrivals()
 	fw.End()
+	if err != nil {
+		return err
+	}
 	a.ran = true
 	a.clearDirty()
 	bw := a.Cfg.Obs.Start("sta.required", run)
-	a.propagateRequired()
+	err = a.propagateRequired()
 	bw.End()
+	if err != nil {
+		a.ran = false
+		return err
+	}
 	return nil
 }
 
@@ -255,10 +268,14 @@ func (a *Analyzer) seedVertex(i int) {
 // propagateArrivals sweeps the level wavefronts in ascending order. Within
 // a level each vertex gathers from its own fanins only (all at lower,
 // finalized levels) and writes only itself, so splitting a level across
-// goroutines is race-free and order-independent.
-func (a *Analyzer) propagateArrivals() {
+// goroutines is race-free and order-independent. Cancellation (RunCtx) is
+// polled once per wavefront.
+func (a *Analyzer) propagateArrivals() error {
 	w := a.workers()
 	for _, lvl := range a.levels {
+		if err := a.canceled(); err != nil {
+			return err
+		}
 		a.obsLevelWidth.Observe(float64(len(lvl)))
 		if w <= 1 || len(lvl) < minParallelLevel {
 			if w > 1 {
@@ -276,6 +293,7 @@ func (a *Analyzer) propagateArrivals() {
 			}
 		})
 	}
+	return nil
 }
 
 // relaxVertex pulls vertex j's arrivals from its fanins: the driving net

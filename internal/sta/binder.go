@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"hash/fnv"
 	"sync"
 
 	"newgame/internal/netlist"
@@ -46,6 +47,52 @@ func NewNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *paras
 		}
 		t := gen.Net(need)
 		cache[n] = t
+		return t
+	}
+}
+
+// NewKeyedNetBinder returns a Parasitics callback whose synthesized tree
+// for a net depends only on (seed, net name, sink count) — never on the
+// order nets are first touched. NewNetBinder draws from one sequential
+// stream, so two analyzers whose query histories differ can assign
+// different trees to the same net; a resident signoff service keeping
+// multiple epoch snapshots of one design (a read session and an ECO shadow)
+// needs both snapshots to see bit-identical parasitics regardless of what
+// each has computed so far. Keying the generator per net delivers that:
+// clones of a design get the same tree for the same net name at the same
+// fanout, on any call order, in any process.
+//
+// Like NewNetBinder, trees are cached per net and re-routed only when the
+// sink count changes (loads moved to a buffer); unlike it, the re-route is
+// also deterministic — the replacement tree depends on the new sink count,
+// not on how many nets were generated in between.
+func NewKeyedNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *parasitics.Tree {
+	type entry struct {
+		need int
+		tree *parasitics.Tree
+	}
+	cache := map[*netlist.Net]entry{}
+	var mu sync.Mutex
+	return func(n *netlist.Net) *parasitics.Tree {
+		mu.Lock()
+		defer mu.Unlock()
+		need := len(n.Loads)
+		if n.Port != nil && n.Port.Dir == netlist.Output {
+			need++
+		}
+		if e, ok := cache[n]; ok && e.need == need {
+			return e.tree
+		}
+		if need == 0 {
+			return nil
+		}
+		h := fnv.New64a()
+		h.Write([]byte(n.Name))
+		// Mix the fanout into the key so a re-route after load-splitting
+		// draws a fresh topology instead of a re-scaled copy of the old one.
+		h.Write([]byte{byte(need), byte(need >> 8)})
+		t := parasitics.NewNetGen(stack, seed^int64(h.Sum64())).Net(need)
+		cache[n] = entry{need: need, tree: t}
 		return t
 	}
 }

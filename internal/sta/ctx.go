@@ -1,0 +1,46 @@
+package sta
+
+import "context"
+
+// Context-aware analysis entry points for resident signoff services. A
+// long-running daemon answering interactive queries needs per-request
+// deadlines to propagate into the wave propagation itself: a query whose
+// client has gone away must stop burning workers mid-graph, not after the
+// full update completes. Cancellation is checked at level-wavefront
+// boundaries — cheap (one atomic load per level) and prompt (a level is a
+// small fraction of a run). Results are unaffected when the context never
+// fires: RunCtx(background) and Run are the same computation.
+//
+// Cancellation leaves the analyzer *consistent but stale*: a canceled
+// RunCtx clears the ran flag so every later query goes through a fresh
+// Run; a canceled UpdateCtx additionally marks the analyzer structurally
+// dirty so the next Update falls back to a full Run instead of trusting
+// half-propagated cones.
+
+// RunCtx is Run with cooperative cancellation: the forward and backward
+// sweeps poll ctx between level wavefronts and abandon the run when it
+// fires, returning the context's error.
+func (a *Analyzer) RunCtx(ctx context.Context) error {
+	a.runCtx = ctx
+	err := a.Run()
+	a.runCtx = nil
+	return err
+}
+
+// UpdateCtx is Update with cooperative cancellation, with the same
+// fallback semantics (no prior Run, structural edits) as Update.
+func (a *Analyzer) UpdateCtx(ctx context.Context) error {
+	a.runCtx = ctx
+	err := a.Update()
+	a.runCtx = nil
+	return err
+}
+
+// canceled reports the in-flight context's error, or nil when running
+// without one (Run/Update called directly).
+func (a *Analyzer) canceled() error {
+	if a.runCtx == nil {
+		return nil
+	}
+	return a.runCtx.Err()
+}

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -199,6 +200,10 @@ type Analyzer struct {
 	structDirty bool
 
 	ran bool
+
+	// runCtx carries the in-flight RunCtx/UpdateCtx context (see ctx.go);
+	// nil when running without cancellation.
+	runCtx context.Context
 
 	// Observability instruments, cached at New so hot loops skip the
 	// name lookup (all nil and no-ops when Cfg.Obs is nil).

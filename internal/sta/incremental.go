@@ -184,6 +184,9 @@ func (a *Analyzer) pushFanins(i int, fn func(j int)) {
 // InvalidateNet calls. It falls back to a full Run when no prior Run
 // exists or a structural edit is detected, and is a no-op when nothing is
 // dirty. Results are bit-identical to a fresh Run on the same netlist.
+// Under UpdateCtx a cancellation abandons the update mid-cone and marks
+// the analyzer structurally dirty, so the next Update falls back to a
+// full Run rather than trusting half-propagated state.
 func (a *Analyzer) Update() error {
 	if !a.ran || a.structDirty || !a.incrementalSafe() {
 		a.obsFullRunFallback.Add(1)
@@ -196,6 +199,10 @@ func (a *Analyzer) Update() error {
 	defer sp.End()
 	a.obsIncUpdates.Add(1)
 	recomputed := 0
+	abort := func(err error) error {
+		a.structDirty = true
+		return err
+	}
 
 	// Phase 1: redo delay calculation for dirty nets.
 	for n := range a.dirtyNets {
@@ -228,6 +235,9 @@ func (a *Analyzer) Update() error {
 	}
 	changedFwd := map[int]bool{}
 	for li := 0; li < len(fw.buckets); li++ {
+		if err := a.canceled(); err != nil {
+			return abort(err)
+		}
 		for _, i := range fw.buckets[li] {
 			old := snapshotFwd(&a.verts[i])
 			a.resetForward(i)
@@ -314,6 +324,9 @@ func (a *Analyzer) Update() error {
 			}
 		}
 		for li := len(bw.buckets) - 1; li >= 0; li-- {
+			if err := a.canceled(); err != nil {
+				return abort(err)
+			}
 			for _, i := range bw.buckets[li] {
 				old := snapshotReq(&a.verts[i])
 				a.recomputeRequired(i)

@@ -12,14 +12,18 @@ import (
 // The sweep walks the level wavefronts in descending order — a vertex pulls
 // from its successors, which all sit at strictly higher (already finalized)
 // levels, so a level can fan out across workers just like the forward pass.
-func (a *Analyzer) propagateRequired() {
+// Cancellation (RunCtx) is polled once per wavefront.
+func (a *Analyzer) propagateRequired() error {
 	if a.Cons == nil {
-		return
+		return nil
 	}
 	a.seedRequired()
 	w := a.workers()
 	for li := len(a.levels) - 1; li >= 0; li-- {
 		lvl := a.levels[li]
+		if err := a.canceled(); err != nil {
+			return err
+		}
 		if w <= 1 || len(lvl) < minParallelLevel {
 			if w > 1 {
 				a.obsLevelsSerial.Add(1)
@@ -36,6 +40,7 @@ func (a *Analyzer) propagateRequired() {
 			}
 		})
 	}
+	return nil
 }
 
 // seedRequired seeds endpoint requireds from the setup checks, recording

@@ -1,0 +1,115 @@
+// Package timingd is the resident timing-signoff service: it loads the
+// design, libraries and MCMM scenario set once, keeps the levelized timing
+// graphs of every scenario resident, and answers interactive queries over
+// HTTP/JSON — the daemon counterpart of the batch closure flow. A signoff
+// ECO loop asks the same questions over and over ("what is WNS now", "show
+// me the k worst paths", "what if I upsize this cell"); re-reading the
+// design and re-running full STA for each question is exactly the
+// turnaround-time trap the paper's Figure 1 loop falls into, so the daemon
+// amortizes the load once and serves every subsequent question from warm
+// graphs, with incremental re-timing for the what-ifs.
+//
+// Concurrency model (see DESIGN.md §10): reads run against an immutable
+// epoch snapshot behind an atomic pointer and never block behind an ECO
+// commit; the single writer mutates a shadow snapshot and swaps it in,
+// then replays the committed ops onto the retired snapshot, which becomes
+// the next shadow. Every response carries the epoch it was computed at,
+// which is what makes concurrent runs replayable byte-for-byte.
+package timingd
+
+import "newgame/internal/units"
+
+// Op is one netlist edit in a what-if or ECO request.
+type Op struct {
+	// Kind selects the edit: "resize" retypes Cell in place to the master
+	// To (pin-compatible variant — Vt swap or drive change); "buffer"
+	// splits the loads named in Loads off net Net behind a new buffer of
+	// master To.
+	Kind string `json:"op"`
+	// Cell names the resize target ("resize").
+	Cell string `json:"cell,omitempty"`
+	// Net names the buffered net ("buffer").
+	Net string `json:"net,omitempty"`
+	// Loads names the moved load pins as "cell/pin" ("buffer").
+	Loads []string `json:"loads,omitempty"`
+	// To is the replacement or buffer master name.
+	To string `json:"to"`
+}
+
+// ScenarioSlack is one scenario's merged timing numbers.
+type ScenarioSlack struct {
+	Scenario string   `json:"scenario"`
+	SetupWNS units.Ps `json:"setup_wns"`
+	SetupTNS units.Ps `json:"setup_tns"`
+	HoldWNS  units.Ps `json:"hold_wns"`
+	HoldTNS  units.Ps `json:"hold_tns"`
+	// SetupViolations/HoldViolations count violating endpoints.
+	SetupViolations int `json:"setup_violations"`
+	HoldViolations  int `json:"hold_violations"`
+}
+
+// SlackReport answers GET /slack.
+type SlackReport struct {
+	Epoch     int64           `json:"epoch"`
+	Scenarios []ScenarioSlack `json:"scenarios"`
+}
+
+// EndpointReport is one endpoint check in GET /endpoints.
+type EndpointReport struct {
+	Endpoint string   `json:"endpoint"`
+	Kind     string   `json:"kind"`
+	Slack    units.Ps `json:"slack"`
+	Arrival  units.Ps `json:"arrival"`
+	Required units.Ps `json:"required"`
+	CRPR     units.Ps `json:"crpr"`
+}
+
+// EndpointsReport answers GET /endpoints.
+type EndpointsReport struct {
+	Epoch     int64            `json:"epoch"`
+	Scenario  string           `json:"scenario"`
+	Endpoints []EndpointReport `json:"endpoints"`
+}
+
+// PathReport is one worst path in GET /paths, re-timed path-based.
+type PathReport struct {
+	Endpoint  string   `json:"endpoint"`
+	Depth     int      `json:"depth"`
+	GBASlack  units.Ps `json:"gba_slack"`
+	PBASlack  units.Ps `json:"pba_slack"`
+	Pessimism units.Ps `json:"pessimism"`
+	CRPR      units.Ps `json:"crpr"`
+	Route     string   `json:"route"`
+}
+
+// PathsReport answers GET /paths.
+type PathsReport struct {
+	Epoch    int64        `json:"epoch"`
+	Scenario string       `json:"scenario"`
+	Paths    []PathReport `json:"paths"`
+}
+
+// WhatIfReport answers POST /whatif and POST /eco: merged slack before and
+// after the ops. For /whatif the edit is evaluated and rolled back (Epoch
+// unchanged); for /eco it is committed (Epoch advances and After describes
+// the new baseline).
+type WhatIfReport struct {
+	Epoch  int64           `json:"epoch"`
+	Before []ScenarioSlack `json:"before"`
+	After  []ScenarioSlack `json:"after"`
+	// Committed is true for /eco responses.
+	Committed bool `json:"committed"`
+}
+
+// Health answers GET /healthz.
+type Health struct {
+	Status    string `json:"status"`
+	Epoch     int64  `json:"epoch"`
+	Scenarios int    `json:"scenarios"`
+	Cells     int    `json:"cells"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}

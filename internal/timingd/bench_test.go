@@ -1,0 +1,133 @@
+package timingd
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// benchGet issues one GET and fails the benchmark on a non-200.
+func benchGet(b *testing.B, url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// BenchmarkTimingdQuery measures the daemon's query latency in
+// serial/concurrent pairs over the real HTTP stack:
+//
+//   - slack cached vs cold (cold purges the query cache every iteration,
+//     forcing a render from the resident graphs);
+//   - paths cold (k-worst + PBA re-time, the heaviest read);
+//   - whatif (resize + incremental re-time forward and back, serialized by
+//     the writer lock);
+//   - slack while a writer goroutine commits ECOs in a loop (reads resolve
+//     epoch snapshots and must not stall behind the writer).
+//
+// The serial/parallel pairs quantify what the epoch-snapshot design buys
+// and what commit churn costs: cached reads scale with client count, while
+// back-to-back commits purge the cache every iteration, so reads degrade
+// to cold renders that sometimes wait behind the retired-snapshot replay —
+// but they keep answering; nothing fails or stalls unboundedly.
+func BenchmarkTimingdQuery(b *testing.B) {
+	s, hs := newTestServer(b, func(c *Config) {
+		c.QueryWorkers = 0 // all CPUs
+		c.QueueDepth = 1024
+	})
+	cell, to := resizeTarget(b)
+	_, _, d := fixture(b)
+	oldType := d.Cell(cell).TypeName
+	wifBody := opsJSON(Op{Kind: "resize", Cell: cell, To: to})
+
+	b.Run("slack_cached_serial", func(b *testing.B) {
+		benchGet(b, hs.URL+"/slack") // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchGet(b, hs.URL+"/slack")
+		}
+	})
+	b.Run("slack_cached_parallel", func(b *testing.B) {
+		benchGet(b, hs.URL+"/slack")
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, hs.URL+"/slack")
+			}
+		})
+	})
+	b.Run("slack_cold_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.purge()
+			benchGet(b, hs.URL+"/slack")
+		}
+	})
+	b.Run("paths_cold_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.cache.purge()
+			benchGet(b, hs.URL+"/paths?k=5")
+		}
+	})
+	b.Run("whatif_serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(hs.URL+"/whatif", "application/json", strings.NewReader(wifBody))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+	b.Run("slack_under_commits_parallel", func(b *testing.B) {
+		benchGet(b, hs.URL+"/slack")
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		go func() {
+			defer close(writerDone)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				target := to
+				if i%2 == 1 {
+					target = oldType
+				}
+				body := opsJSON(Op{Kind: "resize", Cell: cell, To: target})
+				resp, err := http.Post(hs.URL+"/eco", "application/json", strings.NewReader(body))
+				if err != nil {
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				benchGet(b, hs.URL+"/slack")
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-writerDone
+		// Leave the server at the original netlist so subsequent
+		// sub-benchmark ordering doesn't matter.
+		body := opsJSON(Op{Kind: "resize", Cell: cell, To: oldType})
+		resp, err := http.Post(hs.URL+"/eco", "application/json", strings.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}

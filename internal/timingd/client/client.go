@@ -1,0 +1,159 @@
+// Package client is the Go client for the timingd HTTP/JSON API. It
+// shares the wire types with the server package, so a round trip is
+// lossless, and it surfaces the daemon's backpressure (429) and timeout
+// (504) answers as typed errors callers can branch on.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"newgame/internal/timingd"
+)
+
+// Client talks to one timingd instance.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8374".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// New returns a client for the given base URL.
+func New(base string) *Client { return &Client{Base: base} }
+
+// StatusError reports a non-2xx daemon answer.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("timingd: %d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// IsBackpressure reports whether err is the daemon's queue-full refusal —
+// the caller should back off and retry.
+func IsBackpressure(err error) bool {
+	se, ok := err.(*StatusError)
+	return ok && se.Code == http.StatusTooManyRequests
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.Unmarshal(data, &eb)
+		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Slack fetches the merged per-scenario WNS/TNS summary.
+func (c *Client) Slack(ctx context.Context) (timingd.SlackReport, error) {
+	var out timingd.SlackReport
+	err := c.do(ctx, http.MethodGet, "/slack", nil, &out)
+	return out, err
+}
+
+// Endpoints fetches the limit worst endpoint checks of kind ("setup" or
+// "hold") in the named scenario ("" = first scenario).
+func (c *Client) Endpoints(ctx context.Context, scenario, kind string, limit int) (timingd.EndpointsReport, error) {
+	q := url.Values{}
+	if scenario != "" {
+		q.Set("scenario", scenario)
+	}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var out timingd.EndpointsReport
+	err := c.do(ctx, http.MethodGet, "/endpoints?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// Paths fetches the k worst paths of kind in the named scenario, re-timed
+// path-based with CRPR credit.
+func (c *Client) Paths(ctx context.Context, scenario, kind string, k int) (timingd.PathsReport, error) {
+	q := url.Values{}
+	if scenario != "" {
+		q.Set("scenario", scenario)
+	}
+	if kind != "" {
+		q.Set("kind", kind)
+	}
+	if k > 0 {
+		q.Set("k", strconv.Itoa(k))
+	}
+	var out timingd.PathsReport
+	err := c.do(ctx, http.MethodGet, "/paths?"+q.Encode(), nil, &out)
+	return out, err
+}
+
+// WhatIf evaluates ops against the current baseline and rolls them back.
+func (c *Client) WhatIf(ctx context.Context, ops []timingd.Op) (timingd.WhatIfReport, error) {
+	var out timingd.WhatIfReport
+	err := c.do(ctx, http.MethodPost, "/whatif", struct {
+		Ops []timingd.Op `json:"ops"`
+	}{ops}, &out)
+	return out, err
+}
+
+// Commit applies ops as an ECO, advancing the epoch.
+func (c *Client) Commit(ctx context.Context, ops []timingd.Op) (timingd.WhatIfReport, error) {
+	var out timingd.WhatIfReport
+	err := c.do(ctx, http.MethodPost, "/eco", struct {
+		Ops []timingd.Op `json:"ops"`
+	}{ops}, &out)
+	return out, err
+}
+
+// Health fetches the liveness summary (never queued server-side).
+func (c *Client) Health(ctx context.Context) (timingd.Health, error) {
+	var out timingd.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}

@@ -1,0 +1,321 @@
+package timingd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"newgame/internal/sta"
+)
+
+// routes wires the HTTP surface. Query endpoints go through the bounded
+// admission queue; /healthz and /metrics bypass it so operators can always
+// see a saturated server.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/slack", s.handle("slack", http.MethodGet, s.handleSlack))
+	s.mux.HandleFunc("/endpoints", s.handle("endpoints", http.MethodGet, s.handleEndpoints))
+	s.mux.HandleFunc("/paths", s.handle("paths", http.MethodGet, s.handlePaths))
+	s.mux.HandleFunc("/whatif", s.handle("whatif", http.MethodPost, s.handleWhatIf))
+	s.mux.HandleFunc("/eco", s.handle("eco", http.MethodPost, s.handleECO))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+}
+
+// apiError carries an HTTP status with a handler error.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// handle adapts a query function to the admission pipeline: shutdown gate,
+// bounded queue with 429 backpressure, per-request timeout whose context
+// flows into incremental re-timing, and latency observation. The handler
+// always waits for its admitted job — the job owns no reference to the
+// ResponseWriter, so a timeout surfaces as the job's error, never as a
+// write race.
+func (s *Server) handle(route, method string, fn func(ctx context.Context, r *http.Request) ([]byte, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer s.observe(route, start)
+		if r.Method != method {
+			writeError(w, http.StatusMethodNotAllowed, method+" required")
+			return
+		}
+		s.closeMu.RLock()
+		defer s.closeMu.RUnlock()
+		if s.closed {
+			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		type answer struct {
+			body []byte
+			err  error
+		}
+		done := make(chan answer, 1)
+		if !s.pool.TrySubmit(func() {
+			b, err := fn(ctx, r)
+			done <- answer{b, err}
+		}) {
+			s.count("timingd.backpressure_429")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "request queue full")
+			return
+		}
+		a := <-done
+		if a.err != nil {
+			switch {
+			case ctx.Err() != nil:
+				writeError(w, http.StatusGatewayTimeout, a.err.Error())
+			default:
+				status := http.StatusInternalServerError
+				var ae *apiError
+				if asAPIError(a.err, &ae) {
+					status = ae.status
+				}
+				writeError(w, status, a.err.Error())
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(a.body)
+	}
+}
+
+// asAPIError unwraps to *apiError without pulling in errors.As generics
+// noise at every call site.
+func asAPIError(err error, target **apiError) bool {
+	for err != nil {
+		if ae, ok := err.(*apiError); ok {
+			*target = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(errorBody{Error: msg})
+	w.Write(append(b, '\n'))
+}
+
+// readSnapshot resolves the current epoch snapshot, serves the query from
+// the cache when the rendered answer for this epoch is already known, and
+// renders + caches it otherwise. The RLock spans the render, ordering it
+// against the post-swap replay; the epoch tag read under the same lock is
+// exactly the epoch the data belongs to.
+func (s *Server) readSnapshot(ctx context.Context, uri string, render func(sess *session, epoch int64) (any, error)) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sess := s.cur.Load()
+	sess.mu.RLock()
+	defer sess.mu.RUnlock()
+	epoch := sess.epoch
+	if b, ok := s.cache.get(epoch, uri); ok {
+		s.count("timingd.cache.hits")
+		return b, nil
+	}
+	s.count("timingd.cache.misses")
+	v, err := render(sess, epoch)
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, '\n')
+	s.cache.put(epoch, uri, b)
+	return b, nil
+}
+
+func (s *Server) handleSlack(ctx context.Context, r *http.Request) ([]byte, error) {
+	return s.readSnapshot(ctx, r.URL.RequestURI(), func(sess *session, epoch int64) (any, error) {
+		return SlackReport{Epoch: epoch, Scenarios: sess.slacks()}, nil
+	})
+}
+
+func (s *Server) handleEndpoints(ctx context.Context, r *http.Request) ([]byte, error) {
+	q := r.URL.Query()
+	kind, err := parseKind(q.Get("kind"))
+	if err != nil {
+		return nil, err
+	}
+	limit, err := parseInt(q.Get("limit"), 10, 1, 100000)
+	if err != nil {
+		return nil, err
+	}
+	return s.readSnapshot(ctx, r.URL.RequestURI(), func(sess *session, epoch int64) (any, error) {
+		v, err := sess.findView(q.Get("scenario"))
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return EndpointsReport{
+			Epoch: epoch, Scenario: v.scenario.Name,
+			Endpoints: v.endpoints(kind, limit),
+		}, nil
+	})
+}
+
+func (s *Server) handlePaths(ctx context.Context, r *http.Request) ([]byte, error) {
+	q := r.URL.Query()
+	kind, err := parseKind(q.Get("kind"))
+	if err != nil {
+		return nil, err
+	}
+	k, err := parseInt(q.Get("k"), 5, 1, 1000)
+	if err != nil {
+		return nil, err
+	}
+	return s.readSnapshot(ctx, r.URL.RequestURI(), func(sess *session, epoch int64) (any, error) {
+		v, err := sess.findView(q.Get("scenario"))
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		return PathsReport{
+			Epoch: epoch, Scenario: v.scenario.Name,
+			Paths: v.paths(kind, k),
+		}, nil
+	})
+}
+
+// opsBody is the request body of /whatif and /eco.
+type opsBody struct {
+	Ops []Op `json:"ops"`
+}
+
+func decodeOps(r *http.Request) ([]Op, error) {
+	var body opsBody
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&body); err != nil {
+		return nil, badRequest("bad request body: %v", err)
+	}
+	if len(body.Ops) == 0 {
+		return nil, badRequest("request has no ops")
+	}
+	return body.Ops, nil
+}
+
+func (s *Server) handleWhatIf(ctx context.Context, r *http.Request) ([]byte, error) {
+	ops, err := decodeOps(r)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.whatIf(ctx, ops)
+	if err != nil {
+		return nil, wrapOpError(err)
+	}
+	return marshalBody(rep)
+}
+
+func (s *Server) handleECO(ctx context.Context, r *http.Request) ([]byte, error) {
+	ops, err := decodeOps(r)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.commit(ctx, ops)
+	if err != nil {
+		return nil, wrapOpError(err)
+	}
+	return marshalBody(rep)
+}
+
+// wrapOpError classifies writer errors: validation failures (unknown
+// names, incompatible masters) are the client's fault.
+func wrapOpError(err error) error {
+	if _, ok := err.(*apiError); ok {
+		return err
+	}
+	msg := err.Error()
+	for _, pat := range []string{"unknown", "not pin-compatible", "not in scenario", "not a buffer", "no load", "empty op", "moves no loads"} {
+		if strings.Contains(msg, pat) {
+			return badRequest("%s", msg)
+		}
+	}
+	return err
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// handleHealthz bypasses the queue: liveness must be observable even when
+// the queue is saturated.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sess := s.cur.Load()
+	sess.mu.RLock()
+	h := Health{
+		Status:    "ok",
+		Epoch:     sess.epoch,
+		Scenarios: len(sess.views),
+		Cells:     len(sess.d.Cells),
+	}
+	sess.mu.RUnlock()
+	if s.degraded.Load() {
+		h.Status = "degraded"
+	}
+	b, _ := json.Marshal(h)
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// handleMetrics bypasses the queue and serves the obs metrics dump.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Obs == nil {
+		writeError(w, http.StatusNotFound, "metrics recording disabled")
+		return
+	}
+	hits, misses := s.cache.stats()
+	s.cfg.Obs.Gauge("timingd.cache.hit_total").Set(float64(hits))
+	s.cfg.Obs.Gauge("timingd.cache.miss_total").Set(float64(misses))
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.cfg.Obs.WriteMetricsJSON(w); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func parseKind(s string) (sta.CheckKind, error) {
+	switch s {
+	case "", "setup":
+		return sta.Setup, nil
+	case "hold":
+		return sta.Hold, nil
+	default:
+		return sta.Setup, badRequest("unknown check kind %q", s)
+	}
+}
+
+func parseInt(s string, def, min, max int) (int, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v < min || v > max {
+		return 0, badRequest("bad integer %q (want %d..%d)", s, min, max)
+	}
+	return v, nil
+}

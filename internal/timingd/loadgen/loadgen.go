@@ -1,0 +1,233 @@
+// Package loadgen drives a timingd instance with a paced, mixed query
+// workload and reports throughput and latency percentiles — the harness
+// behind `timingd -loadgen` and the CI smoke step. It lives outside the
+// server package so it can use the real client (which imports the wire
+// types from the server package).
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"newgame/internal/obs"
+	"newgame/internal/timingd"
+	"newgame/internal/timingd/client"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Base is the target server root URL.
+	Base string
+	// Clients is the number of concurrent client goroutines (default 4).
+	Clients int
+	// Duration bounds the run (default 3s).
+	Duration time.Duration
+	// TargetQPS paces the aggregate request rate; 0 runs unpaced (as fast
+	// as the server admits).
+	TargetQPS int
+	// SlackWeight/PathsWeight/WhatIfWeight set the request mix by integer
+	// weights (default 8/1/1). What-if requests exercise the write path
+	// without advancing the epoch.
+	SlackWeight, PathsWeight, WhatIfWeight int
+	// WhatIfOps is the op batch what-if requests send; required when
+	// WhatIfWeight > 0.
+	WhatIfOps []timingd.Op
+	// Obs, when non-nil, records per-route latency histograms.
+	Obs *obs.Recorder
+}
+
+// RouteStats aggregates one route's outcomes.
+type RouteStats struct {
+	Requests  int
+	Errors    int
+	Refused   int // 429 backpressure answers
+	latencies []time.Duration
+}
+
+// Percentile returns the p-quantile latency (0 < p <= 1) of the
+// successful requests.
+func (r *RouteStats) Percentile(p float64) time.Duration {
+	if len(r.latencies) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(r.latencies))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(r.latencies) {
+		i = len(r.latencies) - 1
+	}
+	return r.latencies[i]
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Elapsed time.Duration
+	Total   int
+	QPS     float64
+	Routes  map[string]*RouteStats
+}
+
+// String renders the operator-facing summary table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen: %d requests in %.2fs = %.0f qps\n", r.Total, r.Elapsed.Seconds(), r.QPS)
+	routes := make([]string, 0, len(r.Routes))
+	for name := range r.Routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+	for _, name := range routes {
+		st := r.Routes[name]
+		fmt.Fprintf(&b, "  %-8s %7d ok, %d err, %d refused | p50 %s p95 %s p99 %s\n",
+			name, st.Requests, st.Errors, st.Refused,
+			st.Percentile(0.50).Round(time.Microsecond),
+			st.Percentile(0.95).Round(time.Microsecond),
+			st.Percentile(0.99).Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// Run executes the load profile and aggregates the outcome. Every client
+// goroutine draws from one shared request sequence, so the mix is exact
+// regardless of client count.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.SlackWeight == 0 && cfg.PathsWeight == 0 && cfg.WhatIfWeight == 0 {
+		cfg.SlackWeight, cfg.PathsWeight, cfg.WhatIfWeight = 8, 1, 1
+	}
+	if cfg.WhatIfWeight > 0 && len(cfg.WhatIfOps) == 0 {
+		return Report{}, fmt.Errorf("loadgen: WhatIfWeight set but no WhatIfOps")
+	}
+	mix := buildMix(cfg)
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Pacing: one shared ticket channel; paced mode feeds it at TargetQPS,
+	// unpaced mode keeps it saturated.
+	tickets := make(chan struct{}, cfg.Clients)
+	go func() {
+		defer close(tickets)
+		if cfg.TargetQPS <= 0 {
+			for ctx.Err() == nil {
+				select {
+				case tickets <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+			}
+			return
+		}
+		interval := time.Second / time.Duration(cfg.TargetQPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-tk.C:
+				select {
+				case tickets <- struct{}{}:
+				default: // clients saturated; shed the tick
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var mu sync.Mutex
+	routes := map[string]*RouteStats{}
+	var seq int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for g := 0; g < cfg.Clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := client.New(cfg.Base)
+			for range tickets {
+				mu.Lock()
+				route := mix[seq%int64(len(mix))]
+				seq++
+				mu.Unlock()
+				t0 := time.Now()
+				var err error
+				switch route {
+				case "slack":
+					_, err = cl.Slack(ctx)
+				case "paths":
+					_, err = cl.Paths(ctx, "", "setup", 3)
+				case "whatif":
+					_, err = cl.WhatIf(ctx, cfg.WhatIfOps)
+				}
+				lat := time.Since(t0)
+				if ctx.Err() != nil && err != nil {
+					break // shutdown race, not a server failure
+				}
+				mu.Lock()
+				st := routes[route]
+				if st == nil {
+					st = &RouteStats{}
+					routes[route] = st
+				}
+				switch {
+				case err == nil:
+					st.Requests++
+					st.latencies = append(st.latencies, lat)
+				case client.IsBackpressure(err):
+					st.Refused++
+				default:
+					st.Errors++
+				}
+				mu.Unlock()
+				if cfg.Obs != nil {
+					cfg.Obs.Histogram("loadgen."+route+".latency_ms",
+						0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100).
+						Observe(float64(lat.Microseconds()) / 1000)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Elapsed: elapsed, Routes: routes}
+	for _, st := range routes {
+		rep.Total += st.Requests
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.QPS = float64(rep.Total) / s
+	}
+	return rep, nil
+}
+
+// buildMix expands the weights into a repeating request schedule.
+func buildMix(cfg Config) []string {
+	var mix []string
+	for i := 0; i < cfg.SlackWeight; i++ {
+		mix = append(mix, "slack")
+	}
+	for i := 0; i < cfg.PathsWeight; i++ {
+		mix = append(mix, "paths")
+	}
+	for i := 0; i < cfg.WhatIfWeight; i++ {
+		mix = append(mix, "whatif")
+	}
+	if len(mix) == 0 {
+		mix = []string{"slack"}
+	}
+	return mix
+}

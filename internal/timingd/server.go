@@ -1,0 +1,325 @@
+package timingd
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"newgame/internal/core"
+	"newgame/internal/netlist"
+	"newgame/internal/obs"
+	"newgame/internal/parasitics"
+	"newgame/internal/units"
+	"newgame/internal/workpool"
+)
+
+// Config assembles one timingd instance.
+type Config struct {
+	// Design is the netlist to serve. The server never mutates it: each
+	// epoch snapshot works on its own clone.
+	Design *netlist.Design
+	// Recipe supplies the MCMM scenario set (libraries, corners, derates).
+	Recipe core.Recipe
+	// Stack is the BEOL stack parasitics are synthesized from.
+	Stack *parasitics.Stack
+	// ClockPort names the clock root port ("clk" when empty).
+	ClockPort string
+	// BasePeriod is the functional-mode clock period, ps.
+	BasePeriod units.Ps
+	// InputArrival is the external arrival on data inputs (0 = default).
+	InputArrival units.Ps
+	// Seed keys parasitics synthesis.
+	Seed int64
+	// Workers bounds scenario-level fan-out (initial builds, rebuilds);
+	// 0 = all CPUs.
+	Workers int
+	// AnalysisWorkers bounds each analyzer's internal level-parallelism.
+	// Per-scenario analyzers already run concurrently, so the default of 1
+	// avoids oversubscription; raise it for single-scenario servers.
+	AnalysisWorkers int
+	// QueueDepth bounds the admission queue; a full queue answers 429.
+	// Default 64.
+	QueueDepth int
+	// QueryWorkers is the number of goroutines draining the queue;
+	// 0 = all CPUs.
+	QueryWorkers int
+	// CacheSize bounds the per-epoch query cache entries. Default 256.
+	CacheSize int
+	// RequestTimeout bounds each query's work, propagated as a context
+	// into incremental re-timing. Default 30s.
+	RequestTimeout time.Duration
+	// Obs, when non-nil, records request counters, latency histograms and
+	// sta-level spans, served at /metrics.
+	Obs *obs.Recorder
+}
+
+func (c *Config) withDefaults() *Config {
+	out := *c
+	if out.ClockPort == "" {
+		out.ClockPort = "clk"
+	}
+	if out.BasePeriod == 0 {
+		out.BasePeriod = 700
+	}
+	if out.QueueDepth == 0 {
+		out.QueueDepth = 64
+	}
+	if out.CacheSize == 0 {
+		out.CacheSize = 256
+	}
+	if out.RequestTimeout == 0 {
+		out.RequestTimeout = 30 * time.Second
+	}
+	if out.AnalysisWorkers == 0 {
+		out.AnalysisWorkers = 1
+	}
+	return &out
+}
+
+// Server is the resident daemon: two epoch-snapshot sessions (current and
+// shadow), a bounded admission queue, and the query cache.
+type Server struct {
+	cfg *Config
+
+	// cur is the snapshot readers resolve; shadow is the writer's working
+	// copy. writerMu serializes what-if evaluation and ECO commits —
+	// between writer operations shadow and cur are bit-identical (only
+	// their epoch histories differ in how they got there).
+	cur      atomic.Pointer[session]
+	writerMu sync.Mutex
+	shadow   *session
+
+	epoch atomic.Int64
+	pool  *workpool.Pool
+	cache *queryCache
+
+	// closeMu orders graceful shutdown against in-flight requests: every
+	// handler holds it shared for its whole lifetime, Close takes it
+	// exclusively, so Close blocks until the in-flight queries drain and
+	// requests arriving during shutdown observe closed and refuse.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// degraded is set when a commit failed half-way (e.g. canceled during
+	// the replay onto the retired snapshot) and the two sessions can no
+	// longer be guaranteed identical; writes are refused from then on.
+	degraded atomic.Bool
+
+	mux *http.ServeMux
+}
+
+// NewServer loads the design once and brings both epoch snapshots up.
+func NewServer(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	if c.Design == nil {
+		return nil, fmt.Errorf("timingd: Config.Design is nil")
+	}
+	if len(c.Recipe.Scenarios) == 0 {
+		return nil, fmt.Errorf("timingd: recipe has no scenarios")
+	}
+	if c.Stack == nil {
+		return nil, fmt.Errorf("timingd: Config.Stack is nil")
+	}
+	s := &Server{
+		cfg:   c,
+		pool:  workpool.NewPool(c.QueryWorkers, c.QueueDepth),
+		cache: newQueryCache(c.CacheSize),
+	}
+	// Both snapshots are full builds from clones of the source design;
+	// the keyed binder guarantees they are bit-identical despite being
+	// built independently.
+	front, err := newSession(c, c.Design)
+	if err != nil {
+		return nil, err
+	}
+	back, err := newSession(c, c.Design)
+	if err != nil {
+		return nil, err
+	}
+	s.cur.Store(front)
+	s.shadow = back
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// ServeHTTP makes the server mountable (httptest, custom http.Server).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Epoch returns the current commit epoch.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// Close stops admitting queries, drains the in-flight ones, and shuts the
+// worker pool down. Safe to call more than once.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	s.closed = true
+	s.closeMu.Unlock()
+	s.pool.Close()
+}
+
+// observe bumps a per-route counter and latency histogram when recording.
+func (s *Server) observe(route string, start time.Time) {
+	if s.cfg.Obs == nil {
+		return
+	}
+	s.cfg.Obs.Counter("timingd." + route + ".requests").Add(1)
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	s.cfg.Obs.Histogram("timingd."+route+".latency_ms",
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000).Observe(ms)
+}
+
+// count bumps a named counter when recording.
+func (s *Server) count(name string) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Counter(name).Add(1)
+	}
+}
+
+// commit applies a validated edit batch to the shadow, swaps it in as the
+// new current snapshot, and replays the batch onto the retired snapshot so
+// it can serve as the next shadow. Reads never wait on any of this: they
+// keep resolving the old pointer until the swap, and the replay locks only
+// the retired session.
+func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.degraded.Load() {
+		return nil, fmt.Errorf("server degraded by earlier failed commit; restart required")
+	}
+
+	sh := s.shadow
+	sh.mu.Lock()
+	edits, err := sh.resolve(ops)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	rep := &WhatIfReport{Before: sh.slacks(), Committed: true}
+	mark := sh.d.NameMark()
+	structural, err := sh.applyEdits(edits)
+	if err == nil {
+		err = sh.retime(ctx, s.cfg, structural)
+	}
+	if err != nil {
+		// Roll the shadow back to match cur; the undo's own re-time must
+		// not be cancellable or the snapshots diverge.
+		sh.undoEdits(edits, mark)
+		if rerr := sh.retime(context.Background(), s.cfg, structural); rerr != nil {
+			s.degraded.Store(true)
+		}
+		sh.mu.Unlock()
+		return nil, err
+	}
+	newEpoch := s.epoch.Add(1)
+	sh.epoch = newEpoch
+	rep.Epoch = newEpoch
+	rep.After = sh.slacks()
+	sh.mu.Unlock()
+
+	old := s.cur.Swap(sh)
+	s.cache.purge()
+	s.count("timingd.commits")
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Gauge("timingd.epoch").Set(float64(newEpoch))
+	}
+
+	// Replay onto the retired snapshot. Stragglers still reading it hold
+	// RLock; the edit waits for them. Not cancellable: the commit is
+	// already visible.
+	old.mu.Lock()
+	oldEdits, rerr := old.resolve(ops)
+	if rerr == nil {
+		var oldStructural bool
+		oldStructural, rerr = old.applyEdits(oldEdits)
+		if rerr == nil {
+			rerr = old.retime(context.Background(), s.cfg, oldStructural)
+		}
+	}
+	old.epoch = newEpoch
+	old.mu.Unlock()
+	if rerr != nil {
+		s.degraded.Store(true)
+		return rep, nil // the commit itself succeeded
+	}
+	s.shadow = old
+	return rep, nil
+}
+
+// whatIf evaluates an edit batch against the shadow and rolls it back,
+// never publishing anything. The response is tagged with the epoch whose
+// baseline it was evaluated against.
+func (s *Server) whatIf(ctx context.Context, ops []Op) (*WhatIfReport, error) {
+	s.writerMu.Lock()
+	defer s.writerMu.Unlock()
+	if s.degraded.Load() {
+		return nil, fmt.Errorf("server degraded by earlier failed commit; restart required")
+	}
+
+	sh := s.shadow
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	edits, err := sh.resolve(ops)
+	if err != nil {
+		return nil, err
+	}
+	rep := &WhatIfReport{Epoch: s.epoch.Load(), Before: sh.slacks()}
+	mark := sh.d.NameMark()
+
+	if anyStructural(edits) {
+		// Structural what-if: the resident analyzers stay untouched —
+		// fresh ones are built for the edited netlist and discarded, and
+		// the exact netlist undo makes the saved views valid again.
+		saved := sh.views
+		structural, err := sh.applyEdits(edits)
+		if err == nil {
+			err = sh.retime(ctx, s.cfg, structural)
+		}
+		if err == nil {
+			rep.After = sh.slacks()
+		}
+		sh.undoEdits(edits, mark)
+		sh.views = saved
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Resize-only what-if: incremental forward, incremental back.
+		// Invalidations from the whole batch coalesce into one Update per
+		// view in each direction.
+		if _, err := sh.applyEdits(edits); err != nil {
+			sh.undoEdits(edits, mark)
+			if rerr := sh.retime(context.Background(), s.cfg, false); rerr != nil {
+				s.degraded.Store(true)
+			}
+			return nil, err
+		}
+		err = sh.retime(ctx, s.cfg, false)
+		if err == nil {
+			rep.After = sh.slacks()
+		}
+		sh.undoEdits(edits, mark)
+		if rerr := sh.retime(context.Background(), s.cfg, false); rerr != nil {
+			s.degraded.Store(true)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.count("timingd.whatifs")
+	return rep, nil
+}
+
+func anyStructural(edits []*edit) bool {
+	for _, e := range edits {
+		if e.structural() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+package timingd
+
+import (
+	"context"
+	"fmt"
+
+	"newgame/internal/core"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+	"newgame/internal/workpool"
+	"sync"
+)
+
+// view is one scenario's resident analysis: its constraints and a levelized
+// analyzer that has run and stays warm for incremental re-timing.
+type view struct {
+	scenario core.Scenario
+	cons     *sta.Constraints
+	a        *sta.Analyzer
+}
+
+// session is one epoch snapshot: a private clone of the design plus one
+// view per scenario, all timed. The server keeps exactly two — the current
+// snapshot readers resolve through an atomic pointer, and the shadow the
+// writer edits — and flips their roles on every commit. Because both are
+// built from clones of one netlist with name-keyed parasitics binders
+// (sta.NewKeyedNetBinder), they stay bit-identical no matter how different
+// their edit/re-time histories are.
+//
+// mu orders readers against the post-swap replay: queries hold RLock while
+// rendering, the writer holds Lock while editing. A reader that loaded the
+// pointer just before a swap and acquired RLock just after the replay sees
+// a fully consistent newer snapshot — tagged with the newer epoch it
+// actually read.
+type session struct {
+	mu    sync.RWMutex
+	epoch int64
+	d     *netlist.Design
+	// clockPort roots the clock in this clone.
+	clockPort *netlist.Port
+	binder    func(*netlist.Net) *parasitics.Tree
+	views     []*view
+}
+
+// newSession clones the design and brings up one analyzer per scenario,
+// fanning the initial full runs out over the configured workers.
+func newSession(cfg *Config, src *netlist.Design) (*session, error) {
+	d := src.Clone()
+	ck := d.Port(cfg.ClockPort)
+	if ck == nil {
+		return nil, fmt.Errorf("timingd: design has no clock port %q", cfg.ClockPort)
+	}
+	s := &session{
+		d:         d,
+		clockPort: ck,
+		binder:    sta.NewKeyedNetBinder(cfg.Stack, cfg.Seed),
+		views:     make([]*view, len(cfg.Recipe.Scenarios)),
+	}
+	errs := make([]error, len(cfg.Recipe.Scenarios))
+	workpool.Do(cfg.Workers, len(cfg.Recipe.Scenarios), func(i int) {
+		s.views[i], errs[i] = s.buildView(cfg, cfg.Recipe.Scenarios[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildView constructs and runs one scenario's analyzer against the
+// session's design clone.
+func (s *session) buildView(cfg *Config, sc core.Scenario) (*view, error) {
+	cons := core.ConstraintsFor(s.d, s.clockPort, cfg.BasePeriod, cfg.InputArrival, sc)
+	a, err := sta.New(s.d, cons, sta.Config{
+		Lib: sc.Lib, Parasitics: s.binder, Scaling: sc.Scaling,
+		Derate: sc.Derate, SI: sc.SI, MIS: sc.MIS,
+		Workers: cfg.AnalysisWorkers, Obs: cfg.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Run(); err != nil {
+		return nil, err
+	}
+	return &view{scenario: sc, cons: cons, a: a}, nil
+}
+
+// rebuildViews replaces every analyzer after a structural netlist edit
+// (vertex sets are fixed at sta.New, so buffer insertion needs fresh
+// graphs). Constraints are rebuilt too: the edit may have changed port
+// fanout. Cancellation via ctx aborts with the views unchanged.
+func (s *session) rebuildViews(ctx context.Context, cfg *Config) error {
+	views := make([]*view, len(s.views))
+	errs := make([]error, len(s.views))
+	workpool.Do(cfg.Workers, len(s.views), func(i int) {
+		sc := s.views[i].scenario
+		cons := core.ConstraintsFor(s.d, s.clockPort, cfg.BasePeriod, cfg.InputArrival, sc)
+		a, err := sta.New(s.d, cons, sta.Config{
+			Lib: sc.Lib, Parasitics: s.binder, Scaling: sc.Scaling,
+			Derate: sc.Derate, SI: sc.SI, MIS: sc.MIS,
+			Workers: cfg.AnalysisWorkers, Obs: cfg.Obs,
+		})
+		if err == nil {
+			err = a.RunCtx(ctx)
+		}
+		views[i], errs[i] = &view{scenario: sc, cons: cons, a: a}, err
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.views = views
+	return nil
+}
+
+// slacks renders the merged per-scenario timing summary. Endpoint slacks
+// come back sorted worst-first, so violation counting is a prefix scan.
+func (s *session) slacks() []ScenarioSlack {
+	out := make([]ScenarioSlack, len(s.views))
+	for i, v := range s.views {
+		r := ScenarioSlack{Scenario: v.scenario.Name}
+		r.SetupWNS = v.a.WorstSlack(sta.Setup)
+		r.SetupTNS = v.a.TNS(sta.Setup)
+		r.HoldWNS = v.a.WorstSlack(sta.Hold)
+		r.HoldTNS = v.a.TNS(sta.Hold)
+		for _, e := range v.a.EndpointSlacks(sta.Setup) {
+			if e.Slack < 0 {
+				r.SetupViolations++
+			}
+		}
+		for _, e := range v.a.EndpointSlacks(sta.Hold) {
+			if e.Slack < 0 {
+				r.HoldViolations++
+			}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// findView resolves a scenario by name; an empty name selects the first
+// scenario (the setup view in the default recipe).
+func (s *session) findView(name string) (*view, error) {
+	if name == "" {
+		return s.views[0], nil
+	}
+	for _, v := range s.views {
+		if v.scenario.Name == name {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown scenario %q", name)
+}
+
+// endpoints renders the k worst endpoint checks of one kind in one
+// scenario.
+func (v *view) endpoints(kind sta.CheckKind, limit int) []EndpointReport {
+	es := v.a.EndpointSlacks(kind)
+	if limit > 0 && len(es) > limit {
+		es = es[:limit]
+	}
+	out := make([]EndpointReport, len(es))
+	for i, e := range es {
+		out[i] = EndpointReport{
+			Endpoint: e.Name(), Kind: kind.String(),
+			Slack: e.Slack, Arrival: e.Arrival, Required: e.Required, CRPR: e.CRPR,
+		}
+	}
+	return out
+}
+
+// paths renders the k worst setup paths re-timed path-based, with the CRPR
+// credit each endpoint check carried.
+func (v *view) paths(kind sta.CheckKind, k int) []PathReport {
+	ps := v.a.WorstPaths(kind, k)
+	out := make([]PathReport, len(ps))
+	for i, p := range ps {
+		r := v.a.PBA(p)
+		out[i] = PathReport{
+			Endpoint:  p.Endpoint.Name(),
+			Depth:     p.Depth(),
+			GBASlack:  p.GBASlack,
+			PBASlack:  r.Slack,
+			Pessimism: r.Pessimism,
+			CRPR:      p.Endpoint.CRPR,
+			Route:     p.String(),
+		}
+	}
+	return out
+}
+
+// wnsOf is a tiny helper for loadgen assertions.
+func wnsOf(rs []ScenarioSlack) units.Ps {
+	w := units.Ps(0)
+	for _, r := range rs {
+		if r.SetupWNS < w {
+			w = r.SetupWNS
+		}
+	}
+	return w
+}

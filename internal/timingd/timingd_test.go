@@ -1,0 +1,504 @@
+package timingd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/obs"
+	"newgame/internal/parasitics"
+)
+
+// The test fixture is shared: library generation dominates setup cost, and
+// every server clones the design anyway, so tests never interfere.
+var (
+	fixOnce   sync.Once
+	fixRecipe core.Recipe
+	fixStack  *parasitics.Stack
+	fixDesign *netlist.Design
+)
+
+func fixture(t testing.TB) (core.Recipe, *parasitics.Stack, *netlist.Design) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixStack = parasitics.Stack16()
+		fixRecipe = core.OldGoalPosts(liberty.Node16, fixStack)
+		fixDesign = circuits.Block(fixRecipe.Scenarios[0].Lib, circuits.BlockSpec{
+			Name: "td", Inputs: 12, Outputs: 12, FFs: 32, Gates: 350,
+			MaxDepth: 9, Seed: 7, ClockBufferLevels: 2,
+			VtMix: [3]float64{0, 0.5, 0.5},
+		})
+	})
+	return fixRecipe, fixStack, fixDesign
+}
+
+func testConfig(t testing.TB) Config {
+	recipe, stack, d := fixture(t)
+	return Config{
+		Design: d, Recipe: recipe, Stack: stack,
+		BasePeriod: 560, Seed: 7, QueryWorkers: 4,
+	}
+}
+
+func newTestServer(t testing.TB, mut func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := testConfig(t)
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func get(t testing.TB, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func post(t testing.TB, base, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// resizeTarget finds a combinational cell with an in-library Vt variant.
+func resizeTarget(t testing.TB) (cell, to string) {
+	t.Helper()
+	recipe, _, d := fixture(t)
+	lib := recipe.Scenarios[0].Lib
+	for _, c := range d.Cells {
+		m := lib.Cell(c.TypeName)
+		if m == nil || m.IsSequential() {
+			continue
+		}
+		if strings.HasSuffix(c.TypeName, "_SVT") {
+			v := strings.TrimSuffix(c.TypeName, "_SVT") + "_LVT"
+			if lib.Cell(v) != nil {
+				return c.Name, v
+			}
+		}
+	}
+	t.Fatal("no resize target in fixture")
+	return "", ""
+}
+
+// bufferTarget finds a cell-driven net with at least three loads.
+func bufferTarget(t testing.TB) (net string, loads []string) {
+	t.Helper()
+	_, _, d := fixture(t)
+	for _, n := range d.Nets {
+		if n.Driver != nil && len(n.Loads) >= 3 {
+			return n.Name, []string{n.Loads[0].FullName(), n.Loads[1].FullName()}
+		}
+	}
+	t.Fatal("no buffer target in fixture")
+	return "", nil
+}
+
+func opsJSON(ops ...Op) string {
+	b, _ := json.Marshal(struct {
+		Ops []Op `json:"ops"`
+	}{ops})
+	return string(b)
+}
+
+// Two independently built servers answer /slack byte-identically, and the
+// answer carries epoch 0 — the determinism baseline everything else builds
+// on.
+func TestSlackDeterministicAcrossServers(t *testing.T) {
+	_, hs1 := newTestServer(t, nil)
+	_, hs2 := newTestServer(t, nil)
+	c1, b1 := get(t, hs1.URL, "/slack")
+	c2, b2 := get(t, hs2.URL, "/slack")
+	if c1 != 200 || c2 != 200 {
+		t.Fatalf("status %d/%d", c1, c2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("independent servers disagree:\n%s\n%s", b1, b2)
+	}
+	var rep SlackReport
+	if err := json.Unmarshal(b1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epoch != 0 || len(rep.Scenarios) != 2 {
+		t.Fatalf("unexpected report shape: epoch %d, %d scenarios", rep.Epoch, len(rep.Scenarios))
+	}
+}
+
+// A what-if must leave the baseline untouched: /slack before and after the
+// what-if are byte-identical, the epoch does not advance, and the what-if
+// itself reports a changed "after".
+func TestWhatIfLeavesBaselineUntouched(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	cell, to := resizeTarget(t)
+	_, before := get(t, hs.URL, "/slack")
+	code, wb := post(t, hs.URL, "/whatif", opsJSON(Op{Kind: "resize", Cell: cell, To: to}))
+	if code != 200 {
+		t.Fatalf("whatif status %d: %s", code, wb)
+	}
+	var rep WhatIfReport
+	if err := json.Unmarshal(wb, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed || rep.Epoch != 0 {
+		t.Fatalf("whatif committed=%v epoch=%d", rep.Committed, rep.Epoch)
+	}
+	if len(rep.After) == 0 {
+		t.Fatal("whatif reported no after slacks")
+	}
+	_, after := get(t, hs.URL, "/slack")
+	if !bytes.Equal(before, after) {
+		t.Fatalf("whatif perturbed the baseline:\n%s\n%s", before, after)
+	}
+}
+
+// ECO commit advances the epoch, the new /slack matches the commit's
+// "after", and committing the inverse op restores the original numbers —
+// the incremental epoch chain stays bit-exact in both directions.
+func TestECOCommitAndRevert(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	cell, to := resizeTarget(t)
+	recipe, _, d := fixture(t)
+	_ = recipe
+	oldType := d.Cell(cell).TypeName
+
+	_, slack0 := get(t, hs.URL, "/slack")
+	code, cb := post(t, hs.URL, "/eco", opsJSON(Op{Kind: "resize", Cell: cell, To: to}))
+	if code != 200 {
+		t.Fatalf("eco status %d: %s", code, cb)
+	}
+	var rep WhatIfReport
+	if err := json.Unmarshal(cb, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Committed || rep.Epoch != 1 {
+		t.Fatalf("eco committed=%v epoch=%d", rep.Committed, rep.Epoch)
+	}
+	_, slack1 := get(t, hs.URL, "/slack")
+	var s1 SlackReport
+	if err := json.Unmarshal(slack1, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Epoch != 1 {
+		t.Fatalf("post-commit slack epoch %d", s1.Epoch)
+	}
+	if fmt.Sprint(s1.Scenarios) != fmt.Sprint(rep.After) {
+		t.Fatalf("post-commit slack differs from commit's after:\n%v\n%v", s1.Scenarios, rep.After)
+	}
+	// Revert and compare numbers (epoch tag differs, so compare bodies
+	// with the epoch stripped).
+	code, _ = post(t, hs.URL, "/eco", opsJSON(Op{Kind: "resize", Cell: cell, To: oldType}))
+	if code != 200 {
+		t.Fatal("revert eco failed")
+	}
+	_, slack2 := get(t, hs.URL, "/slack")
+	var s0, s2 SlackReport
+	if err := json.Unmarshal(slack0, &s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(slack2, &s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Epoch != 2 {
+		t.Fatalf("post-revert epoch %d", s2.Epoch)
+	}
+	if fmt.Sprint(s0.Scenarios) != fmt.Sprint(s2.Scenarios) {
+		t.Fatalf("revert did not restore baseline:\n%v\n%v", s0.Scenarios, s2.Scenarios)
+	}
+}
+
+// Structural what-if (buffer insertion) forces a view rebuild on a netlist
+// copy and an exact undo; the baseline must survive byte-identically, and
+// a structural ECO must keep serving consistently afterwards.
+func TestBufferWhatIfAndECO(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	net, loads := bufferTarget(t)
+	op := Op{Kind: "buffer", Net: net, Loads: loads, To: "BUF_X2_SVT"}
+
+	_, before := get(t, hs.URL, "/slack")
+	code, wb := post(t, hs.URL, "/whatif", opsJSON(op))
+	if code != 200 {
+		t.Fatalf("buffer whatif status %d: %s", code, wb)
+	}
+	_, after := get(t, hs.URL, "/slack")
+	if !bytes.Equal(before, after) {
+		t.Fatal("structural whatif perturbed the baseline")
+	}
+
+	// Commit it for real, then keep using the server: reads, a resize
+	// what-if, and a second commit must all still work on the rebuilt
+	// views.
+	code, cb := post(t, hs.URL, "/eco", opsJSON(op))
+	if code != 200 {
+		t.Fatalf("buffer eco status %d: %s", code, cb)
+	}
+	var rep WhatIfReport
+	if err := json.Unmarshal(cb, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Committed || rep.Epoch != 1 {
+		t.Fatalf("buffer eco committed=%v epoch=%d", rep.Committed, rep.Epoch)
+	}
+	code, body := get(t, hs.URL, "/paths?k=2")
+	if code != 200 {
+		t.Fatalf("paths after structural eco: %d %s", code, body)
+	}
+	cell, to := resizeTarget(t)
+	code, _ = post(t, hs.URL, "/whatif", opsJSON(Op{Kind: "resize", Cell: cell, To: to}))
+	if code != 200 {
+		t.Fatal("resize whatif after structural eco failed")
+	}
+	code, cb = post(t, hs.URL, "/eco", opsJSON(Op{Kind: "resize", Cell: cell, To: to}))
+	if code != 200 {
+		t.Fatalf("resize eco after structural eco: %d %s", code, cb)
+	}
+	var rep2 WhatIfReport
+	if err := json.Unmarshal(cb, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Epoch != 2 {
+		t.Fatalf("second eco epoch %d", rep2.Epoch)
+	}
+}
+
+// The query cache serves repeated queries from rendered bytes within an
+// epoch and is dropped on commit.
+func TestQueryCacheEpochScoped(t *testing.T) {
+	s, hs := newTestServer(t, nil)
+	get(t, hs.URL, "/slack")
+	get(t, hs.URL, "/slack")
+	hits, misses := s.cache.stats()
+	if hits < 1 {
+		t.Fatalf("no cache hit after repeat query (hits=%d misses=%d)", hits, misses)
+	}
+	cell, to := resizeTarget(t)
+	post(t, hs.URL, "/eco", opsJSON(Op{Kind: "resize", Cell: cell, To: to}))
+	_, afterMisses0 := s.cache.stats()
+	get(t, hs.URL, "/slack")
+	_, afterMisses1 := s.cache.stats()
+	if afterMisses1 != afterMisses0+1 {
+		t.Fatalf("post-commit query did not miss (misses %d -> %d)", afterMisses0, afterMisses1)
+	}
+}
+
+// A full admission queue answers 429 with Retry-After instead of queuing
+// unboundedly. The worker and queue slots are pinned by jobs the test
+// controls.
+func TestBackpressure429(t *testing.T) {
+	s, hs := newTestServer(t, func(c *Config) {
+		c.QueryWorkers = 1
+		c.QueueDepth = 1
+	})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if !s.pool.TrySubmit(func() { close(started); <-release }) {
+		t.Fatal("could not pin the worker")
+	}
+	<-started
+	if !s.pool.TrySubmit(func() {}) {
+		t.Fatal("could not fill the queue slot")
+	}
+	resp, err := http.Get(hs.URL + "/slack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	close(release)
+	// Once drained, service resumes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := get(t, hs.URL, "/slack")
+		if code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not recover after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// An expired per-request budget surfaces as 504, not a hung request.
+func TestRequestTimeout504(t *testing.T) {
+	_, hs := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = time.Nanosecond
+	})
+	code, _ := get(t, hs.URL, "/slack")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("timed-out request answered %d, want 504", code)
+	}
+}
+
+// Close drains in-flight queries (they complete with 200) and refuses new
+// ones with 503.
+func TestGracefulShutdownDrains(t *testing.T) {
+	s, hs := newTestServer(t, nil)
+	const inFlight = 8
+	codes := make(chan int, inFlight)
+	var wg sync.WaitGroup
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/paths?k=3&i=%d", hs.URL, i))
+			if err != nil {
+				codes <- -1
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let them admit
+	s.Close()
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != 200 && code != http.StatusServiceUnavailable {
+			t.Fatalf("in-flight request got %d", code)
+		}
+	}
+	code, _ := get(t, hs.URL, "/slack")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close request answered %d, want 503", code)
+	}
+}
+
+// Input validation: bad methods, bad params, unknown names.
+func TestRequestValidation(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	if code, _ := post(t, hs.URL, "/slack", "{}"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /slack answered %d", code)
+	}
+	if code, _ := get(t, hs.URL, "/paths?k=zero"); code != http.StatusBadRequest {
+		t.Fatalf("bad k answered %d", code)
+	}
+	if code, _ := get(t, hs.URL, "/endpoints?kind=maybe"); code != http.StatusBadRequest {
+		t.Fatalf("bad kind answered %d", code)
+	}
+	if code, _ := get(t, hs.URL, "/endpoints?scenario=nope"); code != http.StatusBadRequest {
+		t.Fatalf("bad scenario answered %d", code)
+	}
+	if code, _ := post(t, hs.URL, "/whatif", opsJSON(Op{Kind: "resize", Cell: "nope", To: "INV_X1_SVT"})); code != http.StatusBadRequest {
+		t.Fatalf("unknown cell answered %d", code)
+	}
+	if code, _ := post(t, hs.URL, "/whatif", `{"ops":[]}`); code != http.StatusBadRequest {
+		t.Fatalf("empty ops answered %d", code)
+	}
+	if code, _ := post(t, hs.URL, "/eco", `not json`); code != http.StatusBadRequest {
+		t.Fatalf("bad body answered %d", code)
+	}
+}
+
+// /healthz and /metrics bypass the admission queue.
+func TestHealthAndMetricsBypassQueue(t *testing.T) {
+	s, hs := newTestServer(t, func(c *Config) {
+		c.QueryWorkers = 1
+		c.QueueDepth = 1
+		c.Obs = obs.NewRecorder()
+	})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	s.pool.TrySubmit(func() { close(started); <-release })
+	<-started
+	s.pool.TrySubmit(func() {})
+	defer close(release)
+	code, hb := get(t, hs.URL, "/healthz")
+	if code != 200 {
+		t.Fatalf("healthz under saturation answered %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal(hb, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Scenarios != 2 {
+		t.Fatalf("health %+v", h)
+	}
+	if code, _ := get(t, hs.URL, "/metrics"); code != 200 {
+		t.Fatalf("metrics under saturation answered %d", code)
+	}
+}
+
+// Endpoint and path queries answer consistently across scenario and kind
+// parameters.
+func TestEndpointsAndPathsQueries(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	code, b := get(t, hs.URL, "/endpoints?kind=hold&limit=5&scenario=func_ff_cb")
+	if code != 200 {
+		t.Fatalf("endpoints answered %d: %s", code, b)
+	}
+	var er EndpointsReport
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Scenario != "func_ff_cb" || len(er.Endpoints) != 5 {
+		t.Fatalf("endpoints shape: %s, %d entries", er.Scenario, len(er.Endpoints))
+	}
+	for i := 1; i < len(er.Endpoints); i++ {
+		if er.Endpoints[i].Slack < er.Endpoints[i-1].Slack {
+			t.Fatal("endpoints not sorted worst-first")
+		}
+	}
+	code, b = get(t, hs.URL, "/paths?k=3")
+	if code != 200 {
+		t.Fatalf("paths answered %d", code)
+	}
+	var pr PathsReport
+	if err := json.Unmarshal(b, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Paths) != 3 {
+		t.Fatalf("got %d paths", len(pr.Paths))
+	}
+	for _, p := range pr.Paths {
+		if p.PBASlack < p.GBASlack {
+			t.Fatalf("PBA slack %v worse than GBA %v on %s", p.PBASlack, p.GBASlack, p.Endpoint)
+		}
+		if p.Route == "" || p.Depth <= 0 {
+			t.Fatalf("degenerate path report %+v", p)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package timingd
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"newgame/internal/netlist"
+)
+
+// edit is one validated Op bound to a session's own netlist pointers,
+// carrying everything its exact undo needs.
+type edit struct {
+	op Op
+	// resize
+	cell    *netlist.Cell
+	oldType string
+	// buffer
+	net        *netlist.Net
+	moved      []*netlist.Pin
+	savedLoads []*netlist.Pin
+	buf        *netlist.Cell
+}
+
+func (e *edit) structural() bool { return e.op.Kind == "buffer" }
+
+// resolve binds the request's names to session pointers and validates the
+// target masters against every scenario library, so apply cannot fail on
+// anything but cancellation.
+func (s *session) resolve(ops []Op) ([]*edit, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("empty op list")
+	}
+	edits := make([]*edit, len(ops))
+	for i, op := range ops {
+		e := &edit{op: op}
+		for _, v := range s.views {
+			m := v.scenario.Lib.Cell(op.To)
+			if m == nil {
+				return nil, fmt.Errorf("op %d: master %q not in scenario %q library", i, op.To, v.scenario.Name)
+			}
+			if op.Kind == "buffer" && (m.Pin("A") == nil || m.Pin("Z") == nil) {
+				return nil, fmt.Errorf("op %d: master %q is not a buffer", i, op.To)
+			}
+		}
+		switch op.Kind {
+		case "resize":
+			c := s.d.Cell(op.Cell)
+			if c == nil {
+				return nil, fmt.Errorf("op %d: unknown cell %q", i, op.Cell)
+			}
+			// The replacement must be pin-compatible: every connected pin
+			// keeps its name and direction.
+			m := s.views[0].scenario.Lib.Cell(op.To)
+			for _, p := range c.Pins {
+				ps := m.Pin(p.Name)
+				if ps == nil || ps.Input != (p.Dir == netlist.Input) {
+					return nil, fmt.Errorf("op %d: %q is not pin-compatible with cell %q", i, op.To, op.Cell)
+				}
+			}
+			e.cell, e.oldType = c, c.TypeName
+		case "buffer":
+			n := s.d.Net(op.Net)
+			if n == nil {
+				return nil, fmt.Errorf("op %d: unknown net %q", i, op.Net)
+			}
+			if len(op.Loads) == 0 {
+				return nil, fmt.Errorf("op %d: buffer op moves no loads", i)
+			}
+			for _, name := range op.Loads {
+				p, err := findLoad(n, name)
+				if err != nil {
+					return nil, fmt.Errorf("op %d: %v", i, err)
+				}
+				e.moved = append(e.moved, p)
+			}
+			e.net = n
+		default:
+			return nil, fmt.Errorf("op %d: unknown op kind %q", i, op.Kind)
+		}
+		edits[i] = e
+	}
+	return edits, nil
+}
+
+// findLoad resolves a "cell/pin" name among a net's loads.
+func findLoad(n *netlist.Net, name string) (*netlist.Pin, error) {
+	cell, pin, ok := strings.Cut(name, "/")
+	if !ok {
+		return nil, fmt.Errorf("load %q is not cell/pin", name)
+	}
+	for _, l := range n.Loads {
+		if l.Cell != nil && l.Cell.Name == cell && l.Name == pin {
+			return l, nil
+		}
+	}
+	return nil, fmt.Errorf("net %q has no load %q", n.Name, name)
+}
+
+// applyEdits performs the batch's netlist edits on the session. Resizes
+// invalidate the resident analyzers; the caller coalesces those into one
+// Update per view afterwards. Buffer insertions are structural and flagged
+// for a view rebuild. Must run with s.mu held for writing.
+func (s *session) applyEdits(edits []*edit) (structural bool, err error) {
+	for _, e := range edits {
+		switch e.op.Kind {
+		case "resize":
+			e.cell.SetType(e.op.To)
+			for _, v := range s.views {
+				v.a.InvalidateCell(e.cell)
+			}
+		case "buffer":
+			structural = true
+			e.savedLoads = append([]*netlist.Pin(nil), e.net.Loads...)
+			e.buf, err = s.d.InsertBuffer(e.net, e.moved, e.op.To)
+			if err != nil {
+				return structural, err
+			}
+		}
+	}
+	return structural, nil
+}
+
+// undoEdits reverses applyEdits exactly, in reverse order: resizes restore
+// the old master (re-invalidating the analyzers), buffer insertions are
+// unwound to the saved load list and name sequence so the netlist is
+// pointer- and name-identical to the pre-edit state. Must run with s.mu
+// held for writing, after a NameMark taken before applyEdits.
+func (s *session) undoEdits(edits []*edit, nameMark int) {
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		switch e.op.Kind {
+		case "resize":
+			e.cell.SetType(e.oldType)
+			for _, v := range s.views {
+				v.a.InvalidateCell(e.cell)
+			}
+		case "buffer":
+			if e.buf == nil {
+				continue
+			}
+			bufNet := e.buf.Pin("Z").Net
+			for _, m := range append([]*netlist.Pin(nil), bufNet.Loads...) {
+				s.d.Disconnect(m)
+			}
+			s.d.RemoveCell(e.buf)
+			s.d.CleanDanglingNets()
+			e.net.Loads = e.savedLoads
+			for _, l := range e.savedLoads {
+				l.Net = e.net
+			}
+			e.buf = nil
+		}
+	}
+	s.d.RewindNames(nameMark)
+}
+
+// retime brings every view current after applyEdits: one incremental
+// Update per view for resize-only batches (the coalescing point — a batch
+// of ten resizes costs one cone re-propagation per scenario, not ten), or
+// a full view rebuild after structural edits. Cancellation propagates into
+// the wave propagation; on error the views are left dirty and the caller
+// is responsible for restoring them.
+func (s *session) retime(ctx context.Context, cfg *Config, structural bool) error {
+	if structural {
+		return s.rebuildViews(ctx, cfg)
+	}
+	for _, v := range s.views {
+		if err := v.a.UpdateCtx(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

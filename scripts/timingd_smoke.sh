@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# CI smoke for the timingd daemon: start it on the example design, walk the
+# query surface, commit an ECO and verify the re-queried baseline matches
+# the commit's "after" exactly, then push a brief load burst through it.
+# Fails on any non-2xx answer, on a baseline mismatch, or when the load
+# burst falls under -min-qps.
+set -euo pipefail
+
+ADDR="127.0.0.1:18374"
+BASE="http://$ADDR"
+LOG="$(mktemp)"
+BIN="$(mktemp -d)/timingd"
+
+cleanup() {
+  if [[ -n "${DPID:-}" ]] && kill -0 "$DPID" 2>/dev/null; then
+    kill "$DPID" 2>/dev/null || true
+    wait "$DPID" 2>/dev/null || true
+  fi
+  rm -f "$LOG"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/timingd
+
+"$BIN" -addr "$ADDR" -gates 900 -ffs 64 >"$LOG" 2>&1 &
+DPID=$!
+
+# Wait for the ready banner (full MCMM load, so allow a little time).
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DPID" 2>/dev/null; then
+    echo "timingd exited during startup:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "daemon never became healthy"; cat "$LOG"; exit 1; }
+
+# The startup banner prints a valid example op for this design.
+OP_JSON="$(grep -o '{"op":.*}' "$LOG" | head -1)"
+[[ -n "$OP_JSON" ]] || { echo "no example op in banner"; cat "$LOG"; exit 1; }
+OP_CELL="$(sed -n 's/.*"cell":"\([^"]*\)".*/\1/p' <<<"$OP_JSON")"
+OP_TO="$(sed -n 's/.*"to":"\([^"]*\)".*/\1/p' <<<"$OP_JSON")"
+echo "smoke: using example op cell=$OP_CELL to=$OP_TO"
+
+fail() { echo "smoke FAILED: $1"; cat "$LOG"; exit 1; }
+
+# Query surface: every answer must be 2xx.
+curl -sf "$BASE/slack" >/tmp/slack0.json || fail "GET /slack"
+curl -sf "$BASE/endpoints?kind=hold&limit=3" >/dev/null || fail "GET /endpoints"
+curl -sf "$BASE/paths?k=2" >/dev/null || fail "GET /paths"
+curl -sf "$BASE/metrics" >/dev/null || fail "GET /metrics"
+
+# What-if must not advance the epoch or perturb the baseline.
+curl -sf -d "{\"ops\":[$OP_JSON]}" "$BASE/whatif" >/tmp/whatif.json || fail "POST /whatif"
+curl -sf "$BASE/slack" >/tmp/slack0b.json || fail "GET /slack after whatif"
+cmp -s /tmp/slack0.json /tmp/slack0b.json || fail "whatif perturbed the baseline"
+
+# ECO commit: epoch advances, and the re-queried slack must equal the
+# commit's reported "after" numbers exactly.
+curl -sf -d "{\"ops\":[$OP_JSON]}" "$BASE/eco" >/tmp/eco.json || fail "POST /eco"
+grep -q '"committed":true' /tmp/eco.json || fail "eco not committed"
+grep -q '"epoch":1' /tmp/eco.json || fail "eco epoch did not advance"
+curl -sf "$BASE/slack" >/tmp/slack1.json || fail "GET /slack after eco"
+AFTER="$(sed -n 's/.*"after":\(\[.*\]\),"committed".*/\1/p' /tmp/eco.json)"
+NOW="$(sed -n 's/.*"scenarios":\(\[.*\]\)}/\1/p' /tmp/slack1.json)"
+[[ -n "$AFTER" && "$AFTER" == "$NOW" ]] || {
+  echo "eco after:     $AFTER"
+  echo "queried slack: $NOW"
+  fail "post-eco baseline does not match the commit's after"
+}
+
+# Brief load burst: mixed reads + what-ifs, hard floor on throughput.
+"$BIN" -loadgen -target "$BASE" -duration 3s -clients 8 \
+  -whatif-cell "$OP_CELL" -whatif-to "$OP_TO" -min-qps 1000 \
+  || fail "loadgen under 1000 qps or errored"
+
+# Graceful shutdown.
+kill -TERM "$DPID"
+wait "$DPID" || fail "daemon exited nonzero on SIGTERM"
+grep -q "bye" "$LOG" || fail "no graceful shutdown marker"
+unset DPID
+echo "smoke OK"
