@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSweep(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-designs", "2", "-edits", "4", "-seed", "7"}, &b); err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "conformance: 2 designs") {
+		t.Errorf("missing summary header:\n%s", out)
+	}
+	if !strings.Contains(out, "incremental-matches-full") || strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected sweep output:\n%s", out)
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-designs", "1", "-only", "kworst-sorted-prefix-stable"}, &b); err != nil {
+		t.Fatalf("filtered sweep failed: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "kworst-sorted-prefix-stable") || strings.Contains(out, "pba-refines-gba") {
+		t.Errorf("-only filter not applied:\n%s", out)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "pba-refines-gba") {
+		t.Errorf("list output missing laws:\n%s", b.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}

@@ -1,0 +1,383 @@
+// Package conformance is the correctness lab of the timing stack: a
+// registry of executable metamorphic laws (PBA vs GBA, CRPR, k-worst
+// ordering, incremental vs full analysis, MCMM merging, monotonicity,
+// serial-vs-parallel byte-equality) checked over randomly generated
+// designs, plus the minimized-reproducer plumbing that turns a failing
+// law instance into a permanent regression case. The paper's thesis —
+// every tightening of the goal posts is only trustworthy if the analyses
+// stay mutually consistent — becomes a test harness here: instead of
+// spot-checking a handful of hand-written designs, every invariant is a
+// law quantified over a design distribution.
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Scope says how often a law runs: once per generated design, or once
+// per registry run (library-level and engine-determinism laws whose
+// inputs don't vary by design).
+type Scope int
+
+const (
+	// PerDesign laws quantify over the random design distribution.
+	PerDesign Scope = iota
+	// PerRun laws check process-wide artifacts (the shared library,
+	// generator determinism) once per sweep.
+	PerRun
+)
+
+// Invariant is one executable law.
+type Invariant struct {
+	// Name is the stable law identifier (kebab-case); repro records
+	// reference it.
+	Name string
+	// Law is the one-line statement of what must hold and why.
+	Law string
+	// Scope selects per-design or per-run evaluation.
+	Scope Scope
+	// Check evaluates the law; a non-nil error is a violation (or an
+	// infrastructure failure — both fail the sweep).
+	Check func(cx *Ctx) error
+}
+
+// Registry returns every law, in evaluation order. Laws that mutate the
+// design work on clones, so the order is not load-bearing; it is chosen
+// so the cheapest laws report first.
+func Registry() []Invariant {
+	return []Invariant{
+		{
+			Name:  "crpr-credit-nonnegative",
+			Law:   "CRPR removes pessimism only: the credit is ≥ 0 at every endpoint and vanishes when early and late clock analyses coincide",
+			Scope: PerDesign,
+			Check: checkCRPR,
+		},
+		{
+			Name:  "pba-refines-gba",
+			Law:   "path-based analysis only removes pessimism: PBA slack ≥ GBA slack for every retimed path, setup and hold",
+			Scope: PerDesign,
+			Check: checkPBARefinesGBA,
+		},
+		{
+			Name:  "kworst-sorted-prefix-stable",
+			Law:   "k-worst path lists are sorted worst-first and prefix-stable in k; slack-window path sets stay inside the window",
+			Scope: PerDesign,
+			Check: checkKWorst,
+		},
+		{
+			Name:  "slack-linear-in-period",
+			Law:   "single-cycle setup slack shifts exactly with the clock period; hold slack is period-independent",
+			Scope: PerDesign,
+			Check: checkSlackLinearInPeriod,
+		},
+		{
+			Name:  "sta-serial-parallel-identical",
+			Law:   "level-parallel propagation is bit-identical to serial at every worker count",
+			Scope: PerDesign,
+			Check: checkSTASerialParallel,
+		},
+		{
+			Name:  "mcmm-merge-min-sum",
+			Law:   "merged MCMM WNS is the min over scenario WNS (clamped at 0) and merged TNS is the sum; sweep results are worker-count invariant",
+			Scope: PerDesign,
+			Check: checkMCMMMerge,
+		},
+		{
+			Name:  "incremental-matches-full",
+			Law:   "incremental Update after an arbitrary resize edit script is bit-identical to a full Run on the edited design",
+			Scope: PerDesign,
+			Check: checkIncrementalMatchesFull,
+		},
+		{
+			Name:  "delay-monotone-load-slew",
+			Law:   "NLDM cell delay and output slew are nondecreasing in output load and input slew over every characterized arc",
+			Scope: PerRun,
+			Check: checkDelayMonotone,
+		},
+		{
+			Name:  "libgen-workers-identical",
+			Law:   "parallel library characterization is byte-identical to serial",
+			Scope: PerRun,
+			Check: checkLibgenWorkers,
+		},
+		{
+			Name:  "survey-workers-identical",
+			Law:   "the closure engine's MCMM survey merges identically at every worker count",
+			Scope: PerRun,
+			Check: checkSurveyWorkers,
+		},
+	}
+}
+
+// Ctx carries everything one law evaluation needs. Per-design laws get a
+// fresh Ctx per generated design; per-run laws get one with a zero Spec.
+type Ctx struct {
+	Spec  DesignSpec
+	Lib   *liberty.Library
+	Stack *parasitics.Stack
+	// Design/Cons are the generated block and its SDC view. Laws that
+	// mutate netlists must work on clones.
+	Design *netlist.Design
+	Cons   *sta.Constraints
+	// Edits is the requested edit-script length for incremental laws.
+	Edits int
+	// ForcedEdits, when non-nil, replaces the random edit script — the
+	// replay path of a minimized reproducer.
+	ForcedEdits []EditOp
+	// AppliedEdits records the script the incremental law actually ran,
+	// so a failure can be minimized and persisted.
+	AppliedEdits []EditOp
+
+	rng  *rand.Rand
+	base *sta.Analyzer
+}
+
+// sharedLib memoizes the (expensive) generated characterization library:
+// every design in a sweep shares it, exactly like a real signoff flow.
+var (
+	libOnce   sync.Once
+	sharedLib *liberty.Library
+)
+
+// Lib returns the process-shared Node16 library the lab analyzes against.
+func Lib() *liberty.Library {
+	libOnce.Do(func() {
+		sharedLib = liberty.Generate(liberty.Node16,
+			liberty.PVT{Process: liberty.TT, Voltage: 0.8, Temp: 85}, liberty.GenOptions{})
+	})
+	return sharedLib
+}
+
+// newCtx builds the per-design context: generated block, constraints,
+// deterministic RNG.
+func newCtx(spec DesignSpec, edits int) *Ctx {
+	cx := &Ctx{
+		Spec:  spec,
+		Lib:   Lib(),
+		Stack: parasitics.Stack16(),
+		Edits: edits,
+		rng:   rand.New(rand.NewSource(mix(spec.Seed, 0x5eed))),
+	}
+	cx.Design = spec.Build(cx.Lib)
+	cx.Cons = cx.constraintsFor(cx.Design, units.Ps(spec.Period))
+	return cx
+}
+
+// constraintsFor builds the SDC view used by every law: the clock at the
+// spec period plus IO delay windows on all data ports, so port endpoints
+// participate in the checks.
+func (cx *Ctx) constraintsFor(d *netlist.Design, period units.Ps) *sta.Constraints {
+	cons := sta.NewConstraints()
+	cons.AddClock("clk", period, d.Port("clk"))
+	for _, p := range d.Ports {
+		if p.Name == "clk" {
+			continue
+		}
+		switch p.Dir {
+		case netlist.Input:
+			cons.InputDelay[p] = sta.IODelay{Min: 10, Max: 30}
+		case netlist.Output:
+			cons.OutputDelay[p] = sta.IODelay{Clock: cons.Clocks[0], Min: 5, Max: 25}
+		}
+	}
+	return cons
+}
+
+// fullCfg is the stressed analysis view (AOCV + SI + MIS) most laws are
+// quantified over — the NEW-goal-posts end of the paper's Figure 2.
+func (cx *Ctx) fullCfg(workers int) sta.Config {
+	return sta.Config{
+		Lib:        cx.Lib,
+		Parasitics: sta.NewNetBinder(cx.Stack, cx.Spec.Seed),
+		SI:         sta.DefaultSI(),
+		Derate:     sta.DefaultAOCV(),
+		MIS:        true,
+		Workers:    workers,
+	}
+}
+
+// Base lazily builds and runs the shared serial reference analyzer.
+func (cx *Ctx) Base() (*sta.Analyzer, error) {
+	if cx.base != nil {
+		return cx.base, nil
+	}
+	a, err := sta.New(cx.Design, cx.Cons, cx.fullCfg(1))
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Run(); err != nil {
+		return nil, err
+	}
+	cx.base = a
+	return a, nil
+}
+
+// Options shapes one registry sweep.
+type Options struct {
+	// Designs is the number of random designs per-design laws quantify
+	// over (default 25).
+	Designs int
+	// Edits is the edit-script length for incremental laws (default 8).
+	Edits int
+	// Seed keys the whole sweep.
+	Seed int64
+	// Only, when non-empty, restricts the sweep to the named laws.
+	Only map[string]bool
+	// Out, when non-nil, receives per-law progress lines.
+	Out io.Writer
+	// Verbose adds per-design lines to Out.
+	Verbose bool
+}
+
+// LawResult aggregates one law's sweep outcome.
+type LawResult struct {
+	Invariant Invariant
+	Checks    int
+	Failures  []Failure
+	Elapsed   time.Duration
+}
+
+// Failure is one violated (or crashed) law instance, with enough state
+// to replay it.
+type Failure struct {
+	Invariant string
+	Err       string
+	Repro     Repro
+}
+
+// Result is the outcome of one sweep.
+type Result struct {
+	Designs int
+	Laws    []LawResult
+	Elapsed time.Duration
+}
+
+// Failures flattens every law's failures.
+func (r Result) Failures() []Failure {
+	var out []Failure
+	for _, lr := range r.Laws {
+		out = append(out, lr.Failures...)
+	}
+	return out
+}
+
+// String renders the operator-facing summary table.
+func (r Result) String() string {
+	var b []byte
+	b = append(b, fmt.Sprintf("conformance: %d designs, %d laws in %.1fs\n",
+		r.Designs, len(r.Laws), r.Elapsed.Seconds())...)
+	for _, lr := range r.Laws {
+		status := "ok"
+		if len(lr.Failures) > 0 {
+			status = fmt.Sprintf("FAIL x%d", len(lr.Failures))
+		}
+		b = append(b, fmt.Sprintf("  %-32s %4d checks %8s  %s\n",
+			lr.Invariant.Name, lr.Checks, lr.Elapsed.Round(time.Millisecond), status)...)
+	}
+	return string(b)
+}
+
+// Run executes the registry sweep: every per-design law over Designs
+// generated blocks, every per-run law once.
+func Run(opts Options) Result {
+	if opts.Designs <= 0 {
+		opts.Designs = 25
+	}
+	if opts.Edits <= 0 {
+		opts.Edits = 8
+	}
+	laws := Registry()
+	if len(opts.Only) > 0 {
+		kept := laws[:0]
+		for _, law := range laws {
+			if opts.Only[law.Name] {
+				kept = append(kept, law)
+			}
+		}
+		laws = kept
+	}
+	results := make([]LawResult, len(laws))
+	for i, law := range laws {
+		results[i].Invariant = law
+	}
+
+	start := time.Now()
+	// Per-run laws first: they gate everything else (a non-deterministic
+	// library would invalidate every per-design comparison).
+	runCtx := &Ctx{Lib: Lib(), Stack: parasitics.Stack16(),
+		rng: rand.New(rand.NewSource(mix(opts.Seed, -1)))}
+	for i, law := range laws {
+		if law.Scope != PerRun {
+			continue
+		}
+		t0 := time.Now()
+		if err := law.Check(runCtx); err != nil {
+			results[i].Failures = append(results[i].Failures, Failure{
+				Invariant: law.Name, Err: err.Error(),
+				Repro: Repro{Invariant: law.Name},
+			})
+		}
+		results[i].Checks++
+		results[i].Elapsed += time.Since(t0)
+		progress(opts, "law %s: done (%s)", law.Name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	for d := 0; d < opts.Designs; d++ {
+		spec := SpecFor(mix(opts.Seed, int64(d)))
+		cx := newCtx(spec, opts.Edits)
+		if opts.Verbose {
+			progress(opts, "design %d/%d: %+v", d+1, opts.Designs, spec)
+		}
+		for i, law := range laws {
+			if law.Scope != PerDesign {
+				continue
+			}
+			t0 := time.Now()
+			cx.AppliedEdits = nil
+			if err := law.Check(cx); err != nil {
+				results[i].Failures = append(results[i].Failures, Failure{
+					Invariant: law.Name, Err: err.Error(),
+					Repro: Repro{Invariant: law.Name, Design: spec, Edits: cx.AppliedEdits},
+				})
+			}
+			results[i].Checks++
+			results[i].Elapsed += time.Since(t0)
+		}
+	}
+	return Result{Designs: opts.Designs, Laws: results, Elapsed: time.Since(start)}
+}
+
+func progress(opts Options, format string, args ...any) {
+	if opts.Out != nil {
+		fmt.Fprintf(opts.Out, format+"\n", args...)
+	}
+}
+
+// mix derives independent sub-seeds (splitmix64 finalizer) so every
+// design and law sees an uncorrelated deterministic stream.
+func mix(seed, i int64) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// sortedEndpoints returns both check kinds' endpoint lists; shared by
+// several laws.
+func sortedEndpoints(a *sta.Analyzer) []sta.EndpointSlack {
+	out := a.EndpointSlacks(sta.Setup)
+	out = append(out, a.EndpointSlacks(sta.Hold)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Slack < out[j].Slack })
+	return out
+}

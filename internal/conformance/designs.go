@@ -1,0 +1,60 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"newgame/internal/circuits"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// DesignSpec is the serializable recipe for one random conformance
+// design: everything a reproducer needs to rebuild the exact netlist and
+// constraints. It mirrors the circuits.BlockSpec fields the lab varies.
+type DesignSpec struct {
+	Seed              int64   `json:"seed"`
+	Inputs            int     `json:"inputs"`
+	Outputs           int     `json:"outputs"`
+	FFs               int     `json:"ffs"`
+	Gates             int     `json:"gates"`
+	MaxDepth          int     `json:"max_depth"`
+	ClockBufferLevels int     `json:"clock_buffer_levels"`
+	ClockGating       bool    `json:"clock_gating"`
+	Period            float64 `json:"period_ps"`
+}
+
+// SpecFor draws one design point from the lab's distribution: small
+// enough that a 25-design sweep stays within the CI budget, varied
+// enough to cover flat and buffered clock trees, clock gating, and
+// periods from clearly-violating to clearly-met.
+func SpecFor(seed int64) DesignSpec {
+	rng := rand.New(rand.NewSource(seed))
+	s := DesignSpec{
+		Seed:              seed,
+		Inputs:            4 + rng.Intn(8),
+		Outputs:           4 + rng.Intn(8),
+		FFs:               8 + rng.Intn(25),
+		Gates:             80 + rng.Intn(220),
+		MaxDepth:          4 + rng.Intn(7),
+		ClockBufferLevels: rng.Intn(3),
+		ClockGating:       rng.Intn(4) == 0,
+		Period:            450 + float64(rng.Intn(400)),
+	}
+	return s
+}
+
+// Build synthesizes the netlist for this spec.
+func (s DesignSpec) Build(lib *liberty.Library) *netlist.Design {
+	return circuits.Block(lib, circuits.BlockSpec{
+		Name:              "conform",
+		Inputs:            s.Inputs,
+		Outputs:           s.Outputs,
+		FFs:               s.FFs,
+		Gates:             s.Gates,
+		MaxDepth:          s.MaxDepth,
+		Seed:              s.Seed,
+		ClockBufferLevels: s.ClockBufferLevels,
+		ClockGating:       s.ClockGating,
+		VtMix:             [3]float64{0.2, 0.5, 0.3},
+	})
+}
