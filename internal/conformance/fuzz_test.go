@@ -1,0 +1,111 @@
+package conformance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"newgame/internal/netlist"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// FuzzConstraintsAndRun decodes arbitrary bytes into a design point plus a
+// hostile constraint set (zero, negative and absurd clock periods,
+// inverted IO windows) and a short edit script that may name nonexistent
+// masters. The contract: construction and analysis never panic — bad
+// masters answer with an error from sta.New — and when analysis does run,
+// the aggregates stay sane: no NaNs, WNS/TNS clamped at zero, endpoint
+// slacks sorted worst-first.
+func FuzzConstraintsAndRun(f *testing.F) {
+	dir := filepath.Join("testdata", "corpus", "constraints")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 12 {
+			return
+		}
+		seed := int64(binary.LittleEndian.Uint64(raw))
+		spec := SpecFor(seed)
+		// Keep each exec cheap: the sweep covers big designs, fuzzing
+		// covers weird parameters.
+		spec.Gates = 30 + int(raw[8])%50
+		spec.FFs = 3 + int(raw[9])%8
+		period := units.Ps(int16(binary.LittleEndian.Uint16(raw[10:12]))) // signed: negative periods included
+		lib := Lib()
+		d := spec.Build(lib)
+
+		cons := sta.NewConstraints()
+		cons.AddClock("clk", period, d.Port("clk"))
+		rest := raw[12:]
+		for i, p := range d.Ports {
+			if p.Name == "clk" {
+				continue
+			}
+			min, max := units.Ps(0), units.Ps(0)
+			if len(rest) > 2*i+1 {
+				min, max = units.Ps(int8(rest[2*i])), units.Ps(int8(rest[2*i+1]))
+			}
+			switch p.Dir {
+			case netlist.Input:
+				cons.InputDelay[p] = sta.IODelay{Min: min, Max: max}
+			case netlist.Output:
+				cons.OutputDelay[p] = sta.IODelay{Clock: cons.Clocks[0], Min: min, Max: max}
+			}
+		}
+		// Edit script: retype cells to byte-derived master names. Most are
+		// garbage; sta.New must reject them with an error, not a panic.
+		for i := 0; i+1 < len(rest) && i < 8; i += 2 {
+			c := d.Cells[int(rest[i])%len(d.Cells)]
+			switch rest[i+1] % 3 {
+			case 0:
+				c.SetType(fmt.Sprintf("INV_X%d_SVT", rest[i+1]%9))
+			case 1:
+				c.SetType(fmt.Sprintf("BOGUS_%d", rest[i+1]))
+			}
+		}
+
+		a, err := sta.New(d, cons, sta.Config{
+			Lib:        lib,
+			Parasitics: sta.NewNetBinder(parasitics.Stack16(), spec.Seed),
+		})
+		if err != nil {
+			return // rejected cleanly; that is the contract
+		}
+		if err := a.Run(); err != nil {
+			return
+		}
+		for _, kind := range []sta.CheckKind{sta.Setup, sta.Hold} {
+			wns, tns := a.WNS(kind), a.TNS(kind)
+			if math.IsNaN(float64(wns)) || math.IsNaN(float64(tns)) {
+				t.Fatalf("%v: NaN aggregate: WNS %v TNS %v (period %v)", kind, wns, tns, period)
+			}
+			if wns > 0 || tns > 0 {
+				t.Fatalf("%v: positive violation aggregate: WNS %v TNS %v", kind, wns, tns)
+			}
+			eps := a.EndpointSlacks(kind)
+			for i := 1; i < len(eps); i++ {
+				if eps[i].Slack < eps[i-1].Slack {
+					t.Fatalf("%v: endpoint slacks not sorted worst-first at %d: %v after %v",
+						kind, i, eps[i].Slack, eps[i-1].Slack)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package liberty
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// addSeedCorpus feeds every file under testdata/corpus/<target> to the
+// fuzzer; the directory is the human-curated seed set (Go's generated
+// counterexamples land under testdata/fuzz/ as usual).
+func addSeedCorpus(f *testing.F, target string) {
+	f.Helper()
+	dir := filepath.Join("testdata", "corpus", target)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		f.Fatalf("seed corpus %s: %v", dir, err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+}
+
+// FuzzParseLibRoundTrip checks the reader/writer contract on arbitrary
+// input: anything ParseLib accepts must serialize, re-parse, and
+// serialize again to the identical bytes (write∘parse is idempotent —
+// the first write may normalize or drop unrepresentable constructs, but
+// it must do so stably, or every load/store cycle of a .lib corrupts it
+// further).
+func FuzzParseLibRoundTrip(f *testing.F) {
+	addSeedCorpus(f, "parselib")
+	var gen bytes.Buffer
+	if err := WriteLib(&gen, Generate(Node16,
+		PVT{Process: TT, Voltage: 0.8, Temp: 85},
+		GenOptions{Drives: []float64{1}, Vts: []VtClass{SVT}})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gen.String())
+	f.Fuzz(func(t *testing.T, src string) {
+		lib, err := ParseLib(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; crashing or accepting unstably is not
+		}
+		var w1 bytes.Buffer
+		if err := WriteLib(&w1, lib); err != nil {
+			t.Fatalf("WriteLib failed on a parsed library: %v", err)
+		}
+		lib2, err := ParseLib(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("ParseLib rejected WriteLib's own output: %v\n--- written ---\n%s", err, clip(w1.String()))
+		}
+		var w2 bytes.Buffer
+		if err := WriteLib(&w2, lib2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("write→parse→write is not a fixed point\n--- first ---\n%s\n--- second ---\n%s",
+				clip(w1.String()), clip(w2.String()))
+		}
+	})
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "\n…(clipped)"
+	}
+	return s
+}
