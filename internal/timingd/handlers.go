@@ -65,6 +65,15 @@ func (s *Server) handle(route, method string, fn func(ctx context.Context, r *ht
 		}
 		done := make(chan answer, 1)
 		if !s.pool.TrySubmit(func() {
+			// The job is the panic boundary for the read path: a crash in
+			// a render (or an injected cache fault) answers 500 and the
+			// worker survives to drain the queue.
+			defer func() {
+				if rec := recover(); rec != nil {
+					s.count("timingd.panics_recovered")
+					done <- answer{nil, fmt.Errorf("internal panic: %v", rec)}
+				}
+			}()
 			b, err := fn(ctx, r)
 			done <- answer{b, err}
 		}) {
@@ -130,7 +139,11 @@ func (s *Server) readSnapshot(ctx context.Context, uri string, render func(sess 
 	sess.mu.RLock()
 	defer sess.mu.RUnlock()
 	epoch := sess.epoch
-	if b, ok := s.cache.get(epoch, uri); ok {
+	// A faulty cache degrades to a render, never to a wrong or failed
+	// response: a get fault is a miss, a put fault skips caching.
+	if err := s.fire(SiteCacheGet); err != nil {
+		s.count("timingd.cache.faults")
+	} else if b, ok := s.cache.get(epoch, uri); ok {
 		s.count("timingd.cache.hits")
 		return b, nil
 	}
@@ -144,7 +157,11 @@ func (s *Server) readSnapshot(ctx context.Context, uri string, render func(sess 
 		return nil, err
 	}
 	b = append(b, '\n')
-	s.cache.put(epoch, uri, b)
+	if err := s.fire(SiteCachePut); err != nil {
+		s.count("timingd.cache.faults")
+	} else {
+		s.cache.put(epoch, uri, b)
+	}
 	return b, nil
 }
 

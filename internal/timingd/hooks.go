@@ -1,0 +1,75 @@
+package timingd
+
+import "fmt"
+
+// FaultSite names an injection point on the server's write and cache
+// paths. The sites are the seams where a resident daemon actually breaks
+// in production: resolving and applying an edit batch, the moment before
+// the snapshot swap publishes it, the replay that rebuilds the retired
+// snapshot, and the query cache on the read path.
+type FaultSite string
+
+const (
+	// SiteCommitResolve fires at the top of the writer pipeline (commit
+	// and what-if), before the op batch is resolved against the shadow.
+	SiteCommitResolve FaultSite = "commit.resolve"
+	// SiteCommitApply fires after resolution, before edits touch the
+	// shadow netlist.
+	SiteCommitApply FaultSite = "commit.apply"
+	// SiteCommitSwap fires after the shadow is edited and re-timed,
+	// immediately before the snapshot swap publishes the new epoch.
+	SiteCommitSwap FaultSite = "commit.swap"
+	// SiteCommitReplay fires before the committed batch is replayed onto
+	// the retired snapshot. The commit is already visible at this point.
+	SiteCommitReplay FaultSite = "commit.replay"
+	// SiteCacheGet and SiteCachePut fire around the per-epoch query
+	// cache. An error here must degrade to a fresh render, never to a
+	// wrong or failed response.
+	SiteCacheGet FaultSite = "cache.get"
+	SiteCachePut FaultSite = "cache.put"
+)
+
+// Hooks is the fault-injection seam. Production servers leave Config.Hooks
+// nil — every call site goes through Server.fire, which is nil-safe and
+// free when unset. A test hook may return an error (the site fails
+// cleanly), panic (the site crashes mid-flight), or sleep before returning
+// nil (the site is slow). The server's contract under all three is pinned
+// by the chaos tests.
+type Hooks struct {
+	// Fire is invoked with the site about to execute. A nil Fire is the
+	// same as no hooks.
+	Fire func(site FaultSite) error
+}
+
+// fire triggers the hook for a site, if any.
+func (s *Server) fire(site FaultSite) error {
+	h := s.cfg.Hooks
+	if h == nil || h.Fire == nil {
+		return nil
+	}
+	return h.Fire(site)
+}
+
+// panicError marks an error that was recovered from a panic, so callers
+// can distinguish "the site failed" from "the site crashed" — the latter
+// leaves state unknown and must degrade the server.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return fmt.Sprintf("recovered panic: %v", e.val) }
+
+func isRecoveredPanic(err error) bool {
+	_, ok := err.(*panicError)
+	return ok
+}
+
+// guard runs fn, converting a panic into an error so a crash inside the
+// writer pipeline cannot take down the daemon or leak a held lock (fn must
+// manage its locks with defer).
+func guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r}
+		}
+	}()
+	return fn()
+}

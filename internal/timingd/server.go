@@ -54,6 +54,9 @@ type Config struct {
 	// Obs, when non-nil, records request counters, latency histograms and
 	// sta-level spans, served at /metrics.
 	Obs *obs.Recorder
+	// Hooks, when non-nil, injects faults at writer and cache seams.
+	// Test-only; leave nil in production.
+	Hooks *Hooks
 }
 
 func (c *Config) withDefaults() *Config {
@@ -194,33 +197,56 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	}
 
 	sh := s.shadow
-	sh.mu.Lock()
-	edits, err := sh.resolve(ops)
-	if err != nil {
-		sh.mu.Unlock()
-		return nil, err
-	}
-	rep := &WhatIfReport{Before: sh.slacks(), Committed: true}
-	mark := sh.d.NameMark()
-	structural, err := sh.applyEdits(edits)
-	if err == nil {
-		err = sh.retime(ctx, s.cfg, structural)
-	}
-	if err != nil {
-		// Roll the shadow back to match cur; the undo's own re-time must
-		// not be cancellable or the snapshots diverge.
-		sh.undoEdits(edits, mark)
-		if rerr := sh.retime(context.Background(), s.cfg, structural); rerr != nil {
-			s.degraded.Store(true)
+	var rep *WhatIfReport
+	var newEpoch int64
+	// The whole pre-swap phase runs guarded: a panic in it means the
+	// shadow's state is unknown, so the server degrades rather than risk
+	// publishing or reusing a half-edited snapshot. Locks are deferred so
+	// the panic path cannot leak them.
+	err := guard(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if err := s.fire(SiteCommitResolve); err != nil {
+			return err
 		}
-		sh.mu.Unlock()
+		edits, err := sh.resolve(ops)
+		if err != nil {
+			return err
+		}
+		rep = &WhatIfReport{Before: sh.slacks(), Committed: true}
+		mark := sh.d.NameMark()
+		if err := s.fire(SiteCommitApply); err != nil {
+			return err
+		}
+		structural, err := sh.applyEdits(edits)
+		if err == nil {
+			err = sh.retime(ctx, s.cfg, structural)
+		}
+		if err == nil {
+			err = s.fire(SiteCommitSwap)
+		}
+		if err != nil {
+			// Roll the shadow back to match cur; the undo's own re-time
+			// must not be cancellable or the snapshots diverge.
+			sh.undoEdits(edits, mark)
+			if rerr := sh.retime(context.Background(), s.cfg, structural); rerr != nil {
+				s.degraded.Store(true)
+			}
+			return err
+		}
+		newEpoch = s.epoch.Add(1)
+		sh.epoch = newEpoch
+		rep.Epoch = newEpoch
+		rep.After = sh.slacks()
+		return nil
+	})
+	if err != nil {
+		if isRecoveredPanic(err) {
+			s.degraded.Store(true)
+			s.count("timingd.panics_recovered")
+		}
 		return nil, err
 	}
-	newEpoch := s.epoch.Add(1)
-	sh.epoch = newEpoch
-	rep.Epoch = newEpoch
-	rep.After = sh.slacks()
-	sh.mu.Unlock()
 
 	old := s.cur.Swap(sh)
 	s.cache.purge()
@@ -231,19 +257,29 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 
 	// Replay onto the retired snapshot. Stragglers still reading it hold
 	// RLock; the edit waits for them. Not cancellable: the commit is
-	// already visible.
-	old.mu.Lock()
-	oldEdits, rerr := old.resolve(ops)
-	if rerr == nil {
-		var oldStructural bool
-		oldStructural, rerr = old.applyEdits(oldEdits)
-		if rerr == nil {
-			rerr = old.retime(context.Background(), s.cfg, oldStructural)
+	// already visible. Guarded for the same reason as above — a panic
+	// mid-replay leaves the retired snapshot unusable as the next shadow.
+	rerr := guard(func() error {
+		if err := s.fire(SiteCommitReplay); err != nil {
+			return err
 		}
-	}
-	old.epoch = newEpoch
-	old.mu.Unlock()
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		oldEdits, err := old.resolve(ops)
+		if err == nil {
+			var oldStructural bool
+			oldStructural, err = old.applyEdits(oldEdits)
+			if err == nil {
+				err = old.retime(context.Background(), s.cfg, oldStructural)
+			}
+		}
+		old.epoch = newEpoch
+		return err
+	})
 	if rerr != nil {
+		if isRecoveredPanic(rerr) {
+			s.count("timingd.panics_recovered")
+		}
 		s.degraded.Store(true)
 		return rep, nil // the commit itself succeeded
 	}
@@ -262,54 +298,72 @@ func (s *Server) whatIf(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	}
 
 	sh := s.shadow
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	edits, err := sh.resolve(ops)
-	if err != nil {
-		return nil, err
-	}
-	rep := &WhatIfReport{Epoch: s.epoch.Load(), Before: sh.slacks()}
-	mark := sh.d.NameMark()
-
-	if anyStructural(edits) {
-		// Structural what-if: the resident analyzers stay untouched —
-		// fresh ones are built for the edited netlist and discarded, and
-		// the exact netlist undo makes the saved views valid again.
-		saved := sh.views
-		structural, err := sh.applyEdits(edits)
-		if err == nil {
-			err = sh.retime(ctx, s.cfg, structural)
+	var rep *WhatIfReport
+	err := guard(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if err := s.fire(SiteCommitResolve); err != nil {
+			return err
 		}
-		if err == nil {
-			rep.After = sh.slacks()
-		}
-		sh.undoEdits(edits, mark)
-		sh.views = saved
+		edits, err := sh.resolve(ops)
 		if err != nil {
-			return nil, err
+			return err
 		}
-	} else {
-		// Resize-only what-if: incremental forward, incremental back.
-		// Invalidations from the whole batch coalesce into one Update per
-		// view in each direction.
-		if _, err := sh.applyEdits(edits); err != nil {
+		rep = &WhatIfReport{Epoch: s.epoch.Load(), Before: sh.slacks()}
+		mark := sh.d.NameMark()
+		if err := s.fire(SiteCommitApply); err != nil {
+			return err
+		}
+
+		if anyStructural(edits) {
+			// Structural what-if: the resident analyzers stay untouched —
+			// fresh ones are built for the edited netlist and discarded,
+			// and the exact netlist undo makes the saved views valid
+			// again.
+			saved := sh.views
+			structural, err := sh.applyEdits(edits)
+			if err == nil {
+				err = sh.retime(ctx, s.cfg, structural)
+			}
+			if err == nil {
+				rep.After = sh.slacks()
+			}
+			sh.undoEdits(edits, mark)
+			sh.views = saved
+			if err != nil {
+				return err
+			}
+		} else {
+			// Resize-only what-if: incremental forward, incremental back.
+			// Invalidations from the whole batch coalesce into one Update
+			// per view in each direction.
+			if _, err := sh.applyEdits(edits); err != nil {
+				sh.undoEdits(edits, mark)
+				if rerr := sh.retime(context.Background(), s.cfg, false); rerr != nil {
+					s.degraded.Store(true)
+				}
+				return err
+			}
+			err = sh.retime(ctx, s.cfg, false)
+			if err == nil {
+				rep.After = sh.slacks()
+			}
 			sh.undoEdits(edits, mark)
 			if rerr := sh.retime(context.Background(), s.cfg, false); rerr != nil {
 				s.degraded.Store(true)
 			}
-			return nil, err
+			return err
 		}
-		err = sh.retime(ctx, s.cfg, false)
-		if err == nil {
-			rep.After = sh.slacks()
-		}
-		sh.undoEdits(edits, mark)
-		if rerr := sh.retime(context.Background(), s.cfg, false); rerr != nil {
+		return nil
+	})
+	if err != nil {
+		if isRecoveredPanic(err) {
+			// A crash mid-evaluation means the shadow may not have been
+			// rolled back; it can no longer back a commit.
 			s.degraded.Store(true)
+			s.count("timingd.panics_recovered")
 		}
-		if err != nil {
-			return nil, err
-		}
+		return nil, err
 	}
 	s.count("timingd.whatifs")
 	return rep, nil
