@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"newgame/internal/timingd"
+)
+
+func TestPercentile(t *testing.T) {
+	var empty RouteStats
+	if got := empty.Percentile(0.5); got != 0 {
+		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+	st := &RouteStats{}
+	for i := 1; i <= 100; i++ {
+		st.latencies = append(st.latencies, time.Duration(i)*time.Millisecond)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+		{0.001, time.Millisecond}, // clamps to the fastest sample
+	} {
+		if got := st.Percentile(tc.p); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	one := &RouteStats{latencies: []time.Duration{7 * time.Millisecond}}
+	if got := one.Percentile(0.99); got != 7*time.Millisecond {
+		t.Errorf("single-sample Percentile = %v, want 7ms", got)
+	}
+}
+
+func TestBuildMix(t *testing.T) {
+	mix := buildMix(Config{SlackWeight: 2, PathsWeight: 1, WhatIfWeight: 1})
+	want := []string{"slack", "slack", "paths", "whatif"}
+	if !reflect.DeepEqual(mix, want) {
+		t.Fatalf("mix = %v, want %v", mix, want)
+	}
+	if mix := buildMix(Config{}); !reflect.DeepEqual(mix, []string{"slack"}) {
+		t.Fatalf("zero-weight mix = %v, want [slack]", mix)
+	}
+}
+
+// stubTimingd is a wire-compatible stand-in: it answers each route with a
+// canned report and counts requests, optionally refusing some with 429 —
+// the accounting under test, without paying for a real MCMM session.
+type stubTimingd struct {
+	slack, paths, whatif atomic.Int64
+	refuseEvery          int64 // every Nth /slack answers 429 (0 = never)
+}
+
+func (s *stubTimingd) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slack", func(w http.ResponseWriter, r *http.Request) {
+		n := s.slack.Add(1)
+		if s.refuseEvery > 0 && n%s.refuseEvery == 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "request queue full"})
+			return
+		}
+		json.NewEncoder(w).Encode(timingd.SlackReport{Epoch: 1})
+	})
+	mux.HandleFunc("/paths", func(w http.ResponseWriter, r *http.Request) {
+		s.paths.Add(1)
+		json.NewEncoder(w).Encode(timingd.PathsReport{Epoch: 1})
+	})
+	mux.HandleFunc("/whatif", func(w http.ResponseWriter, r *http.Request) {
+		s.whatif.Add(1)
+		json.NewEncoder(w).Encode(timingd.WhatIfReport{Epoch: 1})
+	})
+	return mux
+}
+
+func TestRunMixAndAccounting(t *testing.T) {
+	stub := &stubTimingd{refuseEvery: 5}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Base:        hs.URL,
+		Clients:     3,
+		Duration:    300 * time.Millisecond,
+		SlackWeight: 3, PathsWeight: 1, WhatIfWeight: 1,
+		WhatIfOps: []timingd.Op{{Kind: "resize", Cell: "u1", To: "INV_X2_SVT"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 || rep.QPS <= 0 {
+		t.Fatalf("no throughput recorded: %+v", rep)
+	}
+	sl, pa := rep.Routes["slack"], rep.Routes["paths"]
+	if sl == nil || pa == nil || rep.Routes["whatif"] == nil {
+		t.Fatalf("missing route stats: %v", rep.Routes)
+	}
+	// The shared sequence makes the issued mix exact; successes per route
+	// only drift by the injected refusals.
+	if issued := sl.Requests + sl.Refused; issued < 2*pa.Requests {
+		t.Errorf("mix skew: slack issued %d vs paths %d (want ~3:1)", issued, pa.Requests)
+	}
+	if sl.Refused == 0 {
+		t.Errorf("stub refused every 5th /slack but Refused = 0")
+	}
+	if sl.Errors != 0 || pa.Errors != 0 {
+		t.Errorf("unexpected errors: slack %d paths %d", sl.Errors, pa.Errors)
+	}
+	// Each client may drop its final in-flight request at the deadline
+	// (the shutdown race Run deliberately doesn't count); beyond that,
+	// every request the stub saw must be accounted for.
+	got := int64(sl.Requests + sl.Refused)
+	if served := stub.slack.Load(); got > served || served-got > 3 {
+		t.Errorf("slack accounting: client recorded %d, stub served %d", got, served)
+	}
+	if !strings.Contains(rep.String(), "refused | p50") {
+		t.Errorf("report table malformed:\n%s", rep.String())
+	}
+}
+
+func TestRunPacedRate(t *testing.T) {
+	stub := &stubTimingd{}
+	hs := httptest.NewServer(stub.handler())
+	defer hs.Close()
+
+	const qps, dur = 40, 500 * time.Millisecond
+	rep, err := Run(context.Background(), Config{
+		Base: hs.URL, Clients: 2, Duration: dur,
+		TargetQPS: qps, SlackWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pacing is a ceiling, not a floor: the ticker can't issue more than
+	// qps*dur tickets (plus the channel's small buffer), and on an
+	// unloaded stub it should get most of them through.
+	maxIssued := int(float64(qps)*dur.Seconds()) + 2 // + channel buffer slop
+	if rep.Total > maxIssued {
+		t.Fatalf("paced run sent %d requests, ceiling %d", rep.Total, maxIssued)
+	}
+	if rep.Total < maxIssued/4 {
+		t.Fatalf("paced run sent only %d of ~%d requests", rep.Total, maxIssued)
+	}
+}
+
+func TestRunWhatIfRequiresOps(t *testing.T) {
+	_, err := Run(context.Background(), Config{Base: "http://unused", WhatIfWeight: 1})
+	if err == nil || !strings.Contains(err.Error(), "WhatIfOps") {
+		t.Fatalf("want WhatIfOps error, got %v", err)
+	}
+}
