@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -37,17 +38,40 @@ import (
 	"newgame/internal/variation"
 )
 
+// errNotClosed distinguishes "the loop ran but did not converge" (exit 2,
+// like a failing signoff) from operational errors (exit 1).
+var errNotClosed = errors.New("closure: loop did not converge")
+
 func main() {
-	recipeName := flag.String("recipe", "old", "signoff recipe: old, new")
-	period := flag.Float64("period", 560, "functional clock period, ps")
-	gates := flag.Int("gates", 1400, "combinational gate count")
-	ffs := flag.Int("ffs", 96, "flip-flop count")
-	seed := flag.Int64("seed", 42, "generation seed")
-	workers := flag.Int("workers", 0, "concurrent signoff workers (0 = all CPUs, 1 = serial)")
-	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
-	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errNotClosed):
+		os.Exit(2)
+	case errors.Is(err, flag.ErrHelp):
+		os.Exit(0)
+	default:
+		fmt.Fprintln(os.Stderr, "closure:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses args with its own
+// FlagSet and writes everything to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("closure", flag.ContinueOnError)
+	recipeName := fs.String("recipe", "old", "signoff recipe: old, new")
+	period := fs.Float64("period", 560, "functional clock period, ps")
+	gates := fs.Int("gates", 1400, "combinational gate count")
+	ffs := fs.Int("ffs", 96, "flip-flop count")
+	seed := fs.Int64("seed", 42, "generation seed")
+	workers := fs.Int("workers", 0, "concurrent signoff workers (0 = all CPUs, 1 = serial)")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -105,18 +129,18 @@ func main() {
 	}
 	pBefore, err := powerOf()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	t0 := time.Now()
 	res, err := e.Close()
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	pAfter, err := powerOf()
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("recipe %s on %s (%d cells), period %.0f ps\n\n",
+	fmt.Fprintf(out, "recipe %s on %s (%d cells), period %.0f ps\n\n",
 		recipe.Name, d.Name, len(d.Cells), *period)
 	tb := report.NewTable("closure iterations",
 		"iter", "setup WNS", "hold WNS", "setup viol", "hold viol", "drc", "noise", "fixes")
@@ -132,35 +156,36 @@ func main() {
 			it.Breakdown.MaxTran+it.Breakdown.MaxCap, it.Breakdown.Noise,
 			strings.Join(fixes, " "))
 	}
-	tb.Render(os.Stdout)
-	fmt.Printf("\nclosed=%v in %s | leakage cost %.0f nW, area cost %.1f um2\n",
+	tb.Render(out)
+	fmt.Fprintf(out, "\nclosed=%v in %s | leakage cost %.0f nW, area cost %.1f um2\n",
 		res.Closed, time.Since(t0).Round(time.Millisecond), res.LeakageDelta, res.AreaDelta)
-	fmt.Printf("power: %.1f -> %.1f uW total (leak %.1f -> %.1f uW, clock share %.0f%%)\n",
+	fmt.Fprintf(out, "power: %.1f -> %.1f uW total (leak %.1f -> %.1f uW, clock share %.0f%%)\n",
 		pBefore.Total/1000, pAfter.Total/1000, pBefore.Leakage/1000, pAfter.Leakage/1000,
 		100*pAfter.ClockFrac)
 	if rec != nil {
-		fmt.Println()
-		rec.WriteSummary(os.Stdout)
-		if err := exportFile(*metricsPath, rec.WriteMetricsJSON); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		rec.WriteSummary(out)
+		if err := exportFile(*metricsPath, out, rec.WriteMetricsJSON); err != nil {
+			return err
 		}
-		if err := exportFile(*tracePath, rec.WriteChromeTrace); err != nil {
-			fatal(err)
+		if err := exportFile(*tracePath, out, rec.WriteChromeTrace); err != nil {
+			return err
 		}
 	}
 	if !res.Closed {
-		os.Exit(2)
+		return errNotClosed
 	}
+	return nil
 }
 
-// exportFile writes one exporter's output to path ("" skips; "-" and
-// /dev/stdout both reach the terminal).
-func exportFile(path string, write func(w io.Writer) error) error {
+// exportFile writes one exporter's output to path ("" skips; "-" reaches
+// the run's own output writer).
+func exportFile(path string, out io.Writer, write func(w io.Writer) error) error {
 	if path == "" {
 		return nil
 	}
 	if path == "-" {
-		return write(os.Stdout)
+		return write(out)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -171,9 +196,4 @@ func exportFile(path string, write func(w io.Writer) error) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "closure:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// smoke runs the closure loop on a small block; errNotClosed still counts
+// as a successful run of the machinery.
+func smoke(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	base := []string{"-recipe", "old", "-gates", "140", "-ffs", "12", "-seed", "3"}
+	err := run(append(base, args...), &b)
+	if err != nil && !errors.Is(err, errNotClosed) {
+		t.Fatalf("run %v: %v\n%s", args, err, b.String())
+	}
+	return b.String()
+}
+
+func TestRunSmoke(t *testing.T) {
+	out := smoke(t)
+	for _, want := range []string{"closure iterations", "closed=", "power:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+var wallClock = regexp.MustCompile(`closed=\w+ in [^|]+`)
+
+// TestRunWorkersDeterministic pins the repo's core invariant at the CLI
+// boundary: serial and parallel signoff print byte-identical reports
+// (modulo the wall-clock line).
+func TestRunWorkersDeterministic(t *testing.T) {
+	a := wallClock.ReplaceAllString(smoke(t, "-workers", "1"), "T")
+	b := wallClock.ReplaceAllString(smoke(t, "-workers", "3"), "T")
+	if a != b {
+		t.Fatalf("-workers changed the report:\n--- w1 ---\n%s\n--- w3 ---\n%s", a, b)
+	}
+}
+
+func TestRunMetricsAndTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	out := smoke(t, "-metrics", metrics, "-trace", trace)
+	if !strings.Contains(out, "spans") && !strings.Contains(out, "counters") {
+		t.Errorf("-metrics should print the obs summary:\n%s", out)
+	}
+	for _, p := range []string{metrics, trace} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("export not written: %v", err)
+		}
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Errorf("%s is not valid JSON: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-no-such-flag"}, &b); err == nil || errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("want flag parse error, got %v", err)
+	}
+}

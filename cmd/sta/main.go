@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,19 +33,34 @@ import (
 )
 
 func main() {
-	circuit := flag.String("circuit", "soc", "circuit: soc, c5315, c7552, aes, mpeg2, chain")
-	libFile := flag.String("lib", "", "Liberty file to analyze with (overrides -corner/-derate library generation; SI/noise need device data and are disabled)")
-	period := flag.Float64("period", 700, "clock period, ps")
-	corner := flag.String("corner", "ssg", "process corner: tt, ssg, ffg")
-	beol := flag.String("beol", "rcw", "BEOL corner: typ, cw, cb, rcw, rcb, ccw, ccb")
-	derate := flag.String("derate", "aocv", "derating: none, flat, aocv, pocv, lvf")
-	si := flag.Bool("si", true, "enable SI delta-delay analysis")
-	mis := flag.Bool("mis", true, "enable multi-input-switching derates")
-	paths := flag.Int("paths", 5, "worst paths to report")
-	workers := flag.Int("workers", 0, "propagation workers (0 = all CPUs, 1 = serial)")
-	metricsPath := flag.String("metrics", "", "write a JSON metrics dump to this file after the run")
-	tracePath := flag.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "sta:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of the command: it parses args with its own
+// FlagSet and writes everything to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sta", flag.ContinueOnError)
+	circuit := fs.String("circuit", "soc", "circuit: soc, c5315, c7552, aes, mpeg2, chain")
+	libFile := fs.String("lib", "", "Liberty file to analyze with (overrides -corner/-derate library generation; SI/noise need device data and are disabled)")
+	period := fs.Float64("period", 700, "clock period, ps")
+	corner := fs.String("corner", "ssg", "process corner: tt, ssg, ffg")
+	beol := fs.String("beol", "rcw", "BEOL corner: typ, cw, cb, rcw, rcb, ccw, ccb")
+	derate := fs.String("derate", "aocv", "derating: none, flat, aocv, pocv, lvf")
+	si := fs.Bool("si", true, "enable SI delta-delay analysis")
+	mis := fs.Bool("mis", true, "enable multi-input-switching derates")
+	paths := fs.Int("paths", 5, "worst paths to report")
+	workers := fs.Int("workers", 0, "propagation workers (0 = all CPUs, 1 = serial)")
+	metricsPath := fs.String("metrics", "", "write a JSON metrics dump to this file after the run")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var rec *obs.Recorder
 	if *metricsPath != "" || *tracePath != "" {
@@ -55,12 +71,12 @@ func main() {
 	if *libFile != "" {
 		f, err := os.Open(*libFile)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		lib, err = liberty.ParseLib(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		*si = false // parsed libraries carry no device model for the noise engine
 	} else {
@@ -85,14 +101,14 @@ func main() {
 	}
 	a, err := sta.New(d, cons, cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if err := a.Run(); err != nil {
-		fatal(err)
+		return err
 	}
 
 	st := d.Stats()
-	fmt.Printf("design %s: %d cells, %d nets | corner %s/%s, derate %s, period %.0f ps\n\n",
+	fmt.Fprintf(out, "design %s: %d cells, %d nets | corner %s/%s, derate %s, period %.0f ps\n\n",
 		d.Name, st.Cells, st.Nets, *corner, *beol, *derate, *period)
 
 	tb := report.NewTable("summary", "check", "WNS (ps)", "TNS (ps)", "violating endpoints")
@@ -105,15 +121,15 @@ func main() {
 		}
 		tb.Row(k.String(), a.WorstSlack(k), a.TNS(k), n)
 	}
-	tb.Render(os.Stdout)
+	tb.Render(out)
 
 	drc := a.DRCViolations()
 	noise := a.NoiseViolations()
 	binder := cfg.Parasitics
 	emViols := em.Check(a, lib, stack, binder, em.DefaultConfig())
-	fmt.Printf("\nDRC: %d violations, noise: %d, EM: %d\n", len(drc), len(noise), len(emViols))
+	fmt.Fprintf(out, "\nDRC: %d violations, noise: %d, EM: %d\n", len(drc), len(noise), len(emViols))
 	pw := power.Compute(a, lib, power.DefaultConfig())
-	fmt.Printf("power: %.1f uW (leakage %.1f, data %.1f, clock %.1f — clock share %.0f%%)\n\n",
+	fmt.Fprintf(out, "power: %.1f uW (leakage %.1f, data %.1f, clock %.1f — clock share %.0f%%)\n\n",
 		pw.Total/1000, pw.Leakage/1000, pw.DynamicData/1000, pw.DynamicClock/1000, 100*pw.ClockFrac)
 
 	// Endpoint slack histogram.
@@ -126,37 +142,38 @@ func main() {
 		for i := range idx {
 			idx[i] = float64(i)
 		}
-		fmt.Print(report.Series("setup endpoint slacks, worst-first", idx, slacks, 48, 8))
-		fmt.Println()
+		fmt.Fprint(out, report.Series("setup endpoint slacks, worst-first", idx, slacks, 48, 8))
+		fmt.Fprintln(out)
 	}
 
-	fmt.Printf("worst %d setup paths (GBA vs PBA):\n", *paths)
+	fmt.Fprintf(out, "worst %d setup paths (GBA vs PBA):\n", *paths)
 	for i, p := range a.WorstPaths(sta.Setup, *paths) {
 		r := a.PBA(p)
-		fmt.Printf("%2d. %-40s depth=%2d  GBA slack %8.1f  PBA slack %8.1f (recovered %.1f)\n",
+		fmt.Fprintf(out, "%2d. %-40s depth=%2d  GBA slack %8.1f  PBA slack %8.1f (recovered %.1f)\n",
 			i+1, p.Endpoint.Name(), p.Depth(), p.GBASlack, r.Slack, r.Pessimism)
 	}
 
 	if rec != nil {
-		fmt.Println()
-		rec.WriteSummary(os.Stdout)
-		if err := exportFile(*metricsPath, rec.WriteMetricsJSON); err != nil {
-			fatal(err)
+		fmt.Fprintln(out)
+		rec.WriteSummary(out)
+		if err := exportFile(*metricsPath, out, rec.WriteMetricsJSON); err != nil {
+			return err
 		}
-		if err := exportFile(*tracePath, rec.WriteChromeTrace); err != nil {
-			fatal(err)
+		if err := exportFile(*tracePath, out, rec.WriteChromeTrace); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
-// exportFile writes one exporter's output to path ("" skips; "-" and
-// ordinary paths go to stdout and a fresh file respectively).
-func exportFile(path string, write func(w io.Writer) error) error {
+// exportFile writes one exporter's output to path ("" skips; "-" reaches
+// the run's own output writer).
+func exportFile(path string, out io.Writer, write func(w io.Writer) error) error {
 	if path == "" {
 		return nil
 	}
 	if path == "-" {
-		return write(os.Stdout)
+		return write(out)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -235,9 +252,4 @@ func derater(s string) sta.Derater {
 	default:
 		return sta.NoDerate{}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sta:", err)
-	os.Exit(1)
 }

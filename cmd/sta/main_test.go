@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smoke analyzes the small chain circuit with cheap settings.
+func smoke(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	base := []string{"-circuit", "chain", "-corner", "tt", "-derate", "none", "-si=false", "-period", "700"}
+	if err := run(append(base, args...), &b); err != nil {
+		t.Fatalf("run %v: %v\n%s", args, err, b.String())
+	}
+	return b.String()
+}
+
+func TestRunSmoke(t *testing.T) {
+	out := smoke(t)
+	for _, want := range []string{"design chain", "summary", "worst", "GBA slack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunWorkersDeterministic pins bit-identical reports across -workers
+// at the CLI boundary (the report has no wall-clock line to strip).
+func TestRunWorkersDeterministic(t *testing.T) {
+	a := smoke(t, "-workers", "1")
+	b := smoke(t, "-workers", "3")
+	if a != b {
+		t.Fatalf("-workers changed the report:\n--- w1 ---\n%s\n--- w3 ---\n%s", a, b)
+	}
+}
+
+func TestRunMetricsAndTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	smoke(t, "-metrics", metrics, "-trace", trace)
+	for _, p := range []string{metrics, trace} {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("export not written: %v", err)
+		}
+		var v any
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Errorf("%s is not valid JSON: %v", filepath.Base(p), err)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {
+		t.Fatal("want flag parse error")
+	}
+}
