@@ -10,7 +10,10 @@
 // 1 = serial; results are bit-identical at every setting). -metrics and
 // -trace export the run's observability data — a JSON metrics dump and
 // Chrome trace-event JSON (Perfetto) respectively — matching the closure
-// command's flags.
+// command's flags. -cpuprofile and -memprofile write pprof profiles of
+// the analysis (the batch-run complement of closure's live -pprof
+// endpoint); the heap profile is taken after the run with one final GC so
+// it shows retained analyzer state, not transient propagation garbage.
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"newgame/internal/circuits"
 	"newgame/internal/em"
@@ -58,8 +63,25 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "propagation workers (0 = all CPUs, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	var rec *obs.Recorder
@@ -160,6 +182,20 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		if err := exportFile(*tracePath, out, rec.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // settle the heap so the profile shows retained state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
 			return err
 		}
 	}

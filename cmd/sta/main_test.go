@@ -55,6 +55,25 @@ func TestRunMetricsAndTraceExport(t *testing.T) {
 	}
 }
 
+// TestRunProfileExport pins the -cpuprofile/-memprofile plumbing: both
+// files must come back non-empty (pprof's gzip framing means a valid
+// profile is never zero bytes).
+func TestRunProfileExport(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	smoke(t, "-cpuprofile", cpu, "-memprofile", mem)
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", filepath.Base(p))
+		}
+	}
+}
+
 func TestRunBadFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &b); err == nil {

@@ -88,6 +88,18 @@ func Registry() []Invariant {
 			Check: checkSTASerialParallel,
 		},
 		{
+			Name:  "csr-matches-pointer-walk",
+			Law:   "the SoA core's CSR successor and fanin lists enumerate exactly the edges of the netlist pointer walk, in the same order",
+			Scope: PerDesign,
+			Check: checkCSRMatchesPointerWalk,
+		},
+		{
+			Name:  "soa-topology-shared-isolated",
+			Law:   "two analyzers sharing one frozen topology, edited along different what-if scripts, each stay bit-identical to fully independent analyzers",
+			Scope: PerDesign,
+			Check: checkTopologySharedIsolated,
+		},
+		{
 			Name:  "mcmm-merge-min-sum",
 			Law:   "merged MCMM WNS is the min over scenario WNS (clamped at 0) and merged TNS is the sum; sweep results are worker-count invariant",
 			Scope: PerDesign,

@@ -182,7 +182,10 @@ func ConstraintsFor(d *netlist.Design, clockPort *netlist.Port, basePeriod, inpu
 // analyzer builds the STA view for one scenario with the engine's current
 // netlist, NDR store and useful-skew schedule. parent, when recording,
 // parents the analyzer's sta-level spans (typically the scenario span).
-func (e *Engine) analyzer(s Scenario, parent *obs.Span) (*sta.Analyzer, error) {
+// topo, when non-nil, is a frozen timing graph another analyzer already
+// built over this exact netlist — the new analyzer adopts it read-only
+// instead of re-levelizing (see sta.Config.Topology).
+func (e *Engine) analyzer(s Scenario, topo *sta.Topology, parent *obs.Span) (*sta.Analyzer, error) {
 	cons := ConstraintsFor(e.D, e.ClockPort, e.BasePeriod, e.InputArrival, s)
 	for ff, off := range e.uskew {
 		cons.ExtraCKLatency[ff] = off
@@ -193,6 +196,7 @@ func (e *Engine) analyzer(s Scenario, parent *obs.Span) (*sta.Analyzer, error) {
 		CKLatencyScale: e.skewScale(s.Lib),
 		Workers:        e.Workers,
 		Obs:            e.Obs, ObsSpan: parent,
+		Topology: topo,
 	}
 	if s.DynamicIR && e.Place != nil {
 		droop := ir.Run(e.Place, s.Lib, ir.DefaultConfig())
@@ -222,30 +226,42 @@ func (e *Engine) workers() int {
 // them in recipe order regardless of completion order — the determinism
 // rule of concurrent signoff. The shared parasitics store is warmed
 // serially first so stateful tree synthesis happens in net order, exactly
-// as a serial survey would have generated it.
+// as a serial survey would have generated it. The first scenario runs on
+// the calling goroutine and freezes the timing graph topology; the rest
+// adopt it read-only, so levelization happens once per survey rather than
+// once per scenario.
 func (e *Engine) runScenarios() ([]*sta.Analyzer, error) {
 	e.store.Warm(e.D.Nets)
 	scen := e.Recipe.Scenarios
 	as := make([]*sta.Analyzer, len(scen))
 	errs := make([]error, len(scen))
+	if len(scen) == 0 {
+		return as, nil
+	}
 	// evalOne runs scenario i on worker track g (track g+1 in the trace;
 	// track 0 is the main goroutine) and bumps that worker's occupancy
 	// counter so the metrics dump shows how balanced the pool ran.
-	evalOne := func(i, g int) {
+	evalOne := func(i, g int, topo *sta.Topology) {
 		sp := e.Obs.Start("scenario:"+scen[i].Name, e.obsSurvey).OnTrack(g + 1)
-		as[i], errs[i] = e.analyzer(scen[i], sp)
+		as[i], errs[i] = e.analyzer(scen[i], topo, sp)
 		sp.End()
 		if e.Obs != nil {
 			e.Obs.Counter(fmt.Sprintf("core.worker_%02d.scenarios", g)).Add(1)
 		}
 	}
+	evalOne(0, 0, nil)
+	if errs[0] != nil {
+		return nil, fmt.Errorf("scenario %s: %w", scen[0].Name, errs[0])
+	}
+	topo := as[0].Topology()
+	rest := len(scen) - 1
 	w := e.workers()
-	if w > len(scen) {
-		w = len(scen)
+	if w > rest {
+		w = rest
 	}
 	if w <= 1 {
-		for i := range scen {
-			evalOne(i, 0)
+		for i := 1; i < len(scen); i++ {
+			evalOne(i, 0, topo)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -255,11 +271,11 @@ func (e *Engine) runScenarios() ([]*sta.Analyzer, error) {
 			go func(g int) {
 				defer wg.Done()
 				for i := range next {
-					evalOne(i, g)
+					evalOne(i, g, topo)
 				}
 			}(g)
 		}
-		for i := range scen {
+		for i := 1; i < len(scen); i++ {
 			next <- i
 		}
 		close(next)
@@ -564,7 +580,7 @@ func (e *Engine) recoverMargin(res *Result) error {
 	}
 	rsp := e.Obs.Start("close.recover_margin", e.obsParent)
 	defer rsp.End()
-	a, err := e.analyzer(*setupScen, rsp)
+	a, err := e.analyzer(*setupScen, nil, rsp)
 	if err != nil {
 		return err
 	}

@@ -17,7 +17,7 @@ func TestDbgHoldStuck(t *testing.T) {
 	}
 	// Build hold and setup analyzers on the final netlist.
 	mk := func(s Scenario) *sta.Analyzer {
-		a, err := e.analyzer(s, nil)
+		a, err := e.analyzer(s, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -54,19 +54,35 @@ func (e EndpointSlack) Name() string {
 // leadEdge returns the valid leading clock transition at a CK vertex (rise
 // preferred), or -1 if the clock never arrives.
 func (a *Analyzer) leadEdge(i int, el int) int {
-	v := &a.verts[i]
-	if v.valid[rise][el] {
+	if a.fValid[ix4(i, rise, el)] {
 		return rise
 	}
-	if v.valid[fall][el] {
+	if a.fValid[ix4(i, fall, el)] {
 		return fall
 	}
 	return -1
 }
 
-// EndpointSlacks computes all setup or hold endpoint slacks.
+// btScratch holds reusable CRPR backtrace buffers for the exclusive-writer
+// paths (Run/Update); concurrent readers pass nil and allocate per call.
+type btScratch struct {
+	launch, capture []int
+}
+
+// EndpointSlacks computes all setup or hold endpoint slacks. It allocates
+// its result and scratch per call, so concurrent readers (timingd query
+// handlers under the session read-lock) never share state. The backtrace
+// scratch is call-local, so the CRPR credit of every endpoint in one call
+// reuses the same two buffers.
 func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
-	var out []EndpointSlack
+	var bt btScratch
+	return a.endpointSlacksInto(kind, nil, &bt)
+}
+
+// endpointSlacksInto is EndpointSlacks with caller-provided result and
+// backtrace scratch (either may be nil). Only the exclusive-writer paths
+// pass the analyzer's own scratch.
+func (a *Analyzer) endpointSlacksInto(kind CheckKind, out []EndpointSlack, bt *btScratch) []EndpointSlack {
 	if !a.ran || a.Cons == nil {
 		return out
 	}
@@ -84,28 +100,28 @@ func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
 		}
 		di := a.pinIdx[dPin]
 		ci := a.pinIdx[ckPin]
-		dv := &a.verts[di]
 		for rf := 0; rf < 2; rf++ {
 			if kind == Setup {
-				if !dv.valid[rf][late] {
+				kd := ix4(di, rf, late)
+				if !a.fValid[kd] {
 					continue
 				}
 				ce := a.leadEdge(ci, early)
 				if ce < 0 || clk == nil {
 					continue
 				}
-				cv := &a.verts[ci]
-				crpr := a.crprCredit(di, rf, ci, ce)
-				dataSlew := dv.slew[rf][late]
-				ckSlew := cv.slew[ce][early]
+				kc := ix4(ci, ce, early)
+				crpr := a.crprCredit(di, rf, ci, ce, bt)
+				dataSlew := a.fSlew[kd]
+				ckSlew := a.fSlew[kc]
 				var su float64
 				if rf == rise {
 					su = m.FF.SetupRise.Lookup(dataSlew, ckSlew)
 				} else {
 					su = m.FF.SetupFall.Lookup(dataSlew, ckSlew)
 				}
-				arrD := dv.arr[rf][late].corner(true, n)
-				ckArr := cv.arr[ce][early].corner(false, n)
+				arrD := a.fArr[kd].corner(true, n)
+				ckArr := a.fArr[kc].corner(false, n)
 				cycles := 1.0
 				if a.Cons != nil {
 					if mc, ok := a.Cons.MulticycleSetup[c]; ok && mc > 1 {
@@ -118,25 +134,26 @@ func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
 					Slack: req - arrD, Arrival: arrD, Required: req, CRPR: crpr,
 				})
 			} else {
-				if !dv.valid[rf][early] {
+				kd := ix4(di, rf, early)
+				if !a.fValid[kd] {
 					continue
 				}
 				cl := a.leadEdge(ci, late)
 				if cl < 0 {
 					continue
 				}
-				cv := &a.verts[ci]
-				crpr := a.crprCreditHold(di, rf, ci, cl)
-				dataSlew := dv.slew[rf][early]
-				ckSlew := cv.slew[cl][late]
+				kc := ix4(ci, cl, late)
+				crpr := a.crprCreditHold(di, rf, ci, cl, bt)
+				dataSlew := a.fSlew[kd]
+				ckSlew := a.fSlew[kc]
 				var h float64
 				if rf == rise {
 					h = m.FF.HoldRise.Lookup(dataSlew, ckSlew)
 				} else {
 					h = m.FF.HoldFall.Lookup(dataSlew, ckSlew)
 				}
-				arrD := dv.arr[rf][early].corner(false, n)
-				ckArr := cv.arr[cl][late].corner(true, n)
+				arrD := a.fArr[kd].corner(false, n)
+				ckArr := a.fArr[kc].corner(true, n)
 				holdUnc := 0.0
 				if clk != nil {
 					holdUnc = clk.HoldUncertainty
@@ -164,39 +181,40 @@ func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
 		}
 		ei := a.pinIdx[enPin]
 		ci := a.pinIdx[ckPin]
-		evx := &a.verts[ei]
 		for rf := 0; rf < 2; rf++ {
 			if kind == Setup {
-				if !evx.valid[rf][late] || clk == nil {
+				ke := ix4(ei, rf, late)
+				if !a.fValid[ke] || clk == nil {
 					continue
 				}
 				ce := a.leadEdge(ci, early)
 				if ce < 0 {
 					continue
 				}
-				cv := &a.verts[ci]
-				crpr := a.crprCredit(ei, rf, ci, ce)
-				su := m.Gate.SetupRise.Lookup(evx.slew[rf][late], cv.slew[ce][early])
-				arrE := evx.arr[rf][late].corner(true, n)
-				ckArr := cv.arr[ce][early].corner(false, n)
+				kc := ix4(ci, ce, early)
+				crpr := a.crprCredit(ei, rf, ci, ce, bt)
+				su := m.Gate.SetupRise.Lookup(a.fSlew[ke], a.fSlew[kc])
+				arrE := a.fArr[ke].corner(true, n)
+				ckArr := a.fArr[kc].corner(false, n)
 				req := clk.Period + ckArr - su - clk.SetupUncertainty + crpr
 				out = append(out, EndpointSlack{
 					Kind: Setup, Pin: enPin, RF: rf,
 					Slack: req - arrE, Arrival: arrE, Required: req, CRPR: crpr,
 				})
 			} else {
-				if !evx.valid[rf][early] {
+				ke := ix4(ei, rf, early)
+				if !a.fValid[ke] {
 					continue
 				}
 				cl := a.leadEdge(ci, late)
 				if cl < 0 {
 					continue
 				}
-				cv := &a.verts[ci]
-				crpr := a.crprCreditHold(ei, rf, ci, cl)
-				h := m.Gate.HoldRise.Lookup(evx.slew[rf][early], cv.slew[cl][late])
-				arrE := evx.arr[rf][early].corner(false, n)
-				ckArr := cv.arr[cl][late].corner(true, n)
+				kc := ix4(ci, cl, late)
+				crpr := a.crprCreditHold(ei, rf, ci, cl, bt)
+				h := m.Gate.HoldRise.Lookup(a.fSlew[ke], a.fSlew[kc])
+				arrE := a.fArr[ke].corner(false, n)
+				ckArr := a.fArr[kc].corner(true, n)
 				holdUnc := 0.0
 				if clk != nil {
 					holdUnc = clk.HoldUncertainty
@@ -219,18 +237,17 @@ func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
 			continue
 		}
 		i := a.portIdx[p]
-		v := &a.verts[i]
 		for rf := 0; rf < 2; rf++ {
-			if kind == Setup && v.valid[rf][late] {
-				arr := v.arr[rf][late].corner(true, n)
+			if kind == Setup && a.fValid[ix4(i, rf, late)] {
+				arr := a.fArr[ix4(i, rf, late)].corner(true, n)
 				req := io.Clock.Period - io.Max - io.Clock.SetupUncertainty
 				out = append(out, EndpointSlack{
 					Kind: Setup, Port: p, RF: rf,
 					Slack: req - arr, Arrival: arr, Required: req,
 				})
 			}
-			if kind == Hold && v.valid[rf][early] {
-				arr := v.arr[rf][early].corner(false, n)
+			if kind == Hold && a.fValid[ix4(i, rf, early)] {
+				arr := a.fArr[ix4(i, rf, early)].corner(false, n)
 				req := io.Min
 				out = append(out, EndpointSlack{
 					Kind: Hold, Port: p, RF: rf,
@@ -246,11 +263,17 @@ func (a *Analyzer) EndpointSlacks(kind CheckKind) []EndpointSlack {
 // backtraceChain returns the worst-path vertex chain ending at (i, rf, el),
 // root-first.
 func (a *Analyzer) backtraceChain(i, rf, el int) []int {
-	var rev []int
+	return a.backtraceChainInto(nil, i, rf, el)
+}
+
+// backtraceChainInto is backtraceChain appending into a reused buffer.
+func (a *Analyzer) backtraceChainInto(buf []int, i, rf, el int) []int {
+	rev := buf[:0]
 	for i >= 0 {
 		rev = append(rev, i)
-		p := a.verts[i].pred[rf][el]
-		if !a.verts[i].valid[rf][el] {
+		k := ix4(i, rf, el)
+		p := a.fPred[k]
+		if !a.fValid[k] {
 			break
 		}
 		i, rf = p.v, p.rf
@@ -266,14 +289,24 @@ func (a *Analyzer) backtraceChain(i, rf, el int) []int {
 // check: the late−early arrival difference at the deepest clock-network
 // vertex shared by the launch path (inside the data backtrace from the D
 // pin, late) and the capture clock path (backtrace from the capture CK pin,
-// early).
-func (a *Analyzer) crprCredit(di, rf, ci, ce int) units.Ps {
-	return a.crpr(a.backtraceChain(di, rf, late), a.backtraceChain(ci, ce, early))
+// early). A nil bt allocates fresh backtraces (concurrent-reader path).
+func (a *Analyzer) crprCredit(di, rf, ci, ce int, bt *btScratch) units.Ps {
+	if bt == nil {
+		return a.crpr(a.backtraceChain(di, rf, late), a.backtraceChain(ci, ce, early))
+	}
+	bt.launch = a.backtraceChainInto(bt.launch, di, rf, late)
+	bt.capture = a.backtraceChainInto(bt.capture, ci, ce, early)
+	return a.crpr(bt.launch, bt.capture)
 }
 
 // crprCreditHold is the hold-check analogue (data early vs clock late).
-func (a *Analyzer) crprCreditHold(di, rf, ci, cl int) units.Ps {
-	return a.crpr(a.backtraceChain(di, rf, early), a.backtraceChain(ci, cl, late))
+func (a *Analyzer) crprCreditHold(di, rf, ci, cl int, bt *btScratch) units.Ps {
+	if bt == nil {
+		return a.crpr(a.backtraceChain(di, rf, early), a.backtraceChain(ci, cl, late))
+	}
+	bt.launch = a.backtraceChainInto(bt.launch, di, rf, early)
+	bt.capture = a.backtraceChainInto(bt.capture, ci, cl, late)
+	return a.crpr(bt.launch, bt.capture)
 }
 
 func (a *Analyzer) crpr(launch, capture []int) units.Ps {
@@ -287,20 +320,19 @@ func (a *Analyzer) crpr(launch, capture []int) units.Ps {
 		if launch[k] != capture[k] {
 			break
 		}
-		if a.verts[launch[k]].clockPath {
+		if a.topo.clockPath[launch[k]] {
 			common = launch[k]
 		}
 	}
 	if common < 0 {
 		return 0
 	}
-	v := &a.verts[common]
 	le := a.leadEdge(common, late)
 	ee := a.leadEdge(common, early)
 	if le < 0 || ee < 0 {
 		return 0
 	}
-	credit := v.arr[le][late].T - v.arr[ee][early].T
+	credit := a.fArr[ix4(common, le, late)].T - a.fArr[ix4(common, ee, early)].T
 	if credit < 0 {
 		return 0
 	}
@@ -310,11 +342,7 @@ func (a *Analyzer) crpr(launch, capture []int) units.Ps {
 // WNS returns the worst negative slack for a check (0 if all positive, or
 // +Inf if there are no endpoints).
 func (a *Analyzer) WNS(kind CheckKind) units.Ps {
-	s := a.EndpointSlacks(kind)
-	if len(s) == 0 {
-		return math.Inf(1)
-	}
-	w := s[0].Slack
+	w := a.WorstSlack(kind)
 	if w > 0 {
 		return 0
 	}
@@ -324,7 +352,13 @@ func (a *Analyzer) WNS(kind CheckKind) units.Ps {
 // WorstSlack returns the single worst endpoint slack (or +Inf when there
 // are no endpoints), without clamping at zero.
 func (a *Analyzer) WorstSlack(kind CheckKind) units.Ps {
-	s := a.EndpointSlacks(kind)
+	return WorstSlackOf(a.EndpointSlacks(kind))
+}
+
+// WorstSlackOf is WorstSlack over an already-rendered endpoint list
+// (worst-first), for callers deriving several summaries from one
+// EndpointSlacks result instead of re-rendering per metric.
+func WorstSlackOf(s []EndpointSlack) units.Ps {
 	if len(s) == 0 {
 		return math.Inf(1)
 	}
@@ -337,9 +371,14 @@ func (a *Analyzer) WorstSlack(kind CheckKind) units.Ps {
 // iterating a map gave a run-to-run ULP wobble that broke bit-exact
 // determinism between otherwise identical runs.
 func (a *Analyzer) TNS(kind CheckKind) units.Ps {
+	return TNSOf(a.EndpointSlacks(kind))
+}
+
+// TNSOf is TNS over an already-rendered endpoint list (worst-first).
+func TNSOf(s []EndpointSlack) units.Ps {
 	seen := map[string]bool{}
 	t := 0.0
-	for _, e := range a.EndpointSlacks(kind) {
+	for _, e := range s {
 		k := e.Name()
 		if seen[k] {
 			continue
@@ -372,10 +411,11 @@ func (a *Analyzer) DRCViolations() []DRCViolation {
 		m := a.master(c)
 		for _, p := range c.Pins {
 			i := a.pinIdx[p]
-			v := &a.verts[i]
 			if p.Dir == netlist.Input {
-				sl := math.Max(v.slew[rise][late], v.slew[fall][late])
-				if m.MaxTran > 0 && sl > m.MaxTran && (v.valid[rise][late] || v.valid[fall][late]) {
+				kr := ix4(i, rise, late)
+				kf := ix4(i, fall, late)
+				sl := math.Max(a.fSlew[kr], a.fSlew[kf])
+				if m.MaxTran > 0 && sl > m.MaxTran && (a.fValid[kr] || a.fValid[kf]) {
 					out = append(out, DRCViolation{Kind: "max_tran", Pin: p, Value: sl, Limit: m.MaxTran})
 				}
 			} else if p.Net != nil {
@@ -405,8 +445,8 @@ func (a *Analyzer) PinArrival(p *netlist.Pin, rf, el int) (units.Ps, bool) {
 	if !ok {
 		return 0, false
 	}
-	v := &a.verts[i]
-	return v.arr[rf][el].T, v.valid[rf][el]
+	k := ix4(i, rf, el)
+	return a.fArr[k].T, a.fValid[k]
 }
 
 // PinSlew returns the pin slew for the transition/side.
@@ -415,8 +455,8 @@ func (a *Analyzer) PinSlew(p *netlist.Pin, rf, el int) (units.Ps, bool) {
 	if !ok {
 		return 0, false
 	}
-	v := &a.verts[i]
-	return v.slew[rf][el], v.valid[rf][el]
+	k := ix4(i, rf, el)
+	return a.fSlew[k], a.fValid[k]
 }
 
 // PinSetupSlack returns the worst setup (late) slack at a pin from the
@@ -430,11 +470,11 @@ func (a *Analyzer) PinSetupSlack(p *netlist.Pin) units.Ps {
 }
 
 func (a *Analyzer) vertexSetupSlack(i int) units.Ps {
-	v := &a.verts[i]
 	s := math.Inf(1)
 	for rf := 0; rf < 2; rf++ {
-		if v.valid[rf][late] && v.reqValid[rf][late] {
-			if sl := v.req[rf][late] - v.arr[rf][late].T; sl < s {
+		k := ix4(i, rf, late)
+		if a.fValid[k] && a.rValid[k] {
+			if sl := a.fReq[k] - a.fArr[k].T; sl < s {
 				s = sl
 			}
 		}
@@ -473,8 +513,8 @@ func (a *Analyzer) PortArrival(p *netlist.Port, rf, el int) (units.Ps, bool) {
 	if !ok {
 		return 0, false
 	}
-	v := &a.verts[i]
-	return v.arr[rf][el].T, v.valid[rf][el]
+	k := ix4(i, rf, el)
+	return a.fArr[k].T, a.fValid[k]
 }
 
 // PortSlew returns a design port's slew.
@@ -483,8 +523,8 @@ func (a *Analyzer) PortSlew(p *netlist.Port, rf, el int) (units.Ps, bool) {
 	if !ok {
 		return 0, false
 	}
-	v := &a.verts[i]
-	return v.slew[rf][el], v.valid[rf][el]
+	k := ix4(i, rf, el)
+	return a.fSlew[k], a.fValid[k]
 }
 
 // PortSetupSlack returns the worst setup slack of all paths launched from an

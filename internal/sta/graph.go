@@ -80,6 +80,14 @@ type Config struct {
 	// bit-identical at every setting — each vertex is recomputed by exactly
 	// one goroutine from already-finalized earlier levels.
 	Workers int
+	// Topology, when non-nil, is a frozen graph built by a previous New on
+	// the same design (or a Clone of it) under shape-compatible libraries
+	// and constraints. Adopting it skips CSR construction, levelization and
+	// clock marking — the per-scenario cost MCMM surveys and timingd's
+	// dual-session snapshots avoid by sharing one read-only Topology. An
+	// incompatible value is detected and ignored (a private topology is
+	// built), so sharing can never change results.
+	Topology *Topology
 	// Obs, when non-nil, records spans and metrics for this analyzer's
 	// runs and incremental updates (see internal/obs). Recording never
 	// alters analysis results; nil disables it at ~zero cost.
@@ -95,6 +103,12 @@ const (
 	early = 0
 	late  = 1
 )
+
+// ix4 flattens (vertex, rf, el) into the 4-plane state arrays.
+func ix4(i, rf, el int) int { return i<<2 | rf<<1 | el }
+
+// ix2 flattens (vertex, rf) into the 2-plane endpoint-seed arrays.
+func ix2(i, rf int) int { return i<<1 | rf }
 
 // timeVar is an arrival value with accumulated variance (POCV/LVF).
 type timeVar struct {
@@ -124,74 +138,117 @@ type pred struct {
 	sigma float64
 }
 
-// vertex is one timing node: a cell pin or a design port.
-type vertex struct {
+// vref binds a vertex index back to its netlist object: a cell pin or a
+// design port. It is the only per-vertex pointer state left — everything
+// hot lives in the flat SoA arrays and the shared Topology.
+type vref struct {
 	pin  *netlist.Pin
 	port *netlist.Port
-
-	clockPath bool
-	isCKPin   bool
-
-	valid [2][2]bool // [rf][el]
-	arr   [2][2]timeVar
-	slew  [2][2]float64
-	depth [2][2]int
-	pred  [2][2]pred
-
-	reqValid [2][2]bool
-	req      [2][2]float64
-
-	// seedReq/seedValid record the endpoint-check required time seeded at
-	// this vertex by the backward pass (late analysis, per output rf), so
-	// incremental updates can detect when an endpoint's check moved.
-	seedReq   [2]float64
-	seedValid [2]bool
 }
 
-func (v *vertex) name() string {
-	if v.port != nil {
+// vname returns a printable vertex name.
+func (a *Analyzer) vname(i int) string {
+	if v := a.verts[i]; v.port != nil {
 		return "port:" + v.port.Name
 	}
-	return v.pin.FullName()
+	return a.verts[i].pin.FullName()
 }
 
-// netData caches per-net delay-calculation results for one Run.
+// netData caches per-net delay-calculation results for one Run, plus the
+// inputs they were computed from so an unchanged net skips the whole moment
+// computation on the next Run (the results are a pure function of the
+// source tree, the gathered sink caps and the analyzer's fixed config, so
+// reuse is bit-identical to recomputation).
 type netData struct {
 	tree     *parasitics.Tree // with pin caps, or nil (no parasitics)
-	loadCaps []float64
-	totalCap [2]float64 // [early|late] (differ when SI enabled)
+	totalCap [2]float64       // [early|late] (differ when SI enabled)
 	// per sink (net load order): wire delay and slew degradation
 	sinkDelay [2][]float64
 	sinkSlew  []float64
 	coupling  float64
+
+	// Delay-calc input key of the last fill.
+	srcTree  *parasitics.Tree
+	capsIn   []float64 // sink caps in load order (+ port load when bound)
+	capsTmp  []float64 // gather scratch, swapped with capsIn on refill
+	portSink bool
+	filled   bool
 }
 
-// netFanin records the single net edge feeding a load vertex: the driver
-// vertex and this vertex's sink index into the net's delay-calc results.
-// Output-pin vertices are instead fed by cell arcs, resolved live from the
-// cell's current master (so in-place Vt/drive swaps never leave stale arc
-// pointers behind).
-type netFanin struct {
-	driver int // -1 when the vertex is not fed by a net edge
-	net    *netlist.Net
-	sink   int
+// arcRef is one prebuilt cell-arc binding: the timing arc plus the vertex
+// at its other end (the input pin for an output pin's group, the output pin
+// for an input pin's group).
+type arcRef struct {
+	arc   *liberty.TimingArc
+	other int32
 }
 
 // Analyzer binds a design + constraints + config and runs timing.
+//
+// The analysis state is split structure-of-arrays style: the frozen
+// Topology holds connectivity, levels and clock marking (shareable across
+// scenario analyzers and design clones); the Analyzer holds the per-library
+// caches (resolved masters, arc groups, pin caps) and one contiguous flat
+// array per mutable quantity across all [rf][el] planes, reset by memclr
+// instead of per-vertex loops.
 type Analyzer struct {
 	D    *netlist.Design
 	Cons *Constraints
 	Cfg  Config
 
-	verts   []vertex
+	verts   []vref
 	pinIdx  map[*netlist.Pin]int
 	portIdx map[*netlist.Port]int
-	order   []int   // topological order
-	level   []int   // per-vertex longest-path level
-	levels  [][]int // vertices grouped by level (the wavefronts)
-	fanin   []netFanin
-	nets    map[*netlist.Net]*netData
+
+	topo       *Topology
+	sharedTopo bool
+
+	// Per-cell master caches: masters[i] is the resolved library cell for
+	// D.Cells[i], refreshed at every full Run and through InvalidateCell so
+	// in-place Vt/drive swaps never leave stale tables behind.
+	cells   []*netlist.Cell
+	cellIdx map[*netlist.Cell]int32
+	masters []*liberty.Cell
+	// Cell-arc groups per vertex (CSR): an output pin's group lists the
+	// arcs into it (in master Arcs order), an input pin's group the arcs
+	// out of it. Replaces the per-relax O(arcs) master scans.
+	arcOff []int32
+	arcs   []arcRef
+	// pinCap caches input-pin capacitance per vertex (master-resolved).
+	pinCap []float64
+
+	// faninNets resolves Topology.faninNet to this clone's net pointers.
+	faninNets []*netlist.Net
+
+	// Flat mutable per-run state, 4 planes per vertex (ix4 layout).
+	fValid []bool
+	fArr   []timeVar
+	fSlew  []float64
+	fDepth []int32
+	fPred  []pred
+	rValid []bool
+	fReq   []float64
+	// Endpoint-check seeds, 2 planes per vertex (ix2 layout), recorded so
+	// incremental updates can detect when an endpoint's check moved.
+	seedReq   []float64
+	seedValid []bool
+
+	// vnd binds each vertex to its relevant per-run net data: the driven
+	// net for output pins and input ports (pull side), the fanin net for
+	// input pins and output ports (relax side). Rebound every buildNets.
+	vnd  []*netData
+	nets map[*netlist.Net]*netData
+
 	zeroBuf []float64 // shared all-zero slice for lumped-net sink delays
+
+	// Reusable scratch for the serial required/update paths (never used by
+	// concurrent readers; public queries allocate their own).
+	epScratch   []EndpointSlack
+	bt          btScratch
+	fwQ, bwQ    *levelQueue
+	changed     []bool
+	changedList []int
+	newSeeds    map[int]seedRec
 
 	// Incremental re-timing state (see incremental.go).
 	dirtyNets   map[*netlist.Net]bool
@@ -215,6 +272,7 @@ type Analyzer struct {
 	obsConeVerts       *obs.Histogram // vertices recomputed per incremental Update
 	obsConeRatio       *obs.Histogram // recomputed / graph size per incremental Update
 	obsVertsRecomputed *obs.Counter
+	obsTopoShared      *obs.Counter // analyzers that adopted a shared Topology
 }
 
 // New builds the analysis graph. It fails on unknown cell masters or
@@ -230,40 +288,78 @@ func New(d *netlist.Design, cons *Constraints, cfg Config) (*Analyzer, error) {
 		D: d, Cons: cons, Cfg: cfg,
 		pinIdx:     make(map[*netlist.Pin]int),
 		portIdx:    make(map[*netlist.Port]int),
+		cellIdx:    make(map[*netlist.Cell]int32, len(d.Cells)),
 		nets:       make(map[*netlist.Net]*netData),
 		dirtyNets:  make(map[*netlist.Net]bool),
 		dirtyVerts: make(map[int]bool),
 		dirtyReq:   make(map[int]bool),
 	}
-	// Vertices: every cell pin, every port.
-	for _, c := range d.Cells {
-		master := a.master(c)
+	// Vertices: every cell pin, every port — in design iteration order, so
+	// numbering is identical across Clones (the sharing contract).
+	for ci, c := range d.Cells {
+		master := a.resolveMaster(c)
 		if master == nil {
 			return nil, fmt.Errorf("sta: cell %q has unknown master %q", c.Name, c.TypeName)
 		}
+		a.cells = append(a.cells, c)
+		a.cellIdx[c] = int32(ci)
+		a.masters = append(a.masters, master)
 		for _, p := range c.Pins {
 			a.pinIdx[p] = len(a.verts)
-			vx := vertex{pin: p}
-			// Only *sequential* clock pins terminate clock-network marking
-			// and receive useful-skew offsets; a clock-gating cell's CK pin
-			// is a through-point (the gated clock continues to the FFs).
-			if mp := master.Pin(p.Name); mp != nil && mp.IsClock && master.FF != nil {
-				vx.isCKPin = true
-			}
-			a.verts = append(a.verts, vx)
+			a.verts = append(a.verts, vref{pin: p})
 		}
 	}
 	for _, p := range d.Ports {
 		a.portIdx[p] = len(a.verts)
-		a.verts = append(a.verts, vertex{port: p})
+		a.verts = append(a.verts, vref{port: p})
 	}
-	if err := a.levelize(); err != nil {
-		return nil, err
+	if t := cfg.Topology; t != nil && t.compatible(a) {
+		a.topo = t
+		a.sharedTopo = true
+	} else {
+		t, err := a.buildTopologyCSR()
+		if err != nil {
+			return nil, err
+		}
+		a.topo = t
 	}
-	a.markClockPaths()
-	a.buildTopology()
+	a.buildArcGroups()
+	a.faninNets = make([]*netlist.Net, len(a.verts))
+	for i := range a.verts {
+		if ni := a.topo.faninNet[i]; ni >= 0 {
+			a.faninNets[i] = d.Nets[ni]
+		}
+	}
+	a.allocState()
 	a.bindObs()
+	if a.sharedTopo {
+		a.obsTopoShared.Add(1)
+	}
 	return a, nil
+}
+
+// Topology returns the analyzer's frozen graph half, for sharing with
+// other analyzers over the same design (or Clones of it) via
+// Config.Topology.
+func (a *Analyzer) Topology() *Topology { return a.topo }
+
+// SharedTopology reports whether this analyzer adopted a Config.Topology
+// rather than building its own (test/diagnostic hook).
+func (a *Analyzer) SharedTopology() bool { return a.sharedTopo }
+
+// allocState sizes the flat SoA state arrays.
+func (a *Analyzer) allocState() {
+	n := len(a.verts)
+	a.fValid = make([]bool, 4*n)
+	a.fArr = make([]timeVar, 4*n)
+	a.fSlew = make([]float64, 4*n)
+	a.fDepth = make([]int32, 4*n)
+	a.fPred = make([]pred, 4*n)
+	a.rValid = make([]bool, 4*n)
+	a.fReq = make([]float64, 4*n)
+	a.seedReq = make([]float64, 2*n)
+	a.seedValid = make([]bool, 2*n)
+	a.vnd = make([]*netData, n)
 }
 
 // bindObs registers and caches this analyzer's instruments. Registration
@@ -284,65 +380,15 @@ func (a *Analyzer) bindObs() {
 	a.obsConeVerts = r.Histogram("sta.update.cone_vertices", 1, 4, 16, 64, 256, 1024, 4096, 16384)
 	a.obsConeRatio = r.Histogram("sta.update.cone_ratio", 0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1)
 	a.obsVertsRecomputed = r.Counter("sta.update.vertices_recomputed")
+	a.obsTopoShared = r.Counter("sta.topology_shared")
 	r.Gauge("sta.graph_vertices").Set(float64(len(a.verts)))
-	r.Gauge("sta.graph_levels").Set(float64(len(a.levels)))
+	r.Gauge("sta.graph_levels").Set(float64(a.topo.NumLevels()))
 }
 
-// buildTopology derives the pull-side view of the graph: per-vertex net
-// fanins and longest-path levels. Vertices on the same level have no edges
-// between them, so a level is a safe parallel wavefront; every fanin of a
-// vertex sits at a strictly lower level.
-func (a *Analyzer) buildTopology() {
-	n := len(a.verts)
-	a.fanin = make([]netFanin, n)
-	for i := range a.fanin {
-		a.fanin[i].driver = -1
-	}
-	for _, nl := range a.D.Nets {
-		di := -1
-		if nl.Driver != nil {
-			if i, ok := a.pinIdx[nl.Driver]; ok {
-				di = i
-			}
-		} else if nl.Port != nil && nl.Port.Dir == netlist.Input {
-			if i, ok := a.portIdx[nl.Port]; ok {
-				di = i
-			}
-		}
-		if di < 0 {
-			continue
-		}
-		for si, l := range nl.Loads {
-			a.fanin[a.pinIdx[l]] = netFanin{driver: di, net: nl, sink: si}
-		}
-		if p := nl.Port; p != nil && p.Dir == netlist.Output {
-			a.fanin[a.portIdx[p]] = netFanin{driver: di, net: nl, sink: len(nl.Loads)}
-		}
-	}
-	a.level = make([]int, n)
-	for _, i := range a.order {
-		li := a.level[i]
-		a.successors(i, func(j int) {
-			if li+1 > a.level[j] {
-				a.level[j] = li + 1
-			}
-		})
-	}
-	maxL := 0
-	for _, l := range a.level {
-		if l > maxL {
-			maxL = l
-		}
-	}
-	a.levels = make([][]int, maxL+1)
-	for _, i := range a.order {
-		a.levels[a.level[i]] = append(a.levels[a.level[i]], i)
-	}
-}
-
-// master returns the library master of a cell (known valid after New),
-// honoring per-cell (voltage-domain) library bindings.
-func (a *Analyzer) master(c *netlist.Cell) *liberty.Cell {
+// resolveMaster looks up a cell's library master, honoring per-cell
+// (voltage-domain) library bindings — the one place the LibFor/Lib.Cell
+// fallback dance lives.
+func (a *Analyzer) resolveMaster(c *netlist.Cell) *liberty.Cell {
 	if a.Cfg.LibFor != nil {
 		if l := a.Cfg.LibFor(c); l != nil {
 			if m := l.Cell(c.TypeName); m != nil {
@@ -353,9 +399,171 @@ func (a *Analyzer) master(c *netlist.Cell) *liberty.Cell {
 	return a.Cfg.Lib.Cell(c.TypeName)
 }
 
-// successors invokes fn for every timing edge out of vertex i.
+// master returns the library master of a cell (known valid after New) from
+// the per-cell cache; cells outside the analyzed design resolve live.
+func (a *Analyzer) master(c *netlist.Cell) *liberty.Cell {
+	if i, ok := a.cellIdx[c]; ok {
+		return a.masters[i]
+	}
+	return a.resolveMaster(c)
+}
+
+// refreshMasters re-resolves every cell's master at the start of a full
+// Run, preserving the pre-SoA live-resolution semantics: a SetType that was
+// never flagged through InvalidateCell is still picked up by the next Run.
+// A changed master with the same arc shape patches its arc groups and pin
+// caps in place; a shape change (different From/To pairs) rebuilds the arc
+// groups and privatizes the topology, since the shared CSR no longer
+// matches.
+func (a *Analyzer) refreshMasters() {
+	reshaped := false
+	for ci, c := range a.cells {
+		m := a.resolveMaster(c)
+		if m == a.masters[ci] {
+			continue
+		}
+		if m == nil {
+			// Unknown master: fail the same way the live resolution did, at
+			// first use.
+			a.masters[ci] = nil
+			continue
+		}
+		if a.masters[ci] != nil && !sameArcShape(a.masters[ci], m) {
+			reshaped = true
+		}
+		a.masters[ci] = m
+		if !reshaped {
+			a.refreshCellCaches(int32(ci), m)
+		}
+	}
+	if reshaped {
+		if t, err := a.buildTopologyCSR(); err == nil {
+			a.topo, a.sharedTopo = t, false
+		}
+		a.buildArcGroups()
+	}
+}
+
+// refreshCellCaches re-derives one cell's pin caps and arc-group pointers
+// from master m, which must have the same arc shape as the group was built
+// from.
+func (a *Analyzer) refreshCellCaches(ci int32, m *liberty.Cell) {
+	c := a.cells[ci]
+	for _, p := range c.Pins {
+		i, ok := a.pinIdx[p]
+		if !ok {
+			continue
+		}
+		if p.Dir == netlist.Input {
+			a.pinCap[i] = m.InputCap(p.Name)
+		}
+		a.fillVertexArcs(i, m)
+	}
+}
+
+// fillVertexArcs rewrites vertex i's prebuilt arc group in place from
+// master m. Group sizes cannot change under sameArcShape with an unchanged
+// pin set, so the CSR layout stays valid.
+func (a *Analyzer) fillVertexArcs(i int, m *liberty.Cell) {
+	v := a.verts[i]
+	k := a.arcOff[i]
+	end := a.arcOff[i+1]
+	if v.pin.Dir == netlist.Output {
+		for ai := range m.Arcs {
+			arc := &m.Arcs[ai]
+			if arc.To != v.pin.Name {
+				continue
+			}
+			in := v.pin.Cell.Pin(arc.From)
+			if in == nil {
+				continue
+			}
+			if k < end {
+				a.arcs[k] = arcRef{arc: arc, other: int32(a.pinIdx[in])}
+			}
+			k++
+		}
+	} else {
+		for ai := range m.Arcs {
+			arc := &m.Arcs[ai]
+			if arc.From != v.pin.Name {
+				continue
+			}
+			out := v.pin.Cell.Pin(arc.To)
+			if out == nil {
+				continue
+			}
+			if k < end {
+				a.arcs[k] = arcRef{arc: arc, other: int32(a.pinIdx[out])}
+			}
+			k++
+		}
+	}
+	if k != end {
+		// Resolvable arc count moved (renamed pins): the prebuilt groups no
+		// longer describe the cell; force the next Update to a full Run,
+		// which rebuilds them.
+		a.structDirty = true
+	}
+}
+
+// buildArcGroups lays out the combined cell-arc CSR and the input-pin cap
+// cache from the current masters.
+func (a *Analyzer) buildArcGroups() {
+	n := len(a.verts)
+	if a.arcOff == nil {
+		a.arcOff = make([]int32, n+1)
+		a.pinCap = make([]float64, n)
+	}
+	a.arcs = a.arcs[:0]
+	for i := 0; i < n; i++ {
+		a.arcOff[i] = int32(len(a.arcs))
+		v := a.verts[i]
+		if v.pin == nil {
+			continue
+		}
+		m := a.masters[a.topo.cellOf[i]]
+		if v.pin.Dir == netlist.Input {
+			a.pinCap[i] = m.InputCap(v.pin.Name)
+			for ai := range m.Arcs {
+				arc := &m.Arcs[ai]
+				if arc.From != v.pin.Name {
+					continue
+				}
+				if out := v.pin.Cell.Pin(arc.To); out != nil {
+					a.arcs = append(a.arcs, arcRef{arc: arc, other: int32(a.pinIdx[out])})
+				}
+			}
+		} else {
+			for ai := range m.Arcs {
+				arc := &m.Arcs[ai]
+				if arc.To != v.pin.Name {
+					continue
+				}
+				if in := v.pin.Cell.Pin(arc.From); in != nil {
+					a.arcs = append(a.arcs, arcRef{arc: arc, other: int32(a.pinIdx[in])})
+				}
+			}
+		}
+	}
+	a.arcOff[n] = int32(len(a.arcs))
+}
+
+// successors invokes fn for every timing edge out of vertex i, from the
+// frozen CSR.
 func (a *Analyzer) successors(i int, fn func(j int)) {
-	v := &a.verts[i]
+	t := a.topo
+	for _, j := range t.succ[t.succOff[i]:t.succOff[i+1]] {
+		fn(int(j))
+	}
+}
+
+// successorsPointerWalk enumerates vertex i's timing edges by walking the
+// netlist and master-arc pointers — the pre-SoA enumeration the CSR is
+// frozen from. Kept as the independent reference for the CSR equivalence
+// property test.
+func (a *Analyzer) successorsPointerWalk(i int, fn func(j int)) {
+	v := a.verts[i]
 	switch {
 	case v.port != nil && v.port.Dir == netlist.Input:
 		for _, l := range v.port.Net.Loads {
@@ -383,68 +591,22 @@ func (a *Analyzer) successors(i int, fn func(j int)) {
 	}
 }
 
-// levelize computes a topological order via Kahn's algorithm; a leftover
-// vertex means a combinational cycle.
-func (a *Analyzer) levelize() error {
-	n := len(a.verts)
-	indeg := make([]int, n)
-	for i := range a.verts {
-		a.successors(i, func(j int) { indeg[j]++ })
-	}
-	queue := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		if indeg[i] == 0 {
-			queue = append(queue, i)
-		}
-	}
-	a.order = a.order[:0]
-	for len(queue) > 0 {
-		i := queue[0]
-		queue = queue[1:]
-		a.order = append(a.order, i)
-		a.successors(i, func(j int) {
-			indeg[j]--
-			if indeg[j] == 0 {
-				queue = append(queue, j)
-			}
-		})
-	}
-	if len(a.order) != n {
-		for i, d := range indeg {
-			if d > 0 {
-				return fmt.Errorf("sta: combinational cycle through %s", a.verts[i].name())
-			}
-		}
-	}
-	return nil
-}
+// SuccessorsCSR invokes fn for every edge out of vertex i from the frozen
+// CSR (test hook).
+func (a *Analyzer) SuccessorsCSR(i int, fn func(j int)) { a.successors(i, fn) }
 
-// markClockPaths flags vertices reachable from clock roots without passing
-// through a flip-flop's CK pin (the clock network proper plus the CK pins
-// themselves).
-func (a *Analyzer) markClockPaths() {
-	if a.Cons == nil {
-		return
-	}
-	var stack []int
-	for _, ck := range a.Cons.Clocks {
-		for _, r := range ck.Roots {
-			if i, ok := a.portIdx[r]; ok {
-				stack = append(stack, i)
-			}
-		}
-	}
-	for len(stack) > 0 {
-		i := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		v := &a.verts[i]
-		if v.clockPath {
-			continue
-		}
-		v.clockPath = true
-		if v.isCKPin {
-			continue // stop at sequential clock pins; Q launch is data
-		}
-		a.successors(i, func(j int) { stack = append(stack, j) })
-	}
+// SuccessorsPointerWalk invokes fn for every edge out of vertex i by the
+// pre-SoA pointer walk (test hook; reference for CSR equivalence).
+func (a *Analyzer) SuccessorsPointerWalk(i int, fn func(j int)) { a.successorsPointerWalk(i, fn) }
+
+// NumVerts returns the analyzer's vertex count (test hook).
+func (a *Analyzer) NumVerts() int { return len(a.verts) }
+
+// FaninEdge returns the net edge feeding vertex i: the driver vertex, the
+// net, and i's sink index in that net's delay results (driver -1 when the
+// vertex is fed by cell arcs or seeds only). Test hook for the CSR fanin
+// equivalence property.
+func (a *Analyzer) FaninEdge(i int) (driver int, net *netlist.Net, sink int) {
+	t := a.topo
+	return int(t.faninDriver[i]), a.faninNets[i], int(t.faninSink[i])
 }

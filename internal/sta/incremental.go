@@ -24,11 +24,32 @@ func (a *Analyzer) InvalidateNet(n *netlist.Net) {
 // InvalidateCell marks cell c's timing stale after an in-place master swap
 // (SetType to a variant with identical pin names and directions): the nets
 // driving its inputs see new pin caps, its output vertices get new arc
-// tables, and its input pins' required times depend on those tables.
+// tables, and its input pins' required times depend on those tables. It is
+// also the invalidation seam for the per-cell master cache: the cached
+// index entry, pin caps and prebuilt arc groups are refreshed here, so the
+// following Update reads the new master everywhere the old code resolved it
+// live.
 func (a *Analyzer) InvalidateCell(c *netlist.Cell) {
-	if a.master(c) == nil {
+	m := a.resolveMaster(c)
+	if m == nil {
 		a.structDirty = true
 		return
+	}
+	ci, ok := a.cellIdx[c]
+	if !ok {
+		a.structDirty = true
+		return
+	}
+	if m != a.masters[ci] {
+		if a.masters[ci] != nil && !sameArcShape(a.masters[ci], m) {
+			// The arc footprint moved: prebuilt groups and the CSR no
+			// longer describe the cell. Leave the cache stale — the full
+			// Run this forces re-resolves and rebuilds everything.
+			a.structDirty = true
+			return
+		}
+		a.masters[ci] = m
+		a.refreshCellCaches(ci, m)
 	}
 	for _, p := range c.Pins {
 		i, ok := a.pinIdx[p]
@@ -94,7 +115,7 @@ func (a *Analyzer) incrementalSafe() bool {
 			if !ok {
 				return false
 			}
-			if nf := a.fanin[i]; nf.net != n || nf.sink != si {
+			if a.faninNets[i] != n || int(a.topo.faninSink[i]) != si {
 				return false
 			}
 		}
@@ -105,24 +126,39 @@ func (a *Analyzer) incrementalSafe() bool {
 // levelQueue is a deduplicating worklist bucketed by topological level.
 // Forward sweeps drain ascending (pushes go to higher levels only);
 // backward sweeps drain descending (pushes go to lower levels only), so a
-// bucket is never appended to after it has been drained.
+// bucket is never appended to after it has been drained. The queue is
+// reused across Updates: reset bumps the generation instead of clearing
+// the per-vertex marks.
 type levelQueue struct {
-	buckets  [][]int
-	enqueued []bool
+	buckets [][]int
+	mark    []uint32
+	gen     uint32
 }
 
 func (a *Analyzer) newLevelQueue() *levelQueue {
 	return &levelQueue{
-		buckets:  make([][]int, len(a.levels)),
-		enqueued: make([]bool, len(a.verts)),
+		buckets: make([][]int, a.topo.NumLevels()),
+		mark:    make([]uint32, len(a.verts)),
+		gen:     1,
+	}
+}
+
+func (q *levelQueue) reset() {
+	q.gen++
+	if q.gen == 0 { // wrapped: marks are ambiguous, clear them
+		clear(q.mark)
+		q.gen = 1
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
 	}
 }
 
 func (q *levelQueue) push(i, level int) {
-	if q.enqueued[i] {
+	if q.mark[i] == q.gen {
 		return
 	}
-	q.enqueued[i] = true
+	q.mark[i] = q.gen
 	q.buckets[level] = append(q.buckets[level], i)
 }
 
@@ -130,52 +166,70 @@ func (q *levelQueue) push(i, level int) {
 // pred is deliberately excluded: it is derived alongside these values and
 // cannot change while they stay bit-identical.
 type fwdState struct {
-	valid [2][2]bool
-	arr   [2][2]timeVar
-	slew  [2][2]float64
-	depth [2][2]int
+	valid [4]bool
+	arr   [4]timeVar
+	slew  [4]float64
+	depth [4]int32
 }
 
-func snapshotFwd(v *vertex) fwdState {
-	return fwdState{valid: v.valid, arr: v.arr, slew: v.slew, depth: v.depth}
+func (a *Analyzer) snapshotFwd(i int) (s fwdState) {
+	k := ix4(i, 0, 0)
+	copy(s.valid[:], a.fValid[k:k+4])
+	copy(s.arr[:], a.fArr[k:k+4])
+	copy(s.slew[:], a.fSlew[k:k+4])
+	copy(s.depth[:], a.fDepth[k:k+4])
+	return s
 }
 
-func (s fwdState) changed(v *vertex) bool {
-	return s.valid != v.valid || s.arr != v.arr || s.slew != v.slew || s.depth != v.depth
+func (a *Analyzer) fwdChanged(i int, s fwdState) bool {
+	k := ix4(i, 0, 0)
+	for p := 0; p < 4; p++ {
+		if s.valid[p] != a.fValid[k+p] || s.arr[p] != a.fArr[k+p] ||
+			s.slew[p] != a.fSlew[k+p] || s.depth[p] != a.fDepth[k+p] {
+			return true
+		}
+	}
+	return false
 }
 
 type reqState struct {
-	valid [2][2]bool
-	req   [2][2]float64
+	valid [4]bool
+	req   [4]float64
 }
 
-func snapshotReq(v *vertex) reqState {
-	return reqState{valid: v.reqValid, req: v.req}
+func (a *Analyzer) snapshotReq(i int) (s reqState) {
+	k := ix4(i, 0, 0)
+	copy(s.valid[:], a.rValid[k:k+4])
+	copy(s.req[:], a.fReq[k:k+4])
+	return s
 }
 
-func (s reqState) changed(v *vertex) bool {
-	return s.valid != v.reqValid || s.req != v.req
+func (a *Analyzer) reqChanged(i int, s reqState) bool {
+	k := ix4(i, 0, 0)
+	for p := 0; p < 4; p++ {
+		if s.valid[p] != a.rValid[k+p] || s.req[p] != a.fReq[k+p] {
+			return true
+		}
+	}
+	return false
+}
+
+// seedRec is one endpoint's re-derived required seed (per transition).
+type seedRec struct {
+	val   [2]float64
+	valid [2]bool
 }
 
 // pushFanins invokes fn for every timing edge *into* vertex i — the
-// reverse of successors.
+// reverse of successors: the driving net edge plus, for an output pin, the
+// prebuilt arc group's input pins.
 func (a *Analyzer) pushFanins(i int, fn func(j int)) {
-	if nf := a.fanin[i]; nf.driver >= 0 {
-		fn(nf.driver)
+	if d := a.topo.faninDriver[i]; d >= 0 {
+		fn(int(d))
 	}
-	v := &a.verts[i]
-	if v.pin != nil && v.pin.Dir == netlist.Output {
-		c := v.pin.Cell
-		m := a.master(c)
-		for k := range m.Arcs {
-			if m.Arcs[k].To != v.pin.Name {
-				continue
-			}
-			if in := c.Pin(m.Arcs[k].From); in != nil {
-				if j, ok := a.pinIdx[in]; ok {
-					fn(j)
-				}
-			}
+	if a.topo.kind[i] == vkOutPin {
+		for _, ar := range a.arcs[a.arcOff[i]:a.arcOff[i+1]] {
+			fn(int(ar.other))
 		}
 	}
 }
@@ -217,8 +271,13 @@ func (a *Analyzer) Update() error {
 	// (wire delay), retyped cells touch their output pins (arc tables) —
 	// then sweep ascending; a vertex whose recomputed state is unchanged
 	// does not wake its fanout.
-	fw := a.newLevelQueue()
-	seedFwd := func(i int) { fw.push(i, a.level[i]) }
+	if a.fwQ == nil {
+		a.fwQ = a.newLevelQueue()
+	}
+	fw := a.fwQ
+	fw.reset()
+	level := a.topo.level
+	seedFwd := func(i int) { fw.push(i, int(level[i])) }
 	for n := range a.dirtyNets {
 		if d := a.netDriverVertex(n); d >= 0 {
 			seedFwd(d)
@@ -233,20 +292,26 @@ func (a *Analyzer) Update() error {
 	for i := range a.dirtyVerts {
 		seedFwd(i)
 	}
-	changedFwd := map[int]bool{}
+	a.changedList = a.changedList[:0]
+	if a.changed == nil {
+		a.changed = make([]bool, len(a.verts))
+	}
 	for li := 0; li < len(fw.buckets); li++ {
 		if err := a.canceled(); err != nil {
 			return abort(err)
 		}
 		for _, i := range fw.buckets[li] {
-			old := snapshotFwd(&a.verts[i])
+			old := a.snapshotFwd(i)
 			a.resetForward(i)
 			a.seedVertex(i)
 			a.relaxVertex(i)
 			recomputed++
-			if old.changed(&a.verts[i]) {
-				changedFwd[i] = true
-				a.successors(i, func(j int) { fw.push(j, a.level[j]) })
+			if a.fwdChanged(i, old) {
+				if !a.changed[i] {
+					a.changed[i] = true
+					a.changedList = append(a.changedList, i)
+				}
+				a.successors(i, func(j int) { fw.push(j, int(level[j])) })
 			}
 		}
 	}
@@ -258,47 +323,52 @@ func (a *Analyzer) Update() error {
 	// cells' input pins), or (d) a successor's required time moved —
 	// discovered during the descending sweep.
 	if a.Cons != nil {
-		bw := a.newLevelQueue()
-		seedBwd := func(i int) { bw.push(i, a.level[i]) }
-		// Re-derive endpoint seeds from the (already final) new arrivals.
-		type seedRec struct {
-			val   [2]float64
-			valid [2]bool
+		if a.bwQ == nil {
+			a.bwQ = a.newLevelQueue()
 		}
-		newSeeds := map[int]seedRec{}
-		for _, e := range a.EndpointSlacks(Setup) {
+		bw := a.bwQ
+		bw.reset()
+		seedBwd := func(i int) { bw.push(i, int(level[i])) }
+		// Re-derive endpoint seeds from the (already final) new arrivals.
+		if a.newSeeds == nil {
+			a.newSeeds = map[int]seedRec{}
+		}
+		clear(a.newSeeds)
+		a.epScratch = a.endpointSlacksInto(Setup, a.epScratch[:0], &a.bt)
+		for _, e := range a.epScratch {
 			var i int
 			if e.Pin != nil {
 				i = a.pinIdx[e.Pin]
 			} else {
 				i = a.portIdx[e.Port]
 			}
-			r := a.verts[i].arr[e.RF][late].T + e.Slack
-			rec := newSeeds[i]
+			r := a.fArr[ix4(i, e.RF, late)].T + e.Slack
+			rec := a.newSeeds[i]
 			if !rec.valid[e.RF] || r < rec.val[e.RF] {
 				rec.val[e.RF] = r
 				rec.valid[e.RF] = true
 			}
-			newSeeds[i] = rec
+			a.newSeeds[i] = rec
 		}
 		for i := range a.verts {
-			v := &a.verts[i]
-			rec, ok := newSeeds[i]
+			kr, kf := ix2(i, rise), ix2(i, fall)
+			rec, ok := a.newSeeds[i]
 			if !ok {
-				if v.seedValid != ([2]bool{}) {
-					v.seedValid = [2]bool{}
-					v.seedReq = [2]float64{}
+				if a.seedValid[kr] || a.seedValid[kf] {
+					a.seedValid[kr], a.seedValid[kf] = false, false
+					a.seedReq[kr], a.seedReq[kf] = 0, 0
 					seedBwd(i)
 				}
 				continue
 			}
-			if rec.valid != v.seedValid || rec.val != v.seedReq {
-				v.seedValid = rec.valid
-				v.seedReq = rec.val
+			if rec.valid[rise] != a.seedValid[kr] || rec.valid[fall] != a.seedValid[kf] ||
+				rec.val[rise] != a.seedReq[kr] || rec.val[fall] != a.seedReq[kf] {
+				a.seedValid[kr], a.seedValid[kf] = rec.valid[rise], rec.valid[fall]
+				a.seedReq[kr], a.seedReq[kf] = rec.val[rise], rec.val[fall]
 				seedBwd(i)
 			}
 		}
-		for i := range changedFwd {
+		for _, i := range a.changedList {
 			seedBwd(i)
 		}
 		for i := range a.dirtyReq {
@@ -312,8 +382,8 @@ func (a *Analyzer) Update() error {
 			seedBwd(d)
 			// The driver cell's input pins see the dirty net's new total
 			// cap through their backward arc-delay recomputation.
-			if dv := &a.verts[d]; dv.pin != nil {
-				for _, p := range dv.pin.Cell.Pins {
+			if dp := a.verts[d].pin; dp != nil {
+				for _, p := range dp.Cell.Pins {
 					if p.Dir != netlist.Input {
 						continue
 					}
@@ -328,14 +398,17 @@ func (a *Analyzer) Update() error {
 				return abort(err)
 			}
 			for _, i := range bw.buckets[li] {
-				old := snapshotReq(&a.verts[i])
+				old := a.snapshotReq(i)
 				a.recomputeRequired(i)
 				recomputed++
-				if old.changed(&a.verts[i]) {
-					a.pushFanins(i, func(j int) { bw.push(j, a.level[j]) })
+				if a.reqChanged(i, old) {
+					a.pushFanins(i, func(j int) { bw.push(j, int(level[j])) })
 				}
 			}
 		}
+	}
+	for _, i := range a.changedList {
+		a.changed[i] = false
 	}
 	a.clearDirty()
 	a.obsVertsRecomputed.Add(int64(recomputed))
@@ -350,13 +423,15 @@ func (a *Analyzer) Update() error {
 // recomputeRequired rebuilds vertex i's required times from scratch: its
 // recorded endpoint seed plus a pull from its (final) successors.
 func (a *Analyzer) recomputeRequired(i int) {
-	v := &a.verts[i]
-	v.reqValid = [2][2]bool{}
-	v.req = [2][2]float64{}
+	k := ix4(i, 0, 0)
+	for p := k; p < k+4; p++ {
+		a.rValid[p] = false
+		a.fReq[p] = 0
+	}
 	for rf := 0; rf < 2; rf++ {
-		if v.seedValid[rf] {
-			v.req[rf][late] = v.seedReq[rf]
-			v.reqValid[rf][late] = true
+		if a.seedValid[ix2(i, rf)] {
+			a.fReq[ix4(i, rf, late)] = a.seedReq[ix2(i, rf)]
+			a.rValid[ix4(i, rf, late)] = true
 		}
 	}
 	a.pullRequired(i)

@@ -19,14 +19,15 @@ func compareState(t *testing.T, got, want *Analyzer, ctx string) {
 		t.Fatalf("%s: vertex count %d vs %d", ctx, len(got.verts), len(want.verts))
 	}
 	for i := range got.verts {
-		g, w := &got.verts[i], &want.verts[i]
-		if g.valid != w.valid || g.arr != w.arr || g.slew != w.slew || g.depth != w.depth {
-			t.Fatalf("%s: forward state differs at %s:\n got  valid=%v arr=%v slew=%v depth=%v\n want valid=%v arr=%v slew=%v depth=%v",
-				ctx, g.name(), g.valid, g.arr, g.slew, g.depth, w.valid, w.arr, w.slew, w.depth)
+		g, w := got.snapshotFwd(i), want.snapshotFwd(i)
+		if g != w {
+			t.Fatalf("%s: forward state differs at %s:\n got  %+v\n want %+v",
+				ctx, got.vname(i), g, w)
 		}
-		if g.reqValid != w.reqValid || g.req != w.req {
-			t.Fatalf("%s: required state differs at %s:\n got  reqValid=%v req=%v\n want reqValid=%v req=%v",
-				ctx, g.name(), g.reqValid, g.req, w.reqValid, w.req)
+		gr, wr := got.snapshotReq(i), want.snapshotReq(i)
+		if gr != wr {
+			t.Fatalf("%s: required state differs at %s:\n got  %+v\n want %+v",
+				ctx, got.vname(i), gr, wr)
 		}
 	}
 	for _, check := range []CheckKind{Setup, Hold} {

@@ -25,11 +25,10 @@ func (a *Analyzer) PathsWithin(e EndpointSlack, window units.Ps, maxPaths int) [
 	} else {
 		endV = a.portIdx[e.Port]
 	}
-	ev := &a.verts[endV]
-	if !ev.valid[e.RF][late] {
+	if !a.fValid[ix4(endV, e.RF, late)] {
 		return nil
 	}
-	worst := ev.arr[e.RF][late].T
+	worst := a.fArr[ix4(endV, e.RF, late)].T
 	floor := worst - window
 
 	// Backward DFS enumerating suffix arrivals: a partial path from the
@@ -50,22 +49,22 @@ func (a *Analyzer) PathsWithin(e EndpointSlack, window units.Ps, maxPaths int) [
 		if len(out) >= maxPaths {
 			return
 		}
-		v := &a.verts[fr.v]
-		pr := v.pred[fr.rf][late]
-		if pr.v < 0 || !v.valid[fr.rf][late] {
+		k := ix4(fr.v, fr.rf, late)
+		pr := a.fPred[k]
+		if pr.v < 0 || !a.fValid[k] {
 			// Reached a source: emit the path (steps are endpoint-first).
-			p := Path{Endpoint: e, GBASlack: e.Slack + (worst - (v.arr[fr.rf][late].T + fr.suffix))}
+			p := Path{Endpoint: e, GBASlack: e.Slack + (worst - (a.fArr[k].T + fr.suffix))}
 			p.Steps = append(p.Steps, PathStep{
-				Name: v.name(), RF: fr.rf,
-				Arrival: v.arr[fr.rf][late].T,
-				Slew:    v.slew[fr.rf][late],
+				Name: a.vname(fr.v), RF: fr.rf,
+				Arrival: a.fArr[k].T,
+				Slew:    a.fSlew[k],
 				vid:     fr.v,
 			})
 			for i := len(steps) - 1; i >= 0; i-- {
 				p.Steps = append(p.Steps, steps[i])
 			}
 			// Recompute cumulative arrivals along this specific path.
-			cum := v.arr[fr.rf][late].T
+			cum := a.fArr[k].T
 			for i := 1; i < len(p.Steps); i++ {
 				cum += p.Steps[i].Delay
 				p.Steps[i].Arrival = cum
@@ -74,20 +73,20 @@ func (a *Analyzer) PathsWithin(e EndpointSlack, window units.Ps, maxPaths int) [
 			return
 		}
 		for _, in := range a.inEdgesLate(fr.v, fr.rf) {
-			u := &a.verts[in.v]
-			if !u.valid[in.rf][late] {
+			ku := ix4(in.v, in.rf, late)
+			if !a.fValid[ku] {
 				continue
 			}
-			total := u.arr[in.rf][late].T + in.delay + fr.suffix
+			total := a.fArr[ku].T + in.delay + fr.suffix
 			if total < floor-1e-9 {
 				continue
 			}
 			st := PathStep{
-				Name: a.verts[fr.v].name(), RF: fr.rf, Delay: in.delay,
-				IsCell: in.cell, Slew: a.verts[fr.v].slew[fr.rf][late],
+				Name: a.vname(fr.v), RF: fr.rf, Delay: in.delay,
+				IsCell: in.cell, Slew: a.fSlew[k],
 				vid: fr.v, arc: in.arc,
 			}
-			if vv := &a.verts[fr.v]; vv.pin != nil {
+			if vv := a.verts[fr.v]; vv.pin != nil {
 				st.Cell = vv.pin.Cell
 				if !in.cell {
 					st.Net = vv.pin.Net
@@ -123,10 +122,10 @@ type inEdge struct {
 // with delays recomputed exactly as the forward late pass used them,
 // ordered by decreasing (source arrival + delay).
 func (a *Analyzer) inEdgesLate(i, rf int) []inEdge {
-	v := &a.verts[i]
+	v := a.verts[i]
 	var out []inEdge
-	switch {
-	case v.pin != nil && v.pin.Dir == netlist.Input, v.port != nil && v.port.Dir == netlist.Output:
+	switch a.topo.kind[i] {
+	case vkInPin, vkOutPort:
 		// Net edge from the driver.
 		var net *netlist.Net
 		if v.pin != nil {
@@ -147,52 +146,41 @@ func (a *Analyzer) inEdgesLate(i, rf int) []inEdge {
 		if srcV < 0 || nd == nil {
 			return nil
 		}
-		sink := a.sinkIndexOf(net, v)
+		sink := a.sinkIndexOf(net, i)
 		if sink < 0 || sink >= len(nd.sinkDelay[late]) {
 			return nil
 		}
-		sv := &a.verts[srcV]
 		extra := 0.0
-		if v.isCKPin && a.Cons != nil {
+		if a.topo.isCKPin[i] && a.Cons != nil {
 			extra = a.Cons.ExtraCKLatency[v.pin.Cell]
 			if s := a.Cfg.CKLatencyScale; s > 0 {
 				extra *= s
 			}
 		}
-		f := a.Cfg.Derate.Factor(NetDelay, sv.clockPath, true, sv.depth[rf][late])
+		f := a.Cfg.Derate.Factor(NetDelay, a.topo.clockPath[srcV], true, int(a.fDepth[ix4(srcV, rf, late)]))
 		out = append(out, inEdge{v: srcV, rf: rf, delay: nd.sinkDelay[late][sink]*f + extra})
-	case v.pin != nil && v.pin.Dir == netlist.Output:
-		c := v.pin.Cell
-		m := a.master(c)
+	case vkOutPin:
 		nd := a.nets[v.pin.Net]
-		for k := range m.Arcs {
-			arc := &m.Arcs[k]
-			if arc.To != v.pin.Name {
-				continue
-			}
-			from := c.Pin(arc.From)
-			if from == nil {
-				continue
-			}
-			fv := a.pinIdx[from]
-			for _, rfIn := range inTransitions(arc.Sense, rf) {
-				if !a.verts[fv].valid[rfIn][late] {
+		for _, ar := range a.arcs[a.arcOff[i]:a.arcOff[i+1]] {
+			fv := int(ar.other)
+			for _, rfIn := range inTransitions(ar.arc.Sense, rf) {
+				if !a.fValid[ix4(fv, rfIn, late)] {
 					continue
 				}
-				d := a.lateArcDelay(arc, &a.verts[fv], rfIn, rf, nd)
-				out = append(out, inEdge{v: fv, rf: rfIn, delay: d, cell: true, arc: arc})
+				d := a.lateArcDelay(ar.arc, fv, rfIn, rf, nd)
+				out = append(out, inEdge{v: fv, rf: rfIn, delay: d, cell: true, arc: ar.arc})
 			}
 		}
 	}
 	sort.SliceStable(out, func(x, y int) bool {
-		ax := a.verts[out[x].v].arr[out[x].rf][late].T + out[x].delay
-		ay := a.verts[out[y].v].arr[out[y].rf][late].T + out[y].delay
+		ax := a.fArr[ix4(out[x].v, out[x].rf, late)].T + out[x].delay
+		ay := a.fArr[ix4(out[y].v, out[y].rf, late)].T + out[y].delay
 		return ax > ay
 	})
 	return out
 }
 
-// inTransitions inverts outTransitions: which input transitions produce the
+// inTransitions inverts senseOuts: which input transitions produce the
 // given output transition through an arc's sense.
 func inTransitions(s liberty.ArcSense, rfOut int) []int {
 	switch s {
@@ -205,11 +193,11 @@ func inTransitions(s liberty.ArcSense, rfOut int) []int {
 	}
 }
 
-// sinkIndexOf locates a vertex's sink index on a net.
-func (a *Analyzer) sinkIndexOf(net *netlist.Net, v *vertex) int {
-	if v.pin != nil {
+// sinkIndexOf locates vertex i's sink index on a net.
+func (a *Analyzer) sinkIndexOf(net *netlist.Net, i int) int {
+	if p := a.verts[i].pin; p != nil {
 		for si, l := range net.Loads {
-			if l == v.pin {
+			if l == p {
 				return si
 			}
 		}

@@ -85,25 +85,26 @@ func (a *Analyzer) WorstPath(e EndpointSlack) Path {
 	var rev []rec
 	rf := e.RF
 	for i >= 0 {
-		v := &a.verts[i]
-		if !v.valid[rf][el] {
+		k := ix4(i, rf, el)
+		if !a.fValid[k] {
 			break
 		}
-		pr := v.pred[rf][el]
+		pr := a.fPred[k]
 		rev = append(rev, rec{i, rf, pr})
 		i, rf = pr.v, pr.rf
 	}
 	p := Path{Endpoint: e, GBASlack: e.Slack}
 	for k := len(rev) - 1; k >= 0; k-- {
 		r := rev[k]
-		v := &a.verts[r.v]
+		v := a.verts[r.v]
+		kk := ix4(r.v, r.rf, el)
 		st := PathStep{
-			Name:    v.name(),
+			Name:    a.vname(r.v),
 			RF:      r.rf,
 			Delay:   r.pr.delay,
 			IsCell:  r.pr.cell,
-			Arrival: v.arr[r.rf][el].T,
-			Slew:    v.slew[r.rf][el],
+			Arrival: a.fArr[kk].T,
+			Slew:    a.fSlew[kk],
 			vid:     r.v,
 			arc:     r.pr.arc,
 		}
@@ -169,8 +170,9 @@ func (a *Analyzer) PBA(p Path) PBAResult {
 	}
 	// Re-propagate along the chain.
 	root := p.Steps[0]
-	t := a.verts[root.vid].arr[root.RF][el].T // seed arrival (port)
-	slew := a.verts[root.vid].slew[root.RF][el]
+	kr := ix4(root.vid, root.RF, el)
+	t := a.fArr[kr].T // seed arrival (port)
+	slew := a.fSlew[kr]
 	variance := 0.0
 	depth := 0
 	for k := 1; k < len(p.Steps); k++ {
@@ -192,7 +194,7 @@ func (a *Analyzer) PBA(p Path) PBAResult {
 			load = nd.totalCap[el]
 		}
 		d := arc.Delay(outRise, slew, load)
-		f := a.Cfg.Derate.Factor(CellDelay, a.verts[st.vid].clockPath, lateSide, depth)
+		f := a.Cfg.Derate.Factor(CellDelay, a.topo.clockPath[st.vid], lateSide, depth)
 		d *= f
 		if a.Cfg.MIS {
 			if el == early && arc.MISFactorFast > 0 {
@@ -223,7 +225,7 @@ func (a *Analyzer) PBA(p Path) PBAResult {
 // netOfVertex returns the net data of the net driving into vertex i's cell
 // output (for cell-arc steps, i is the output pin vertex).
 func (a *Analyzer) netOfVertex(i int) *netData {
-	v := &a.verts[i]
+	v := a.verts[i]
 	if v.pin != nil && v.pin.Net != nil {
 		return a.nets[v.pin.Net]
 	}
@@ -233,7 +235,7 @@ func (a *Analyzer) netOfVertex(i int) *netData {
 // wireSlewInto returns the wire slew degradation of the net edge ending at
 // vertex i (a load pin or output port).
 func (a *Analyzer) wireSlewInto(i int) float64 {
-	v := &a.verts[i]
+	v := a.verts[i]
 	var net *netlist.Net
 	var me *netlist.Pin
 	if v.pin != nil {

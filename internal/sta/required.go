@@ -2,7 +2,6 @@ package sta
 
 import (
 	"newgame/internal/liberty"
-	"newgame/internal/netlist"
 )
 
 // propagateRequired runs the backward (required-time) pass for setup (late)
@@ -19,8 +18,9 @@ func (a *Analyzer) propagateRequired() error {
 	}
 	a.seedRequired()
 	w := a.workers()
-	for li := len(a.levels) - 1; li >= 0; li-- {
-		lvl := a.levels[li]
+	t := a.topo
+	for li := t.NumLevels() - 1; li >= 0; li-- {
+		lvl := t.levelRange(li)
 		if err := a.canceled(); err != nil {
 			return err
 		}
@@ -29,14 +29,14 @@ func (a *Analyzer) propagateRequired() error {
 				a.obsLevelsSerial.Add(1)
 			}
 			for _, i := range lvl {
-				a.pullRequired(i)
+				a.pullRequired(int(i))
 			}
 			continue
 		}
 		a.obsLevelsParallel.Add(1)
 		parallelFor(w, len(lvl), func(lo, hi int) {
 			for _, i := range lvl[lo:hi] {
-				a.pullRequired(i)
+				a.pullRequired(int(i))
 			}
 		})
 	}
@@ -44,27 +44,30 @@ func (a *Analyzer) propagateRequired() error {
 }
 
 // seedRequired seeds endpoint requireds from the setup checks, recording
-// the seed on the vertex so incremental updates can detect when a check's
-// result moved.
+// the seed per vertex so incremental updates can detect when a check's
+// result moved. Runs only from the exclusive-writer paths (Run/Update), so
+// it reuses the analyzer's endpoint scratch instead of allocating.
 func (a *Analyzer) seedRequired() {
-	for _, e := range a.EndpointSlacks(Setup) {
+	a.epScratch = a.endpointSlacksInto(Setup, a.epScratch[:0], &a.bt)
+	for _, e := range a.epScratch {
 		var i int
 		if e.Pin != nil {
 			i = a.pinIdx[e.Pin]
 		} else {
 			i = a.portIdx[e.Port]
 		}
-		v := &a.verts[i]
 		// Store mean-based required: slack + mean arrival keeps pin slack
 		// consistent with the endpoint's sigma-adjusted slack.
-		r := v.arr[e.RF][late].T + e.Slack
-		if !v.seedValid[e.RF] || r < v.seedReq[e.RF] {
-			v.seedReq[e.RF] = r
-			v.seedValid[e.RF] = true
+		k := ix4(i, e.RF, late)
+		r := a.fArr[k].T + e.Slack
+		k2 := ix2(i, e.RF)
+		if !a.seedValid[k2] || r < a.seedReq[k2] {
+			a.seedReq[k2] = r
+			a.seedValid[k2] = true
 		}
-		if !v.reqValid[e.RF][late] || r < v.req[e.RF][late] {
-			v.req[e.RF][late] = r
-			v.reqValid[e.RF][late] = true
+		if !a.rValid[k] || r < a.fReq[k] {
+			a.fReq[k] = r
+			a.rValid[k] = true
 		}
 	}
 }
@@ -73,93 +76,86 @@ func (a *Analyzer) seedRequired() {
 // net edges for drivers and input ports, cell arcs for input pins. Only
 // vertex i is written, which is what makes the level sweep race-free.
 func (a *Analyzer) pullRequired(i int) {
-	v := &a.verts[i]
-	switch {
-	case v.port != nil && v.port.Dir == netlist.Input:
-		a.pullNetRequired(i, v.port.Net)
-	case v.pin != nil && v.pin.Dir == netlist.Output:
-		if v.pin.Net != nil {
-			a.pullNetRequired(i, v.pin.Net)
-		}
-	case v.pin != nil && v.pin.Dir == netlist.Input:
+	switch a.topo.kind[i] {
+	case vkInPort, vkOutPin:
+		a.pullNetRequired(i)
+	case vkInPin:
 		a.pullArcRequired(i)
 	}
 }
 
 // lowerReq relaxes a required time downward (setup required is a min).
 func (a *Analyzer) lowerReq(i, rf int, r float64) {
-	v := &a.verts[i]
-	if !v.reqValid[rf][late] || r < v.req[rf][late] {
-		v.req[rf][late] = r
-		v.reqValid[rf][late] = true
+	k := ix4(i, rf, late)
+	if !a.rValid[k] || r < a.fReq[k] {
+		a.fReq[k] = r
+		a.rValid[k] = true
 	}
 }
 
-// pullNetRequired pulls sink required times back to the driver vertex i.
-func (a *Analyzer) pullNetRequired(i int, n *netlist.Net) {
-	v := &a.verts[i]
-	nd := a.nets[n]
-	pull := func(j, sink int) {
-		w := &a.verts[j]
+// pullNetRequired pulls sink required times back to driving vertex i. For a
+// driver the CSR successor position doubles as the sink index into the
+// net's delay results (loads in order, then the output port), so the pull
+// is one pass over the frozen successor range.
+func (a *Analyzer) pullNetRequired(i int) {
+	t := a.topo
+	succ := t.succ[t.succOff[i]:t.succOff[i+1]]
+	if len(succ) == 0 {
+		return // unloaded driver
+	}
+	nd := a.vnd[i]
+	srcClock := t.clockPath[i]
+	for sink, j32 := range succ {
+		j := int(j32)
 		for rf := 0; rf < 2; rf++ {
-			if !w.reqValid[rf][late] || !v.valid[rf][late] {
+			ki := ix4(i, rf, late)
+			if !a.rValid[ix4(j, rf, late)] || !a.fValid[ki] {
 				continue
 			}
-			f := a.Cfg.Derate.Factor(NetDelay, v.clockPath, true, v.depth[rf][late])
-			a.lowerReq(i, rf, w.req[rf][late]-nd.sinkDelay[late][sink]*f)
+			f := a.Cfg.Derate.Factor(NetDelay, srcClock, true, int(a.fDepth[ki]))
+			a.lowerReq(i, rf, a.fReq[ix4(j, rf, late)]-nd.sinkDelay[late][sink]*f)
 		}
-	}
-	for si, l := range n.Loads {
-		pull(a.pinIdx[l], si)
-	}
-	if p := n.Port; p != nil && p.Dir == netlist.Output {
-		pull(a.portIdx[p], len(n.Loads))
 	}
 }
 
-// pullArcRequired pulls output-pin required times back through cell arcs to
-// input pin i, recomputing the same derated delays the forward pass used.
+// pullArcRequired pulls output-pin required times back through the prebuilt
+// cell-arc group to input pin i, recomputing the same derated delays the
+// forward pass used.
 func (a *Analyzer) pullArcRequired(i int) {
-	v := &a.verts[i]
-	c := v.pin.Cell
-	m := a.master(c)
-	for k := range m.Arcs {
-		arc := &m.Arcs[k]
-		if arc.From != v.pin.Name {
-			continue
+	for _, ar := range a.arcs[a.arcOff[i]:a.arcOff[i+1]] {
+		j := int(ar.other)
+		nd := a.vnd[j]
+		if nd == nil {
+			continue // arc into an unloaded output
 		}
-		out := c.Pin(arc.To)
-		if out == nil || out.Net == nil {
-			continue
-		}
-		j := a.pinIdx[out]
-		w := &a.verts[j]
-		nd := a.nets[out.Net]
 		for rfIn := 0; rfIn < 2; rfIn++ {
-			if !v.valid[rfIn][late] {
+			if !a.fValid[ix4(i, rfIn, late)] {
 				continue
 			}
-			for _, rfOut := range outTransitions(arc.Sense, rfIn) {
-				if !w.reqValid[rfOut][late] {
+			outs, no := senseOuts(ar.arc.Sense, rfIn)
+			for oi := 0; oi < no; oi++ {
+				rfOut := outs[oi]
+				if !a.rValid[ix4(j, rfOut, late)] {
 					continue
 				}
-				d := a.lateArcDelay(arc, v, rfIn, rfOut, nd)
-				a.lowerReq(i, rfIn, w.req[rfOut][late]-d)
+				d := a.lateArcDelay(ar.arc, i, rfIn, rfOut, nd)
+				a.lowerReq(i, rfIn, a.fReq[ix4(j, rfOut, late)]-d)
 			}
 		}
 	}
 }
 
-// lateArcDelay recomputes the derated late delay of an arc exactly as the
-// forward pass did.
-func (a *Analyzer) lateArcDelay(arc *liberty.TimingArc, v *vertex, rfIn, rfOut int, nd *netData) float64 {
-	slewIn := v.slew[rfIn][late]
+// lateArcDelay recomputes the derated late delay of an arc out of input
+// vertex i exactly as the forward pass did.
+func (a *Analyzer) lateArcDelay(arc *liberty.TimingArc, i, rfIn, rfOut int, nd *netData) float64 {
+	k := ix4(i, rfIn, late)
+	slewIn := a.fSlew[k]
 	load := nd.totalCap[late]
 	d := arc.Delay(rfOut == rise, slewIn, load)
-	d *= a.Cfg.Derate.Factor(CellDelay, v.clockPath, true, v.depth[rfIn][late]+1)
+	d *= a.Cfg.Derate.Factor(CellDelay, a.topo.clockPath[i], true, int(a.fDepth[k])+1)
 	if a.Cfg.MIS && arc.MISFactorSlow > 0 {
 		d *= arc.MISFactorSlow
 	}
-	d *= a.cellDerate(v.pin.Cell, true)
+	d *= a.cellDerate(a.verts[i].pin.Cell, true)
 	return d
 }

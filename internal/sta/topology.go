@@ -1,0 +1,422 @@
+package sta
+
+import (
+	"fmt"
+	"strings"
+
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+)
+
+// Vertex kinds stored in Topology.kind. The kind decides which relax rule
+// applies to a vertex, so the hot loops branch on one byte instead of two
+// pointer tests.
+const (
+	vkInPin uint8 = iota
+	vkOutPin
+	vkInPort
+	vkOutPort
+)
+
+// Topology is the frozen, pointer-free half of an analysis graph: CSR
+// successor lists, per-vertex net fanins, longest-path levels and the
+// clock-network marking — everything that depends only on the design's
+// connectivity, the constraint clock roots and the library's arc *shape*
+// (From/To pin pairs), never on delay tables or per-run state.
+//
+// Because vertex numbering is a pure function of design iteration order
+// (d.Cells in order, each cell's pins in order, then d.Ports) and
+// netlist.Design.Clone preserves that order exactly, one Topology is valid
+// for every clone of the design it was built from. That is what lets all
+// MCMM scenario analyzers and both timingd session snapshots share a single
+// read-only Topology instead of each re-levelizing its own copy: pass it
+// via Config.Topology and New adopts it after a cheap shape validation
+// (vertex/cell/net/port counts, per-master arc signatures, clock-root
+// indices). On any mismatch New silently builds a private topology, so an
+// incompatible hint can never change results.
+type Topology struct {
+	numCells, numNets, numPorts int
+
+	kind      []uint8
+	cellOf    []int32 // index into d.Cells, -1 for ports
+	clockPath []bool
+	isCKPin   []bool
+
+	// CSR successor lists, in exactly the order the pointer walk
+	// (successorsPointerWalk) enumerates edges. For a driving vertex the
+	// successor position doubles as the sink index into the net's
+	// delay-calc results (loads in order, then the output port).
+	succOff []int32
+	succ    []int32
+
+	// Net fanin edge per vertex (-1 = fed by cell arcs or a seed only).
+	faninDriver []int32
+	faninNet    []int32 // index into d.Nets
+	faninSink   []int32
+	netDriver   []int32 // per net index: driving vertex, -1 if undriven
+
+	order []int32 // Kahn topological order
+	level []int32 // per-vertex longest-path level
+
+	// Level wavefronts: level l's vertices are
+	// levelVerts[levelOff[l]:levelOff[l+1]], in topological-order sequence.
+	levelOff   []int32
+	levelVerts []int32
+
+	clockRoots []int32
+	// arcSig fingerprints the arc shape of every master type used, so a
+	// topology built against one scenario's library is only adopted by
+	// analyzers whose libraries share the same cell footprints.
+	arcSig map[string]string
+}
+
+// NumVerts returns the vertex count of the frozen graph.
+func (t *Topology) NumVerts() int { return len(t.kind) }
+
+// NumLevels returns the number of level wavefronts.
+func (t *Topology) NumLevels() int { return len(t.levelOff) - 1 }
+
+// levelRange returns level l's vertices.
+func (t *Topology) levelRange(l int) []int32 {
+	return t.levelVerts[t.levelOff[l]:t.levelOff[l+1]]
+}
+
+// masterArcSig fingerprints the topology-relevant shape of a master: its
+// arc (From, To) sequence, FF data/clock binding and clock-pin flags. Two
+// libraries whose masters agree on these produce identical CSR graphs.
+func masterArcSig(m *liberty.Cell) string {
+	var b strings.Builder
+	for k := range m.Arcs {
+		b.WriteString(m.Arcs[k].From)
+		b.WriteByte('>')
+		b.WriteString(m.Arcs[k].To)
+		b.WriteByte(';')
+	}
+	if m.FF != nil {
+		b.WriteString("ff:")
+		b.WriteString(m.FF.Data)
+		b.WriteByte(',')
+		b.WriteString(m.FF.Clock)
+		b.WriteByte(';')
+	}
+	for i := range m.Pins {
+		if m.Pins[i].IsClock {
+			b.WriteString("ck:")
+			b.WriteString(m.Pins[i].Name)
+			b.WriteByte(';')
+		}
+	}
+	return b.String()
+}
+
+// sameArcShape reports whether two masters have the same arc (From, To)
+// sequence — the condition under which an in-place master swap can reuse
+// the prebuilt arc groups and CSR successor lists.
+func sameArcShape(m1, m2 *liberty.Cell) bool {
+	if len(m1.Arcs) != len(m2.Arcs) {
+		return false
+	}
+	for k := range m1.Arcs {
+		if m1.Arcs[k].From != m2.Arcs[k].From || m1.Arcs[k].To != m2.Arcs[k].To {
+			return false
+		}
+	}
+	return true
+}
+
+// clockRootIndices collects the constraint clock roots as vertex indices,
+// in Clocks/Roots declaration order (the DFS seed order markClockPaths
+// uses).
+func (a *Analyzer) clockRootIndices() []int32 {
+	if a.Cons == nil {
+		return nil
+	}
+	var roots []int32
+	for _, ck := range a.Cons.Clocks {
+		for _, r := range ck.Roots {
+			if i, ok := a.portIdx[r]; ok {
+				roots = append(roots, int32(i))
+			}
+		}
+	}
+	return roots
+}
+
+// compatible reports whether t can serve analyzer a unchanged: same vertex
+// universe, same per-vertex kinds, same clock roots, and arc-shape-equal
+// masters for every cell type in the design. Connectivity equality beyond
+// the counts is the caller's contract (same design or a Clone of it);
+// everything a different library or constraint set could break is checked.
+func (t *Topology) compatible(a *Analyzer) bool {
+	if t.NumVerts() != len(a.verts) ||
+		t.numCells != len(a.D.Cells) ||
+		t.numNets != len(a.D.Nets) ||
+		t.numPorts != len(a.D.Ports) {
+		return false
+	}
+	for i := range a.verts {
+		if t.kind[i] != a.vertexKind(i) {
+			return false
+		}
+	}
+	checked := make(map[string]bool, 16)
+	for ci, c := range a.D.Cells {
+		if t.cellOf[a.pinIdx[c.Pins[0]]] != int32(ci) {
+			return false
+		}
+		if checked[c.TypeName] {
+			continue
+		}
+		checked[c.TypeName] = true
+		m := a.masters[ci]
+		if sig, ok := t.arcSig[c.TypeName]; !ok || sig != masterArcSig(m) {
+			return false
+		}
+	}
+	roots := a.clockRootIndices()
+	if len(roots) != len(t.clockRoots) {
+		return false
+	}
+	for i := range roots {
+		if roots[i] != t.clockRoots[i] {
+			return false
+		}
+	}
+	// Net connectivity: every net's driver and sink assignments must match
+	// the frozen fanin arrays. The caller's contract (same design or a
+	// Clone) makes this a formality, but it turns a violated contract into
+	// a silently-correct private rebuild instead of wrong timing.
+	for ni, nl := range a.D.Nets {
+		di := -1
+		if nl.Driver != nil {
+			if i, ok := a.pinIdx[nl.Driver]; ok {
+				di = i
+			}
+		} else if nl.Port != nil && nl.Port.Dir == netlist.Input {
+			if i, ok := a.portIdx[nl.Port]; ok {
+				di = i
+			}
+		}
+		if t.netDriver[ni] != int32(di) {
+			return false
+		}
+		if di < 0 {
+			continue
+		}
+		nSinks := len(nl.Loads)
+		if nl.Port != nil && nl.Port.Dir == netlist.Output {
+			nSinks++
+		}
+		if int(t.succOff[di+1]-t.succOff[di]) != nSinks {
+			return false
+		}
+		for si, l := range nl.Loads {
+			li, ok := a.pinIdx[l]
+			if !ok || t.faninDriver[li] != int32(di) ||
+				t.faninNet[li] != int32(ni) || t.faninSink[li] != int32(si) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// vertexKind classifies vertex i from its netlist object.
+func (a *Analyzer) vertexKind(i int) uint8 {
+	v := a.verts[i]
+	switch {
+	case v.pin != nil && v.pin.Dir == netlist.Input:
+		return vkInPin
+	case v.pin != nil:
+		return vkOutPin
+	case v.port.Dir == netlist.Input:
+		return vkInPort
+	default:
+		return vkOutPort
+	}
+}
+
+// buildTopologyCSR freezes the pointer-linked graph into a Topology: one
+// pointer walk per vertex to lay out the CSR, then Kahn levelization, clock
+// marking and level bucketing over the int32 arrays — the same enumeration
+// orders the per-vertex walk produced, so levels and wavefront order are
+// identical to the pre-SoA implementation.
+func (a *Analyzer) buildTopologyCSR() (*Topology, error) {
+	n := len(a.verts)
+	t := &Topology{
+		numCells: len(a.D.Cells),
+		numNets:  len(a.D.Nets),
+		numPorts: len(a.D.Ports),
+		kind:     make([]uint8, n),
+		cellOf:   make([]int32, n),
+		isCKPin:  make([]bool, n),
+		arcSig:   make(map[string]string, 16),
+	}
+	for i := range a.verts {
+		t.kind[i] = a.vertexKind(i)
+		t.cellOf[i] = -1
+		if p := a.verts[i].pin; p != nil {
+			ci := a.cellIdx[p.Cell]
+			t.cellOf[i] = ci
+			m := a.masters[ci]
+			// Only *sequential* clock pins terminate clock-network marking
+			// and receive useful-skew offsets; a clock-gating cell's CK pin
+			// is a through-point (the gated clock continues to the FFs).
+			if mp := m.Pin(p.Name); mp != nil && mp.IsClock && m.FF != nil {
+				t.isCKPin[i] = true
+			}
+		}
+	}
+	for _, c := range a.D.Cells {
+		if _, ok := t.arcSig[c.TypeName]; !ok {
+			t.arcSig[c.TypeName] = masterArcSig(a.masters[a.cellIdx[c]])
+		}
+	}
+	// CSR successors: count, prefix-sum, fill — in pointer-walk order.
+	t.succOff = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		a.successorsPointerWalk(i, func(int) { t.succOff[i+1]++ })
+	}
+	for i := 0; i < n; i++ {
+		t.succOff[i+1] += t.succOff[i]
+	}
+	t.succ = make([]int32, t.succOff[n])
+	fill := make([]int32, n)
+	copy(fill, t.succOff[:n])
+	for i := 0; i < n; i++ {
+		a.successorsPointerWalk(i, func(j int) {
+			t.succ[fill[i]] = int32(j)
+			fill[i]++
+		})
+	}
+	// Net fanin edges.
+	t.faninDriver = make([]int32, n)
+	t.faninNet = make([]int32, n)
+	t.faninSink = make([]int32, n)
+	for i := range t.faninDriver {
+		t.faninDriver[i] = -1
+		t.faninNet[i] = -1
+	}
+	t.netDriver = make([]int32, len(a.D.Nets))
+	for ni, nl := range a.D.Nets {
+		di := -1
+		if nl.Driver != nil {
+			if i, ok := a.pinIdx[nl.Driver]; ok {
+				di = i
+			}
+		} else if nl.Port != nil && nl.Port.Dir == netlist.Input {
+			if i, ok := a.portIdx[nl.Port]; ok {
+				di = i
+			}
+		}
+		t.netDriver[ni] = int32(di)
+		if di < 0 {
+			continue
+		}
+		for si, l := range nl.Loads {
+			li := a.pinIdx[l]
+			t.faninDriver[li] = int32(di)
+			t.faninNet[li] = int32(ni)
+			t.faninSink[li] = int32(si)
+		}
+		if p := nl.Port; p != nil && p.Dir == netlist.Output {
+			pi := a.portIdx[p]
+			t.faninDriver[pi] = int32(di)
+			t.faninNet[pi] = int32(ni)
+			t.faninSink[pi] = int32(len(nl.Loads))
+		}
+	}
+	if err := t.levelize(a); err != nil {
+		return nil, err
+	}
+	t.markClockPaths(a)
+	// Longest-path levels and wavefront buckets, in topological order.
+	t.level = make([]int32, n)
+	for _, i := range t.order {
+		li := t.level[i] + 1
+		for _, j := range t.succ[t.succOff[i]:t.succOff[i+1]] {
+			if li > t.level[j] {
+				t.level[j] = li
+			}
+		}
+	}
+	maxL := int32(0)
+	for _, l := range t.level {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	t.levelOff = make([]int32, maxL+2)
+	for _, l := range t.level {
+		t.levelOff[l+1]++
+	}
+	for l := 0; l < len(t.levelOff)-1; l++ {
+		t.levelOff[l+1] += t.levelOff[l]
+	}
+	t.levelVerts = make([]int32, n)
+	place := make([]int32, maxL+1)
+	copy(place, t.levelOff[:maxL+1])
+	for _, i := range t.order {
+		l := t.level[i]
+		t.levelVerts[place[l]] = i
+		place[l]++
+	}
+	return t, nil
+}
+
+// levelize computes a topological order via Kahn's algorithm; a leftover
+// vertex means a combinational cycle.
+func (t *Topology) levelize(a *Analyzer) error {
+	n := t.NumVerts()
+	indeg := make([]int32, n)
+	for _, j := range t.succ {
+		indeg[j]++
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	t.order = make([]int32, 0, n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		t.order = append(t.order, i)
+		for _, j := range t.succ[t.succOff[i]:t.succOff[i+1]] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if len(t.order) != n {
+		for i, d := range indeg {
+			if d > 0 {
+				return fmt.Errorf("sta: combinational cycle through %s", a.vname(i))
+			}
+		}
+	}
+	return nil
+}
+
+// markClockPaths flags vertices reachable from clock roots without passing
+// through a flip-flop's CK pin (the clock network proper plus the CK pins
+// themselves).
+func (t *Topology) markClockPaths(a *Analyzer) {
+	t.clockPath = make([]bool, t.NumVerts())
+	t.clockRoots = a.clockRootIndices()
+	stack := append([]int32(nil), t.clockRoots...)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.clockPath[i] {
+			continue
+		}
+		t.clockPath[i] = true
+		if t.isCKPin[i] {
+			continue // stop at sequential clock pins; Q launch is data
+		}
+		stack = append(stack, t.succ[t.succOff[i]:t.succOff[i+1]]...)
+	}
+}

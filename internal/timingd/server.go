@@ -133,12 +133,15 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	// Both snapshots are full builds from clones of the source design;
 	// the keyed binder guarantees they are bit-identical despite being
-	// built independently.
-	front, err := newSession(c, c.Design)
+	// built independently. The frozen timing topology is shared: the back
+	// session adopts the front's (clones preserve vertex numbering), so
+	// the dual-snapshot scheme levelizes the graph once, not 2×scenarios
+	// times.
+	front, err := newSession(c, c.Design, nil)
 	if err != nil {
 		return nil, err
 	}
-	back, err := newSession(c, c.Design)
+	back, err := newSession(c, c.Design, front.topology())
 	if err != nil {
 		return nil, err
 	}

@@ -45,8 +45,13 @@ type session struct {
 }
 
 // newSession clones the design and brings up one analyzer per scenario,
-// fanning the initial full runs out over the configured workers.
-func newSession(cfg *Config, src *netlist.Design) (*session, error) {
+// fanning the initial full runs out over the configured workers. All views
+// share one frozen sta.Topology: the first view builds (or adopts) it, the
+// rest reuse it read-only — per-scenario graph construction drops to the
+// compatibility validation. A topo from another session over a Clone of the
+// same design (the server passes the front session's to the back) is equally
+// shareable, since vertex numbering is a pure function of design order.
+func newSession(cfg *Config, src *netlist.Design, topo *sta.Topology) (*session, error) {
 	d := src.Clone()
 	ck := d.Port(cfg.ClockPort)
 	if ck == nil {
@@ -58,9 +63,18 @@ func newSession(cfg *Config, src *netlist.Design) (*session, error) {
 		binder:    sta.NewKeyedNetBinder(cfg.Stack, cfg.Seed),
 		views:     make([]*view, len(cfg.Recipe.Scenarios)),
 	}
+	if len(cfg.Recipe.Scenarios) == 0 {
+		return s, nil
+	}
+	v0, err := s.buildView(cfg, cfg.Recipe.Scenarios[0], topo)
+	if err != nil {
+		return nil, err
+	}
+	s.views[0] = v0
+	shared := v0.a.Topology()
 	errs := make([]error, len(cfg.Recipe.Scenarios))
-	workpool.Do(cfg.Workers, len(cfg.Recipe.Scenarios), func(i int) {
-		s.views[i], errs[i] = s.buildView(cfg, cfg.Recipe.Scenarios[i])
+	workpool.Do(cfg.Workers, len(cfg.Recipe.Scenarios)-1, func(i int) {
+		s.views[i+1], errs[i+1] = s.buildView(cfg, cfg.Recipe.Scenarios[i+1], shared)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -70,14 +84,25 @@ func newSession(cfg *Config, src *netlist.Design) (*session, error) {
 	return s, nil
 }
 
+// topology returns the session's shared frozen graph (nil when the session
+// has no views), for seeding another session over a clone of the same
+// design.
+func (s *session) topology() *sta.Topology {
+	if len(s.views) == 0 {
+		return nil
+	}
+	return s.views[0].a.Topology()
+}
+
 // buildView constructs and runs one scenario's analyzer against the
-// session's design clone.
-func (s *session) buildView(cfg *Config, sc core.Scenario) (*view, error) {
+// session's design clone, adopting topo when compatible.
+func (s *session) buildView(cfg *Config, sc core.Scenario, topo *sta.Topology) (*view, error) {
 	cons := core.ConstraintsFor(s.d, s.clockPort, cfg.BasePeriod, cfg.InputArrival, sc)
 	a, err := sta.New(s.d, cons, sta.Config{
 		Lib: sc.Lib, Parasitics: s.binder, Scaling: sc.Scaling,
 		Derate: sc.Derate, SI: sc.SI, MIS: sc.MIS,
 		Workers: cfg.AnalysisWorkers, Obs: cfg.Obs,
+		Topology: topo,
 	})
 	if err != nil {
 		return nil, err
@@ -91,22 +116,35 @@ func (s *session) buildView(cfg *Config, sc core.Scenario) (*view, error) {
 // rebuildViews replaces every analyzer after a structural netlist edit
 // (vertex sets are fixed at sta.New, so buffer insertion needs fresh
 // graphs). Constraints are rebuilt too: the edit may have changed port
-// fanout. Cancellation via ctx aborts with the views unchanged.
+// fanout. The first rebuilt view freezes the post-edit topology; the rest
+// share it. Cancellation via ctx aborts with the views unchanged.
 func (s *session) rebuildViews(ctx context.Context, cfg *Config) error {
+	if len(s.views) == 0 {
+		return nil
+	}
 	views := make([]*view, len(s.views))
 	errs := make([]error, len(s.views))
-	workpool.Do(cfg.Workers, len(s.views), func(i int) {
+	rebuild := func(i int, topo *sta.Topology) {
 		sc := s.views[i].scenario
 		cons := core.ConstraintsFor(s.d, s.clockPort, cfg.BasePeriod, cfg.InputArrival, sc)
 		a, err := sta.New(s.d, cons, sta.Config{
 			Lib: sc.Lib, Parasitics: s.binder, Scaling: sc.Scaling,
 			Derate: sc.Derate, SI: sc.SI, MIS: sc.MIS,
 			Workers: cfg.AnalysisWorkers, Obs: cfg.Obs,
+			Topology: topo,
 		})
 		if err == nil {
 			err = a.RunCtx(ctx)
 		}
 		views[i], errs[i] = &view{scenario: sc, cons: cons, a: a}, err
+	}
+	rebuild(0, nil)
+	if errs[0] != nil {
+		return errs[0]
+	}
+	shared := views[0].a.Topology()
+	workpool.Do(cfg.Workers, len(s.views)-1, func(i int) {
+		rebuild(i+1, shared)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -117,22 +155,26 @@ func (s *session) rebuildViews(ctx context.Context, cfg *Config) error {
 	return nil
 }
 
-// slacks renders the merged per-scenario timing summary. Endpoint slacks
-// come back sorted worst-first, so violation counting is a prefix scan.
+// slacks renders the merged per-scenario timing summary. Each kind's
+// endpoint list is rendered once per view and every summary metric (WNS,
+// TNS, violation count) derives from it — rendering is the cold-query
+// cost, so it isn't paid three times per number.
 func (s *session) slacks() []ScenarioSlack {
 	out := make([]ScenarioSlack, len(s.views))
 	for i, v := range s.views {
 		r := ScenarioSlack{Scenario: v.scenario.Name}
-		r.SetupWNS = v.a.WorstSlack(sta.Setup)
-		r.SetupTNS = v.a.TNS(sta.Setup)
-		r.HoldWNS = v.a.WorstSlack(sta.Hold)
-		r.HoldTNS = v.a.TNS(sta.Hold)
-		for _, e := range v.a.EndpointSlacks(sta.Setup) {
+		setup := v.a.EndpointSlacks(sta.Setup)
+		hold := v.a.EndpointSlacks(sta.Hold)
+		r.SetupWNS = sta.WorstSlackOf(setup)
+		r.SetupTNS = sta.TNSOf(setup)
+		r.HoldWNS = sta.WorstSlackOf(hold)
+		r.HoldTNS = sta.TNSOf(hold)
+		for _, e := range setup {
 			if e.Slack < 0 {
 				r.SetupViolations++
 			}
 		}
-		for _, e := range v.a.EndpointSlacks(sta.Hold) {
+		for _, e := range hold {
 			if e.Slack < 0 {
 				r.HoldViolations++
 			}
