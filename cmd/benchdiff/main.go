@@ -1,0 +1,137 @@
+// Command benchdiff is the CI benchmark-regression guard: it compares a
+// fresh bench snapshot (scripts/bench_snapshot.sh output) against the
+// committed baseline and exits nonzero when any benchmark present in both
+// files regressed in ns/op beyond the threshold.
+//
+// Only shared benchmark names are compared — renamed, added or retired
+// benchmarks never trip the guard, so the suite can evolve without
+// ceremony; the baseline catches only genuine slowdowns of surviving
+// hot paths. The diff is printed for every shared benchmark, worst
+// regression first, so the CI log doubles as a perf report even when the
+// guard passes.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_fe5308c.json -current bench-snapshot.json [-threshold 25]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// snapshot mirrors scripts/bench_snapshot.sh's output.
+type snapshot struct {
+	Commit     string                `json:"commit"`
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+// diffLine is one shared benchmark's comparison.
+type diffLine struct {
+	Name       string
+	BaseNs     float64
+	CurNs      float64
+	DeltaPct   float64 // positive = slower
+	Regression bool
+}
+
+// compare builds the shared-benchmark diff, worst regression first.
+// thresholdPct is the allowed ns/op slowdown in percent.
+func compare(base, cur snapshot, thresholdPct float64) []diffLine {
+	var lines []diffLine
+	for name, b := range base.Benchmarks {
+		c, ok := cur.Benchmarks[name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		d := diffLine{
+			Name:     name,
+			BaseNs:   b.NsPerOp,
+			CurNs:    c.NsPerOp,
+			DeltaPct: 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp,
+		}
+		d.Regression = d.DeltaPct > thresholdPct
+		lines = append(lines, d)
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].DeltaPct != lines[j].DeltaPct {
+			return lines[i].DeltaPct > lines[j].DeltaPct
+		}
+		return lines[i].Name < lines[j].Name
+	})
+	return lines
+}
+
+// render writes the human-readable diff table and returns the number of
+// regressions.
+func render(w *os.File, lines []diffLine, thresholdPct float64) int {
+	regressions := 0
+	for _, d := range lines {
+		mark := "  "
+		if d.Regression {
+			mark = "!!"
+			regressions++
+		}
+		fmt.Fprintf(w, "%s %-55s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
+			mark, d.Name, d.BaseNs, d.CurNs, d.DeltaPct)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, thresholdPct)
+	}
+	return regressions
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return s, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline BENCH_<sha>.json")
+	current := flag.String("current", "", "freshly measured snapshot to check")
+	threshold := flag.Float64("threshold", 25, "allowed ns/op slowdown, percent")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	lines := compare(base, cur, *threshold)
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: snapshots share no benchmarks")
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff: %s -> %s, %d shared benchmarks, threshold %.0f%%\n",
+		base.Commit, cur.Commit, len(lines), *threshold)
+	if render(os.Stdout, lines, *threshold) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(commit string, ns map[string]float64) snapshot {
+	s := snapshot{Commit: commit, Benchmarks: map[string]benchEntry{}}
+	for name, v := range ns {
+		s.Benchmarks[name] = benchEntry{NsPerOp: v}
+	}
+	return s
+}
+
+// The guard compares only shared names, flags slowdowns past the
+// threshold, ignores speedups and benchmarks unique to either side, and
+// sorts worst-first.
+func TestCompare(t *testing.T) {
+	base := snap("aaa", map[string]float64{
+		"BenchmarkA":       1000, // 50% slower -> regression
+		"BenchmarkB":       1000, // 10% slower -> within budget
+		"BenchmarkC":       1000, // 40% faster -> fine
+		"BenchmarkRetired": 1000, // gone from current -> ignored
+	})
+	cur := snap("bbb", map[string]float64{
+		"BenchmarkA":   1500,
+		"BenchmarkB":   1100,
+		"BenchmarkC":   600,
+		"BenchmarkNew": 99999, // not in baseline -> ignored
+	})
+	lines := compare(base, cur, 25)
+	if len(lines) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3 shared: %+v", len(lines), lines)
+	}
+	if lines[0].Name != "BenchmarkA" || !lines[0].Regression {
+		t.Fatalf("worst-first ordering: %+v", lines[0])
+	}
+	if lines[0].DeltaPct != 50 {
+		t.Fatalf("BenchmarkA delta %v, want 50", lines[0].DeltaPct)
+	}
+	if lines[1].Name != "BenchmarkB" || lines[1].Regression {
+		t.Fatalf("within-budget slowdown flagged: %+v", lines[1])
+	}
+	if lines[2].Name != "BenchmarkC" || lines[2].Regression || lines[2].DeltaPct >= 0 {
+		t.Fatalf("speedup mishandled: %+v", lines[2])
+	}
+}
+
+// Exactly at the threshold is allowed — the guard trips strictly beyond.
+func TestCompareThresholdBoundary(t *testing.T) {
+	base := snap("a", map[string]float64{"B": 1000})
+	cur := snap("b", map[string]float64{"B": 1250})
+	if lines := compare(base, cur, 25); lines[0].Regression {
+		t.Fatalf("exactly-at-threshold flagged: %+v", lines[0])
+	}
+	cur = snap("b", map[string]float64{"B": 1251})
+	if lines := compare(base, cur, 25); !lines[0].Regression {
+		t.Fatalf("past-threshold not flagged: %+v", lines[0])
+	}
+}
+
+// load rejects files that are missing, malformed, or empty of benchmarks.
+func TestLoadValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("not json"), 0o644)
+	if _, err := load(bad); err == nil {
+		t.Fatal("malformed file loaded")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"commit":"x","benchmarks":{}}`), 0o644)
+	if _, err := load(empty); err == nil {
+		t.Fatal("empty snapshot loaded")
+	}
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"commit":"x","benchmarks":{"B":{"ns_per_op":10,"bytes_per_op":null,"allocs_per_op":null}}}`), 0o644)
+	s, err := load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Benchmarks["B"].NsPerOp != 10 {
+		t.Fatalf("loaded snapshot: %+v", s)
+	}
+}
+
+// The real committed baseline must parse — the CI guard depends on it.
+func TestCommittedBaselineLoads(t *testing.T) {
+	matches, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Skipf("no committed baseline found: %v", err)
+	}
+	for _, m := range matches {
+		s, err := load(m)
+		if err != nil {
+			t.Fatalf("committed baseline %s: %v", m, err)
+		}
+		if len(s.Benchmarks) < 5 {
+			t.Fatalf("baseline %s has only %d benchmarks", m, len(s.Benchmarks))
+		}
+	}
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -60,10 +61,11 @@ func main() {
 	minQPS := flag.Float64("min-qps", 0, "loadgen: exit nonzero if achieved QPS falls below this")
 	whatIfCell := flag.String("whatif-cell", "", "loadgen: cell for the what-if mix (empty disables what-ifs)")
 	whatIfTo := flag.String("whatif-to", "", "loadgen: replacement master for -whatif-cell")
+	jsonOut := flag.Bool("json", false, "loadgen: emit the run report as JSON on stdout (table goes to stderr)")
 	flag.Parse()
 
 	if *loadgenMode {
-		runLoadgen(*target, *duration, *clients, *qps, *minQPS, *whatIfCell, *whatIfTo)
+		runLoadgen(*target, *duration, *clients, *qps, *minQPS, *whatIfCell, *whatIfTo, *jsonOut)
 		return
 	}
 
@@ -114,7 +116,7 @@ func main() {
 	fmt.Println("timingd: bye")
 }
 
-func runLoadgen(target string, duration time.Duration, clients, qps int, minQPS float64, whatIfCell, whatIfTo string) {
+func runLoadgen(target string, duration time.Duration, clients, qps int, minQPS float64, whatIfCell, whatIfTo string, jsonOut bool) {
 	cfg := loadgen.Config{
 		Base: target, Clients: clients, Duration: duration, TargetQPS: qps,
 		SlackWeight: 8, PathsWeight: 2,
@@ -127,7 +129,18 @@ func runLoadgen(target string, duration time.Duration, clients, qps int, minQPS 
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(rep)
+	if jsonOut {
+		// JSON alone on stdout (pipe/archive-friendly); the human table
+		// still goes to stderr so interactive runs lose nothing.
+		fmt.Fprint(os.Stderr, rep)
+		b, err := json.MarshalIndent(rep.JSON(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep)
+	}
 	if minQPS > 0 && rep.QPS < minQPS {
 		fatal(fmt.Errorf("achieved %.0f qps, below required %.0f", rep.QPS, minQPS))
 	}

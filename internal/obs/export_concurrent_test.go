@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The Chrome-trace export was only ever exercised single-threaded; a real
+// signoff run records spans from every analysis worker at once. Record a
+// realistic shape — a shared root, one lane per worker, nested spans
+// inside each lane — from concurrent goroutines, then assert the exported
+// trace is valid JSON with stable creation-order event ordering and
+// correct parent/track attribution for every span.
+func TestChromeTraceConcurrentRecording(t *testing.T) {
+	const workers, perWorker = 8, 50
+	r := NewRecorder()
+	root := r.Start("run", nil)
+
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lane := r.Start(fmt.Sprintf("worker-%d", w), root).OnTrack(w)
+			for i := 0; i < perWorker; i++ {
+				r.Start("unit", lane).SetFloat("i", float64(i)).End()
+			}
+			lane.End()
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+
+	var b bytes.Buffer
+	if err := r.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("concurrent trace is not valid JSON")
+	}
+	var events []struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Tid  float64 `json:"tid"`
+		Args struct {
+			SpanID   *float64 `json:"span_id"`
+			ParentID *float64 `json:"parent_id"`
+		} `json:"args"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, complete := 0, 0
+	lastID := -1.0
+	laneTrack := map[float64]float64{} // span_id -> tid of worker lanes
+	for _, ev := range events {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if ev.Args.SpanID == nil {
+				t.Fatalf("X event %q missing span_id", ev.Name)
+			}
+			// Events emit in span creation order: ids strictly ascend, so
+			// two exports of the same recorder are byte-identical modulo
+			// still-open durations, and parents always precede children.
+			if *ev.Args.SpanID <= lastID {
+				t.Fatalf("span ids not ascending: %v after %v", *ev.Args.SpanID, lastID)
+			}
+			lastID = *ev.Args.SpanID
+			if ev.Args.ParentID != nil && *ev.Args.ParentID >= *ev.Args.SpanID {
+				t.Fatalf("span %v has parent %v created after it", *ev.Args.SpanID, *ev.Args.ParentID)
+			}
+			switch ev.Name {
+			case "run":
+				if ev.Args.ParentID != nil {
+					t.Fatalf("root span has a parent")
+				}
+			case "unit":
+				if ev.Args.ParentID == nil {
+					t.Fatalf("unit span has no parent")
+				}
+				if want, ok := laneTrack[*ev.Args.ParentID]; !ok || ev.Tid != want {
+					t.Fatalf("unit on tid %v, want its lane's tid %v", ev.Tid, want)
+				}
+			default: // worker-N lane
+				if ev.Tid == 0 {
+					t.Fatalf("lane %q stayed on track 0", ev.Name)
+				}
+				laneTrack[*ev.Args.SpanID] = ev.Tid
+			}
+		}
+	}
+	if wantMeta := workers + 1; meta != wantMeta { // main + one lane each
+		t.Fatalf("thread_name events = %d, want %d", meta, wantMeta)
+	}
+	if want := 1 + workers*(1+perWorker); complete != want {
+		t.Fatalf("complete events = %d, want %d", complete, want)
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {8, 8}, {100, 128},
+	} {
+		if got := NewRing[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestRingNilSafety(t *testing.T) {
+	var r *Ring[int]
+	r.Put(1)
+	if got := r.Snapshot(0); got != nil {
+		t.Fatalf("nil ring Snapshot = %v", got)
+	}
+	if r.Len() != 0 || r.Cap() != 0 || r.Dropped() != 0 {
+		t.Fatalf("nil ring Len/Cap/Dropped = %d/%d/%d", r.Len(), r.Cap(), r.Dropped())
+	}
+}
+
+func TestRingNewestFirstAndOverwrite(t *testing.T) {
+	r := NewRing[int](8)
+	if got := r.Snapshot(0); got != nil {
+		t.Fatalf("empty Snapshot = %v", got)
+	}
+	for i := 1; i <= 3; i++ {
+		r.Put(i)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if got := r.Snapshot(0); len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Snapshot = %v, want [3 2 1]", got)
+	}
+	if got := r.Snapshot(2); len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Fatalf("Snapshot(2) = %v, want [3 2]", got)
+	}
+
+	// Lap the ring: only the newest Cap() records survive, newest first.
+	for i := 4; i <= 20; i++ {
+		r.Put(i)
+	}
+	if r.Len() != 8 {
+		t.Fatalf("lapped Len = %d, want 8", r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 8 {
+		t.Fatalf("lapped Snapshot len = %d, want 8", len(got))
+	}
+	for i, v := range got {
+		if v != 20-i {
+			t.Fatalf("lapped Snapshot[%d] = %d, want %d", i, v, 20-i)
+		}
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("serial laps dropped %d records", r.Dropped())
+	}
+}
+
+// Hammer the ring from concurrent writers while readers snapshot
+// continuously: every snapshot must hold only values some writer actually
+// put, without duplicates (each ticket is written at most once), and stay
+// within capacity. Run under -race this also proves the lock-free claim.
+func TestRingConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 1000
+	r := NewRing[int](64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot(0)
+				if len(snap) > r.Cap() {
+					t.Errorf("snapshot len %d > cap %d", len(snap), r.Cap())
+					return
+				}
+				seen := make(map[int]bool, len(snap))
+				for _, v := range snap {
+					w, i := v/perWriter, v%perWriter
+					if w < 0 || w >= writers || i < 0 {
+						t.Errorf("snapshot holds impossible value %d", v)
+						return
+					}
+					if seen[v] {
+						t.Errorf("snapshot holds duplicate value %d", v)
+						return
+					}
+					seen[v] = true
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Put(w*perWriter + i)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if r.Len() != r.Cap() {
+		t.Fatalf("post-hammer Len = %d, want full ring %d", r.Len(), r.Cap())
+	}
+	// Quiescent snapshot: full, unique, all values legal. Dropped records
+	// are possible under this contention but the sum must account for
+	// every Put.
+	snap := r.Snapshot(0)
+	if len(snap)+int(r.Dropped()) < r.Cap() {
+		t.Fatalf("quiescent snapshot %d + dropped %d < cap %d", len(snap), r.Dropped(), r.Cap())
+	}
+}
+
+func TestFlightRecorderRings(t *testing.T) {
+	fr := NewFlightRecorder(100, 10)
+	if fr.Requests.Cap() != 128 || fr.Commits.Cap() != 16 {
+		t.Fatalf("ring caps = %d/%d, want 128/16", fr.Requests.Cap(), fr.Commits.Cap())
+	}
+	fr.Requests.Put(RequestRecord{Route: "slack", TraceID: "t1", Status: 200})
+	fr.Commits.Put(CommitRecord{Epoch: 2, OpsApplied: 3})
+	if got := fr.Requests.Snapshot(0); len(got) != 1 || got[0].Route != "slack" {
+		t.Fatalf("request snapshot = %+v", got)
+	}
+	if got := fr.Commits.Snapshot(0); len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("commit snapshot = %+v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over the recorder's metrics.
+// Spans stay out of this export — they are per-run shapes, not scrapeable
+// series — but every counter, gauge and histogram renders with the
+// semantics a Prometheus scraper expects: counters as monotone totals,
+// histograms with *cumulative* bucket counts, an explicit +Inf bucket,
+// and _sum/_count series.
+
+// WritePromText writes the recorder's counters, gauges and histograms in
+// the Prometheus text exposition format, sorted by metric name so
+// consecutive scrapes of the same recorder diff cleanly. Metric names are
+// sanitized (dots become underscores) and counters gain the conventional
+// _total suffix. A nil Recorder writes nothing and reports no error — an
+// empty exposition is valid.
+func (r *Recorder) WritePromText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	_, counters, gauges, hists, _ := r.snapshot()
+
+	for _, n := range sortedKeys(counters) {
+		name := promName(n)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[n].Value()); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(gauges) {
+		name := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(gauges[n].Value())); err != nil {
+			return err
+		}
+	}
+	for _, n := range sortedKeys(hists) {
+		if err := writePromHist(w, promName(n), hists[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHist renders one histogram with cumulative le buckets. The
+// recorder stores per-bucket counts (bucket i = observations in
+// (bounds[i-1], bounds[i]]); Prometheus buckets are cumulative
+// (observations ≤ le), so counts accumulate across the walk and the +Inf
+// bucket always equals _count.
+func writePromHist(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		name, cum, name, promFloat(h.sum.load()), name, h.n.Load())
+	return err
+}
+
+// promName maps an obs metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* — dots (the obs convention) and any other
+// foreign rune become underscores, and a leading digit gets a prefix.
+func promName(n string) string {
+	var b strings.Builder
+	b.Grow(len(n) + 1)
+	for i, r := range n {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects: shortest exact
+// decimal, with the spec spellings for the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strings.TrimSuffix(fmt.Sprintf("%g", v), ".0")
+}

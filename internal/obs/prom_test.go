@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"timingd.requests":  "timingd_requests",
+		"sta.update.nodes":  "sta_update_nodes",
+		"lat-ms":            "lat_ms",
+		"9lives":            "_9lives",
+		"ok_name:subsystem": "ok_name:subsystem",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	for in, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		4:            "4",
+		0.001:        "0.001",
+	} {
+		if got := promFloat(in); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+func TestWritePromTextNilRecorder(t *testing.T) {
+	var r *Recorder
+	var b bytes.Buffer
+	if err := r.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil recorder wrote %q", b.String())
+	}
+}
+
+// Every line of the exposition must be a # TYPE comment or a sample the
+// text-format grammar accepts, histograms must carry cumulative buckets
+// ending in a +Inf bucket equal to _count, and counters gain _total.
+func TestWritePromTextFormat(t *testing.T) {
+	r := NewRecorder()
+	r.Counter("timingd.requests").Add(7)
+	r.Counter("timingd.errors_total").Add(1) // already suffixed: not doubled
+	r.Gauge("sta.graph_vertices").Set(42)
+	h := r.Histogram("timingd.latency_ms", 1, 4, 16)
+	for _, v := range []float64{0.5, 2, 3, 10, 100} {
+		h.Observe(v)
+	}
+
+	var b bytes.Buffer
+	if err := r.WritePromText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$`)
+	typeLine := regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !typeLine.MatchString(line) {
+				t.Errorf("bad TYPE line: %q", line)
+			}
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("bad sample line: %q", line)
+		}
+	}
+
+	for _, want := range []string{
+		"# TYPE timingd_requests_total counter\ntimingd_requests_total 7\n",
+		"# TYPE timingd_errors_total counter\ntimingd_errors_total 1\n",
+		"# TYPE sta_graph_vertices gauge\nsta_graph_vertices 42\n",
+		"# TYPE timingd_latency_ms histogram\n",
+		`timingd_latency_ms_bucket{le="1"} 1`,
+		`timingd_latency_ms_bucket{le="4"} 3`,
+		`timingd_latency_ms_bucket{le="16"} 4`,
+		`timingd_latency_ms_bucket{le="+Inf"} 5`,
+		"timingd_latency_ms_count 5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Buckets are cumulative: counts never decrease down the le ladder,
+	// and the +Inf bucket equals _count.
+	bucketRe := regexp.MustCompile(`timingd_latency_ms_bucket\{le="[^"]+"\} (\d+)`)
+	prev := int64(-1)
+	for _, m := range bucketRe.FindAllStringSubmatch(out, -1) {
+		n, _ := strconv.ParseInt(m[1], 10, 64)
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative:\n%s", out)
+		}
+		prev = n
+	}
+	if prev != 5 {
+		t.Fatalf("+Inf bucket = %d, want _count 5", prev)
+	}
+
+	// _sum is the observation sum.
+	if !strings.Contains(out, "timingd_latency_ms_sum 115.5") {
+		t.Errorf("exposition missing sum 115.5:\n%s", out)
+	}
+
+	// Deterministic order: metric families sort by obs name.
+	if strings.Index(out, "timingd_errors_total") > strings.Index(out, "timingd_requests_total") {
+		t.Errorf("counter families not sorted:\n%s", out)
+	}
+}

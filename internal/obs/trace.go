@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// Request-scoped tracing. A Trace bundles a trace ID with its own private
+// Recorder and the span acting as the current parent, and rides a
+// context.Context through layers that never see each other directly: an
+// HTTP handler opens the trace, the session layer passes the context into
+// sta.RunCtx/UpdateCtx, and the wave propagation attaches its spans to
+// whatever trace the context carries. The process-global Recorder keeps
+// aggregating cumulative metrics independently; a Trace is one request's
+// private span tree, cheap enough to build on demand and discarded with
+// the response.
+//
+// Everything is nil-safe in the obs house style: TraceFrom on a bare
+// context returns nil, and starting a span on a nil Trace returns a nil
+// Span whose methods are no-ops — instrumented code never branches on
+// whether tracing is on.
+
+// Trace is one request's identity and private span recorder.
+type Trace struct {
+	// ID is the request's trace identifier (the X-Trace-Id value in
+	// timingd), propagated verbatim across process boundaries.
+	ID string
+	// Rec collects this request's spans; it is private to the request, so
+	// exporting it needs no coordination with other requests.
+	Rec *Recorder
+	// Root is the request-level span child spans should parent to.
+	Root *Span
+}
+
+// NewTrace starts a trace: a fresh recorder and a root span named name.
+// An empty id draws a random one.
+func NewTrace(id, name string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	rec := NewRecorder()
+	return &Trace{ID: id, Rec: rec, Root: rec.Start(name, nil)}
+}
+
+// NewTraceID returns a random 16-hex-digit trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a
+		// time-derived ID keeps tracing alive rather than panicking in an
+		// observability path.
+		now := time.Now().UnixNano()
+		for i := range b {
+			b[i] = byte(now >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Start opens a span on the trace's recorder under parent (nil parent
+// attaches to the root). Nil-safe: a nil Trace returns a nil Span.
+func (t *Trace) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	if parent == nil {
+		parent = t.Root
+	}
+	return t.Rec.Start(name, parent)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to a context.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom extracts the context's trace, or nil. Safe on a nil context.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanNode is one span rendered into the inline ?debug=trace tree.
+type SpanNode struct {
+	Name     string             `json:"name"`
+	Track    int                `json:"track,omitempty"`
+	StartUs  float64            `json:"start_us"`
+	DurUs    float64            `json:"dur_us"`
+	Args     map[string]float64 `json:"args,omitempty"`
+	Children []SpanNode         `json:"children,omitempty"`
+}
+
+// SpanTree renders the recorder's spans as a parent-nested forest in span
+// creation order (ids ascend, and a parent's id is always below its
+// children's, so one ascending pass builds the tree). Still-open spans
+// close at export time. A nil Recorder returns nil.
+func (r *Recorder) SpanTree() []SpanNode {
+	if r == nil {
+		return nil
+	}
+	spans, _, _, _, wall := r.snapshot()
+	nodes := make([]SpanNode, len(spans))
+	for i, s := range spans {
+		nodes[i] = SpanNode{
+			Name:    s.name,
+			Track:   s.track,
+			StartUs: float64(s.start) / float64(time.Microsecond),
+			DurUs:   float64(spanDur(s, wall)) / float64(time.Microsecond),
+		}
+		if len(s.args) > 0 {
+			args := make(map[string]float64, len(s.args))
+			for _, a := range s.args {
+				args[a.key] = jsonSafe(a.val)
+			}
+			nodes[i].Args = args
+		}
+	}
+	var roots []SpanNode
+	// Children are appended to their parent's node; since ids ascend and
+	// parents precede children, building back-to-front keeps each child's
+	// subtree complete before the parent adopts it.
+	for i := len(spans) - 1; i >= 0; i-- {
+		s := spans[i]
+		if s.parent < 0 {
+			roots = append([]SpanNode{nodes[i]}, roots...)
+			continue
+		}
+		p := &nodes[s.parent]
+		p.Children = append([]SpanNode{nodes[i]}, p.Children...)
+	}
+	return roots
+}
+
+// SlowestSpan returns the name and duration of the longest recorded span,
+// excluding root spans (parentless spans cover the whole request; the
+// interesting answer is the child that dominated it). Returns ("", 0) for
+// a nil recorder or when only roots exist.
+func (r *Recorder) SlowestSpan() (name string, dur time.Duration) {
+	if r == nil {
+		return "", 0
+	}
+	spans, _, _, _, wall := r.snapshot()
+	for _, s := range spans {
+		if s.parent < 0 {
+			continue
+		}
+		if d := spanDur(s, wall); d > dur {
+			name, dur = s.name, d
+		}
+	}
+	return name, dur
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if got := TraceFrom(nil); got != nil {
+		t.Fatalf("TraceFrom(nil ctx) = %v", got)
+	}
+	if got := TraceFrom(context.Background()); got != nil {
+		t.Fatalf("TraceFrom(bare ctx) = %v", got)
+	}
+	tr := NewTrace("abc123", "request")
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatalf("TraceFrom returned %v, want the attached trace", got)
+	}
+	if tr.ID != "abc123" {
+		t.Fatalf("trace ID = %q", tr.ID)
+	}
+	if tr.Root == nil || tr.Root.name != "request" {
+		t.Fatalf("trace root = %+v", tr.Root)
+	}
+}
+
+func TestNewTraceGeneratesID(t *testing.T) {
+	a, b := NewTrace("", "x"), NewTrace("", "x")
+	if len(a.ID) != 16 || len(b.ID) != 16 {
+		t.Fatalf("generated IDs %q/%q, want 16 hex chars", a.ID, b.ID)
+	}
+	if a.ID == b.ID {
+		t.Fatalf("two generated trace IDs collided: %q", a.ID)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x", nil)
+	if sp != nil {
+		t.Fatalf("nil trace Start returned non-nil span")
+	}
+	sp.SetFloat("k", 1).End()
+	var r *Recorder
+	if got := r.SpanTree(); got != nil {
+		t.Fatalf("nil recorder SpanTree = %v", got)
+	}
+	if name, dur := r.SlowestSpan(); name != "" || dur != 0 {
+		t.Fatalf("nil recorder SlowestSpan = %q/%v", name, dur)
+	}
+}
+
+// Spans started under nil parent attach to the trace root, so the tree has
+// a single root with the request's phases nested inside it.
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTrace("id", "request")
+	render := tr.Start("render", nil)
+	inner := tr.Start("retime", render)
+	inner.SetFloat("nodes", 42)
+	inner.End()
+	render.End()
+	tr.Start("encode", nil).End()
+	tr.Root.End()
+
+	tree := tr.Rec.SpanTree()
+	if len(tree) != 1 {
+		t.Fatalf("span tree roots = %d, want 1", len(tree))
+	}
+	root := tree[0]
+	if root.Name != "request" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want request/2", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "render" || root.Children[1].Name != "encode" {
+		t.Fatalf("children out of creation order: %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	rt := root.Children[0].Children
+	if len(rt) != 1 || rt[0].Name != "retime" {
+		t.Fatalf("render children = %+v, want [retime]", rt)
+	}
+	if rt[0].Args["nodes"] != 42 {
+		t.Fatalf("retime args = %v", rt[0].Args)
+	}
+	if rt[0].DurUs < 0 || root.DurUs < rt[0].DurUs {
+		t.Fatalf("durations inconsistent: root %v < child %v", root.DurUs, rt[0].DurUs)
+	}
+}
+
+func TestSlowestSpanExcludesRoots(t *testing.T) {
+	r := NewRecorder()
+	root := r.Start("request", nil)
+	fast := r.Start("fast", root)
+	fast.End()
+	slow := r.Start("slow", root)
+	time.Sleep(2 * time.Millisecond)
+	slow.End()
+	root.End()
+
+	name, dur := r.SlowestSpan()
+	if name != "slow" {
+		t.Fatalf("SlowestSpan = %q, want slow", name)
+	}
+	if dur <= 0 {
+		t.Fatalf("SlowestSpan dur = %v", dur)
+	}
+
+	// Only a root: nothing to report.
+	r2 := NewRecorder()
+	r2.Start("request", nil).End()
+	if name, _ := r2.SlowestSpan(); name != "" {
+		t.Fatalf("roots-only SlowestSpan = %q, want empty", name)
+	}
+}

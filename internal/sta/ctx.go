@@ -1,6 +1,10 @@
 package sta
 
-import "context"
+import (
+	"context"
+
+	"newgame/internal/obs"
+)
 
 // Context-aware analysis entry points for resident signoff services. A
 // long-running daemon answering interactive queries needs per-request
@@ -10,6 +14,13 @@ import "context"
 // boundaries — cheap (one atomic load per level) and prompt (a level is a
 // small fraction of a run). Results are unaffected when the context never
 // fires: RunCtx(background) and Run are the same computation.
+//
+// The context is also the seam request-scoped tracing rides through: when
+// it carries an obs.Trace (timingd's ?debug=trace), RunCtx/UpdateCtx open
+// a span on the *request's* private recorder, annotated with the run's
+// propagation stats — so a traced request shows the analysis work done on
+// its behalf without the process-global recorder being involved. With no
+// trace in the context every probe is a nil no-op.
 //
 // Cancellation leaves the analyzer *consistent but stale*: a canceled
 // RunCtx clears the ran flag so every later query goes through a fresh
@@ -21,19 +32,32 @@ import "context"
 // sweeps poll ctx between level wavefronts and abandon the run when it
 // fires, returning the context's error.
 func (a *Analyzer) RunCtx(ctx context.Context) error {
+	sp := obs.TraceFrom(ctx).Start("sta.run", nil)
 	a.runCtx = ctx
 	err := a.Run()
 	a.runCtx = nil
+	a.endRunSpan(sp)
 	return err
 }
 
 // UpdateCtx is Update with cooperative cancellation, with the same
 // fallback semantics (no prior Run, structural edits) as Update.
 func (a *Analyzer) UpdateCtx(ctx context.Context) error {
+	sp := obs.TraceFrom(ctx).Start("sta.update", nil)
 	a.runCtx = ctx
 	err := a.Update()
 	a.runCtx = nil
+	a.endRunSpan(sp)
 	return err
+}
+
+// endRunSpan closes a request-trace span with the run's stats attached.
+func (a *Analyzer) endRunSpan(sp *obs.Span) {
+	sp.SetFloat("levels", float64(a.stats.Levels)).
+		SetFloat("widest_wave", float64(a.stats.WidestWave)).
+		SetFloat("nodes_relaxed", float64(a.stats.NodesRelaxed)).
+		SetFloat("net_cache_hits", float64(a.stats.NetCacheHits)).
+		End()
 }
 
 // canceled reports the in-flight context's error, or nil when running

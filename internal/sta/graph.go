@@ -262,11 +262,18 @@ type Analyzer struct {
 	// nil when running without cancellation.
 	runCtx context.Context
 
+	// stats accumulates per-run propagation statistics in plain fields on
+	// the hot path, published to obs once per Run/Update (see stats.go).
+	stats RunStats
+
 	// Observability instruments, cached at New so hot loops skip the
 	// name lookup (all nil and no-ops when Cfg.Obs is nil).
-	obsLevelWidth      *obs.Histogram
-	obsLevelsSerial    *obs.Counter // levels below the parallel threshold despite Workers > 1
+	obsWidestWave      *obs.Histogram // widest forward wavefront per run
+	obsLevelsSerial    *obs.Counter   // levels below the parallel threshold despite Workers > 1
 	obsLevelsParallel  *obs.Counter
+	obsNodesRelaxed    *obs.Counter // vertex relaxations across both sweeps
+	obsNetCacheHits    *obs.Counter // delay calcs served by the per-net input-keyed cache
+	obsNetsFilled      *obs.Counter // delay calcs recomputed
 	obsFullRunFallback *obs.Counter // Update calls that fell back to a full Run
 	obsIncUpdates      *obs.Counter
 	obsConeVerts       *obs.Histogram // vertices recomputed per incremental Update
@@ -372,9 +379,12 @@ func (a *Analyzer) bindObs() {
 	if r == nil {
 		return // instruments stay nil; every probe is a nil-check no-op
 	}
-	a.obsLevelWidth = r.Histogram("sta.level_width", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+	a.obsWidestWave = r.Histogram("sta.run.widest_wave", 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 	a.obsLevelsSerial = r.Counter("sta.levels_serial_fallback")
 	a.obsLevelsParallel = r.Counter("sta.levels_parallel")
+	a.obsNodesRelaxed = r.Counter("sta.run.nodes_relaxed")
+	a.obsNetCacheHits = r.Counter("sta.run.net_cache_hits")
+	a.obsNetsFilled = r.Counter("sta.run.nets_filled")
 	a.obsFullRunFallback = r.Counter("sta.update.full_run_fallback")
 	a.obsIncUpdates = r.Counter("sta.update.incremental")
 	a.obsConeVerts = r.Histogram("sta.update.cone_vertices", 1, 4, 16, 64, 256, 1024, 4096, 16384)

@@ -252,6 +252,7 @@ func (a *Analyzer) Update() error {
 	sp := a.Cfg.Obs.Start("sta.update", a.Cfg.ObsSpan)
 	defer sp.End()
 	a.obsIncUpdates.Add(1)
+	a.stats = RunStats{}
 	recomputed := 0
 	abort := func(err error) error {
 		a.structDirty = true
@@ -263,7 +264,7 @@ func (a *Analyzer) Update() error {
 		a.growZeroBuf(n.Fanout())
 	}
 	for n := range a.dirtyNets {
-		a.fillNetData(a.nets[n], n)
+		a.countNetFill(a.fillNetData(a.nets[n], n))
 	}
 
 	// Phase 2: forward cone. Seed the worklist with every vertex whose
@@ -411,7 +412,10 @@ func (a *Analyzer) Update() error {
 		a.changed[i] = false
 	}
 	a.clearDirty()
+	a.stats.NodesRelaxed = int64(recomputed)
 	a.obsVertsRecomputed.Add(int64(recomputed))
+	a.obsNodesRelaxed.Add(int64(recomputed))
+	a.publishNetCacheStats()
 	a.obsConeVerts.Observe(float64(recomputed))
 	if n := len(a.verts); n > 0 {
 		a.obsConeRatio.Observe(float64(recomputed) / float64(n))

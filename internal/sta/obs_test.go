@@ -80,11 +80,24 @@ func TestRecordingDoesNotPerturbAnalysis(t *testing.T) {
 	if rec.Histogram("sta.update.cone_vertices").Count() != 4 {
 		t.Fatalf("cone_vertices histogram n = %d, want 4", rec.Histogram("sta.update.cone_vertices").Count())
 	}
-	if rec.Histogram("sta.level_width").Count() == 0 {
-		t.Fatal("level_width histogram never observed")
+	// Per-run stats publish exactly once per full Run: one widest-wave
+	// observation for the single fallback Run (incremental updates add to
+	// the counters but never re-observe the wave shape).
+	if got := rec.Histogram("sta.run.widest_wave").Count(); got != 1 {
+		t.Fatalf("widest_wave histogram n = %d, want 1 (one full Run)", got)
+	}
+	if rec.Counter("sta.run.nodes_relaxed").Value() == 0 {
+		t.Fatal("nodes_relaxed counter never incremented")
+	}
+	if rec.Counter("sta.run.nets_filled").Value() == 0 {
+		t.Fatal("nets_filled counter never incremented")
 	}
 	if rec.Gauge("sta.graph_vertices").Value() == 0 {
 		t.Fatal("graph_vertices gauge never set")
+	}
+	st := inc.LastRunStats()
+	if st.NodesRelaxed == 0 {
+		t.Fatal("LastRunStats nodes relaxed = 0 after updates")
 	}
 
 	// The JSON dump carries the acceptance-critical keys.

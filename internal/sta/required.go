@@ -24,16 +24,17 @@ func (a *Analyzer) propagateRequired() error {
 		if err := a.canceled(); err != nil {
 			return err
 		}
+		a.stats.NodesRelaxed += int64(len(lvl))
 		if w <= 1 || len(lvl) < minParallelLevel {
 			if w > 1 {
-				a.obsLevelsSerial.Add(1)
+				a.stats.SerialLevels++
 			}
 			for _, i := range lvl {
 				a.pullRequired(int(i))
 			}
 			continue
 		}
-		a.obsLevelsParallel.Add(1)
+		a.stats.ParallelLevels++
 		parallelFor(w, len(lvl), func(lo, hi int) {
 			for _, i := range lvl[lo:hi] {
 				a.pullRequired(int(i))

@@ -17,7 +17,12 @@
 // which is what makes concurrent runs replayable byte-for-byte.
 package timingd
 
-import "newgame/internal/units"
+import (
+	"encoding/json"
+
+	"newgame/internal/obs"
+	"newgame/internal/units"
+)
 
 // Op is one netlist edit in a what-if or ECO request.
 type Op struct {
@@ -107,6 +112,48 @@ type Health struct {
 	Epoch     int64  `json:"epoch"`
 	Scenarios int    `json:"scenarios"`
 	Cells     int    `json:"cells"`
+	// Degraded mirrors Status == "degraded" as a machine-checkable bool.
+	Degraded bool `json:"degraded"`
+	// UptimeSec is seconds since the server came up.
+	UptimeSec float64 `json:"uptime_sec"`
+	// Flight-recorder ring occupancy and capacity (requests and commits
+	// currently held for /debug post-hoc diagnosis).
+	FlightRequests    int `json:"flight_requests"`
+	FlightRequestsCap int `json:"flight_requests_cap"`
+	FlightCommits     int `json:"flight_commits"`
+	FlightCommitsCap  int `json:"flight_commits_cap"`
+}
+
+// TraceReport wraps a query's normal response when ?debug=trace is set:
+// the request's own span tree (render, writer pipeline, sta run/update
+// waves) inline next to the answer, tagged with the trace ID also echoed
+// in X-Trace-Id.
+type TraceReport struct {
+	TraceID  string          `json:"trace_id"`
+	Spans    []obs.SpanNode  `json:"spans"`
+	Response json.RawMessage `json:"response"`
+}
+
+// DebugRequestsReport answers GET /debug/requests: the flight recorder's
+// last requests, newest first. Dropped counts ring writes abandoned under
+// extreme contention (normally zero).
+type DebugRequestsReport struct {
+	Requests []obs.RequestRecord `json:"requests"`
+	Dropped  uint64              `json:"dropped"`
+}
+
+// DebugEpochsReport answers GET /debug/epochs: the last commits with
+// their per-phase durations, newest first.
+type DebugEpochsReport struct {
+	Commits []obs.CommitRecord `json:"commits"`
+	Dropped uint64             `json:"dropped"`
+}
+
+// DebugSlowReport answers GET /debug/slow: recorded requests at or above
+// the latency threshold.
+type DebugSlowReport struct {
+	ThresholdMs float64             `json:"threshold_ms"`
+	Requests    []obs.RequestRecord `json:"requests"`
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

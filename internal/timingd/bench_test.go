@@ -5,7 +5,34 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"newgame/internal/obs"
 )
+
+// benchTimingdQueryObs measures the warm cached-slack query with and
+// without a metrics recorder attached — the overhead budget for the
+// observability layer on the hottest read path. The flight recorder and
+// trace-ID minting are always on in both runs (they are unconditional by
+// design); the recorder adds the per-route counter, error counter and
+// latency histogram per request. The Obs-on/Obs-off pair must stay within
+// a few percent of each other.
+func benchTimingdQueryObs(b *testing.B, withObs bool) {
+	_, hs := newTestServer(b, func(c *Config) {
+		c.QueryWorkers = 0
+		c.QueueDepth = 1024
+		if withObs {
+			c.Obs = obs.NewRecorder()
+		}
+	})
+	benchGet(b, hs.URL+"/slack") // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, hs.URL+"/slack")
+	}
+}
+
+func BenchmarkTimingdQueryObsOff(b *testing.B) { benchTimingdQueryObs(b, false) }
+func BenchmarkTimingdQueryObsOn(b *testing.B)  { benchTimingdQueryObs(b, true) }
 
 // benchGet issues one GET and fails the benchmark on a non-200.
 func benchGet(b *testing.B, url string) {

@@ -71,12 +71,15 @@ func (c *queryCache) put(epoch int64, uri string, body []byte) {
 }
 
 // purge drops every entry — called on ECO commit, when the previous
-// epoch's answers stop being current.
-func (c *queryCache) purge() {
+// epoch's answers stop being current. Returns the number of entries
+// dropped (the commit audit record's cache_purged field).
+func (c *queryCache) purge() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	n := c.order.Len()
 	c.order.Init()
 	clear(c.byKey)
+	return n
 }
 
 // stats reports cumulative hit/miss counts.

@@ -1,6 +1,7 @@
 package timingd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -9,12 +10,13 @@ import (
 	"strings"
 	"time"
 
+	"newgame/internal/obs"
 	"newgame/internal/sta"
 )
 
 // routes wires the HTTP surface. Query endpoints go through the bounded
-// admission queue; /healthz and /metrics bypass it so operators can always
-// see a saturated server.
+// admission queue; /healthz, /metrics and the /debug flight-recorder views
+// bypass it so operators can always see a saturated server.
 func (s *Server) routes() {
 	s.mux.HandleFunc("/slack", s.handle("slack", http.MethodGet, s.handleSlack))
 	s.mux.HandleFunc("/endpoints", s.handle("endpoints", http.MethodGet, s.handleEndpoints))
@@ -23,6 +25,30 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/eco", s.handle("eco", http.MethodPost, s.handleECO))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("/debug/epochs", s.handleDebugEpochs)
+	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+}
+
+// reqInfo is the lightweight per-request carrier the render path fills in
+// for the flight recorder: the epoch the answer came from and the query
+// cache outcome. It rides the context so readSnapshot can report without
+// the handler signature changing; unlike a full obs.Trace it costs one
+// small allocation, so every request affords one.
+type reqInfo struct {
+	epoch int64
+	cache string
+}
+
+type reqInfoKey struct{}
+
+func withReqInfo(ctx context.Context, ri *reqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
 }
 
 // apiError carries an HTTP status with a handler error.
@@ -43,22 +69,50 @@ func badRequest(format string, args ...any) error {
 // always waits for its admitted job — the job owns no reference to the
 // ResponseWriter, so a timeout surfaces as the job's error, never as a
 // write race.
+//
+// Every request gets a trace identity: an X-Trace-Id header is accepted
+// verbatim (shard fan-out will forward it) or minted, and always echoed on
+// the response. With ?debug=trace the request additionally records its own
+// private span tree — through readSnapshot's render span and the
+// context-carried trace into sta.RunCtx/UpdateCtx — and the response is
+// wrapped in a TraceReport carrying that tree inline. Untraced requests
+// pay only the ID, one reqInfo allocation, and a lock-free ring write.
 func (s *Server) handle(route, method string, fn func(ctx context.Context, r *http.Request) ([]byte, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		defer s.observe(route, start)
+		traceID := r.Header.Get("X-Trace-Id")
+		var tr *obs.Trace
+		if r.URL.Query().Get("debug") == "trace" {
+			tr = obs.NewTrace(traceID, "timingd."+route)
+			traceID = tr.ID
+		} else if traceID == "" {
+			traceID = obs.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", traceID)
+		info := &reqInfo{epoch: -1}
+		status := http.StatusOK
+		defer func() {
+			s.observe(route, start, status)
+			s.recordRequest(start, route, traceID, info, status, tr)
+		}()
 		if r.Method != method {
-			writeError(w, http.StatusMethodNotAllowed, method+" required")
+			status = http.StatusMethodNotAllowed
+			writeError(w, status, method+" required")
 			return
 		}
 		s.closeMu.RLock()
 		defer s.closeMu.RUnlock()
 		if s.closed {
-			writeError(w, http.StatusServiceUnavailable, "shutting down")
+			status = http.StatusServiceUnavailable
+			writeError(w, status, "shutting down")
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
+		ctx = withReqInfo(ctx, info)
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
 		type answer struct {
 			body []byte
 			err  error
@@ -79,27 +133,55 @@ func (s *Server) handle(route, method string, fn func(ctx context.Context, r *ht
 		}) {
 			s.count("timingd.backpressure_429")
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "request queue full")
+			status = http.StatusTooManyRequests
+			writeError(w, status, "request queue full")
 			return
 		}
 		a := <-done
 		if a.err != nil {
 			switch {
 			case ctx.Err() != nil:
-				writeError(w, http.StatusGatewayTimeout, a.err.Error())
+				status = http.StatusGatewayTimeout
 			default:
-				status := http.StatusInternalServerError
+				status = http.StatusInternalServerError
 				var ae *apiError
 				if asAPIError(a.err, &ae) {
 					status = ae.status
 				}
-				writeError(w, status, a.err.Error())
 			}
+			writeError(w, status, a.err.Error())
 			return
 		}
+		body := a.body
+		if tr != nil {
+			tr.Root.End()
+			env, err := json.Marshal(TraceReport{
+				TraceID:  traceID,
+				Spans:    tr.Rec.SpanTree(),
+				Response: json.RawMessage(bytes.TrimRight(body, "\n")),
+			})
+			if err == nil {
+				body = append(env, '\n')
+			}
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(a.body)
+		w.Write(body)
 	}
+}
+
+// recordRequest appends one request to the flight-recorder ring.
+func (s *Server) recordRequest(start time.Time, route, traceID string, info *reqInfo, status int, tr *obs.Trace) {
+	rec := obs.RequestRecord{
+		Start: start, Route: route, TraceID: traceID,
+		Epoch: info.epoch, Cache: info.cache,
+		Status: status, LatencyMs: msSince(start),
+	}
+	if tr != nil {
+		name, d := tr.Rec.SlowestSpan()
+		rec.SlowestChild = name
+		rec.SlowestChildMs = float64(d) / float64(time.Millisecond)
+	}
+	s.flight.Requests.Put(rec)
 }
 
 // asAPIError unwraps to *apiError without pulling in errors.As generics
@@ -139,16 +221,28 @@ func (s *Server) readSnapshot(ctx context.Context, uri string, render func(sess 
 	sess.mu.RLock()
 	defer sess.mu.RUnlock()
 	epoch := sess.epoch
+	info := reqInfoFrom(ctx)
+	if info != nil {
+		info.epoch = epoch
+	}
 	// A faulty cache degrades to a render, never to a wrong or failed
 	// response: a get fault is a miss, a put fault skips caching.
 	if err := s.fire(SiteCacheGet); err != nil {
 		s.count("timingd.cache.faults")
 	} else if b, ok := s.cache.get(epoch, uri); ok {
 		s.count("timingd.cache.hits")
+		if info != nil {
+			info.cache = "hit"
+		}
 		return b, nil
 	}
 	s.count("timingd.cache.misses")
+	if info != nil {
+		info.cache = "miss"
+	}
+	sp := obs.TraceFrom(ctx).Start("render", nil)
 	v, err := render(sess, epoch)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -238,9 +332,14 @@ func (s *Server) handleWhatIf(ctx context.Context, r *http.Request) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.TraceFrom(ctx).Start("whatif", nil)
 	rep, err := s.whatIf(ctx, ops)
+	sp.End()
 	if err != nil {
 		return nil, wrapOpError(err)
+	}
+	if info := reqInfoFrom(ctx); info != nil {
+		info.epoch = rep.Epoch
 	}
 	return marshalBody(rep)
 }
@@ -250,9 +349,14 @@ func (s *Server) handleECO(ctx context.Context, r *http.Request) ([]byte, error)
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.TraceFrom(ctx).Start("commit", nil)
 	rep, err := s.commit(ctx, ops)
+	sp.End()
 	if err != nil {
 		return nil, wrapOpError(err)
+	}
+	if info := reqInfoFrom(ctx); info != nil {
+		info.epoch = rep.Epoch
 	}
 	return marshalBody(rep)
 }
@@ -281,7 +385,9 @@ func marshalBody(v any) ([]byte, error) {
 }
 
 // handleHealthz bypasses the queue: liveness must be observable even when
-// the queue is saturated.
+// the queue is saturated. Beyond the bare liveness bit it reports the
+// served epoch, the degraded flag, uptime, and flight-recorder occupancy,
+// so one probe tells an operator what state the daemon is actually in.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sess := s.cur.Load()
 	sess.mu.RLock()
@@ -294,13 +400,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sess.mu.RUnlock()
 	if s.degraded.Load() {
 		h.Status = "degraded"
+		h.Degraded = true
 	}
-	b, _ := json.Marshal(h)
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(append(b, '\n'))
+	h.UptimeSec = time.Since(s.start).Seconds()
+	h.FlightRequests = s.flight.Requests.Len()
+	h.FlightRequestsCap = s.flight.Requests.Cap()
+	h.FlightCommits = s.flight.Commits.Len()
+	h.FlightCommitsCap = s.flight.Commits.Cap()
+	writeJSON(w, h)
 }
 
-// handleMetrics bypasses the queue and serves the obs metrics dump.
+// handleMetrics bypasses the queue and serves the obs metrics: the JSON
+// dump by default, Prometheus text exposition with ?format=prom.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Obs == nil {
 		writeError(w, http.StatusNotFound, "metrics recording disabled")
@@ -309,10 +420,79 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses := s.cache.stats()
 	s.cfg.Obs.Gauge("timingd.cache.hit_total").Set(float64(hits))
 	s.cfg.Obs.Gauge("timingd.cache.miss_total").Set(float64(misses))
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.cfg.Obs.WritePromText(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.cfg.Obs.WriteMetricsJSON(w); err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// handleDebugRequests serves the request ring, newest first. Bypasses the
+// queue: the flight recorder exists to diagnose a saturated or degraded
+// server, so it must answer then. ?limit= caps the returned records.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseInt(r.URL.Query().Get("limit"), 0, 1, 1<<20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, DebugRequestsReport{
+		Requests: s.flight.Requests.Snapshot(limit),
+		Dropped:  s.flight.Requests.Dropped(),
+	})
+}
+
+// handleDebugEpochs serves the commit ring: the per-phase audit timeline
+// of the last M commits, newest first.
+func (s *Server) handleDebugEpochs(w http.ResponseWriter, r *http.Request) {
+	limit, err := parseInt(r.URL.Query().Get("limit"), 0, 1, 1<<20)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, DebugEpochsReport{
+		Commits: s.flight.Commits.Snapshot(limit),
+		Dropped: s.flight.Commits.Dropped(),
+	})
+}
+
+// handleDebugSlow serves the recorded requests at or above a latency
+// threshold (?threshold_ms=, default 10), newest first.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	threshold := 10.0
+	if v := r.URL.Query().Get("threshold_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad threshold_ms %q", v))
+			return
+		}
+		threshold = f
+	}
+	all := s.flight.Requests.Snapshot(0)
+	slow := make([]obs.RequestRecord, 0, len(all))
+	for _, rec := range all {
+		if rec.LatencyMs >= threshold {
+			slow = append(slow, rec)
+		}
+	}
+	writeJSON(w, DebugSlowReport{ThresholdMs: threshold, Requests: slow})
+}
+
+// writeJSON answers 200 with a JSON body and trailing newline.
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
 }
 
 func parseKind(s string) (sta.CheckKind, error) {

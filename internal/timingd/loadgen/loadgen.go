@@ -92,6 +92,56 @@ func (r Report) String() string {
 	return b.String()
 }
 
+// RouteJSON is one route's outcome in the machine-readable report.
+type RouteJSON struct {
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Refused  int `json:"refused"`
+	// MixPct is this route's share of all issued requests, percent.
+	MixPct float64 `json:"mix_pct"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// ReportJSON is the machine-readable run summary (`timingd -loadgen
+// -json`), archived by CI next to the benchmark snapshots so throughput
+// and tail-latency history lives beside ns/op history.
+type ReportJSON struct {
+	ElapsedSec    float64              `json:"elapsed_sec"`
+	TotalRequests int                  `json:"total_requests"`
+	QPS           float64              `json:"qps"`
+	Routes        map[string]RouteJSON `json:"routes"`
+}
+
+// JSON converts the report for machine consumption.
+func (r Report) JSON() ReportJSON {
+	out := ReportJSON{
+		ElapsedSec:    r.Elapsed.Seconds(),
+		TotalRequests: r.Total,
+		QPS:           r.QPS,
+		Routes:        make(map[string]RouteJSON, len(r.Routes)),
+	}
+	issued := 0
+	for _, st := range r.Routes {
+		issued += st.Requests + st.Errors + st.Refused
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for name, st := range r.Routes {
+		rj := RouteJSON{
+			Requests: st.Requests, Errors: st.Errors, Refused: st.Refused,
+			P50Ms: ms(st.Percentile(0.50)),
+			P95Ms: ms(st.Percentile(0.95)),
+			P99Ms: ms(st.Percentile(0.99)),
+		}
+		if issued > 0 {
+			rj.MixPct = 100 * float64(st.Requests+st.Errors+st.Refused) / float64(issued)
+		}
+		out.Routes[name] = rj
+	}
+	return out
+}
+
 // Run executes the load profile and aggregates the outcome. Every client
 // goroutine draws from one shared request sequence, so the mix is exact
 // regardless of client count.

@@ -155,6 +155,59 @@ func TestRunPacedRate(t *testing.T) {
 	}
 }
 
+// The JSON view carries qps, per-route percentiles in milliseconds and a
+// mix that sums to 100%, and round-trips through encoding/json.
+func TestReportJSON(t *testing.T) {
+	rep := Report{
+		Elapsed: 2 * time.Second,
+		Total:   300,
+		QPS:     150,
+		Routes: map[string]*RouteStats{
+			"slack": {Requests: 240, Refused: 10, latencies: mkLatencies(240)},
+			"paths": {Requests: 50, Errors: 0, latencies: mkLatencies(50)},
+		},
+	}
+	j := rep.JSON()
+	if j.QPS != 150 || j.TotalRequests != 300 || j.ElapsedSec != 2 {
+		t.Fatalf("header fields: %+v", j)
+	}
+	sl := j.Routes["slack"]
+	if sl.Requests != 240 || sl.Refused != 10 {
+		t.Fatalf("slack counts: %+v", sl)
+	}
+	// mkLatencies yields 1ms..Nms ascending, so p50 of 240 samples is 120ms.
+	if sl.P50Ms != 120 || sl.P99Ms != 237 {
+		t.Fatalf("slack percentiles: p50=%v p99=%v", sl.P50Ms, sl.P99Ms)
+	}
+	if total := sl.MixPct + j.Routes["paths"].MixPct; total < 99.99 || total > 100.01 {
+		t.Fatalf("mix does not sum to 100%%: %v", total)
+	}
+	b, err := json.Marshal(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReportJSON
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(j, back) {
+		t.Fatalf("JSON round trip changed the report:\n%+v\n%+v", j, back)
+	}
+	for _, key := range []string{`"qps"`, `"p95_ms"`, `"mix_pct"`, `"total_requests"`} {
+		if !strings.Contains(string(b), key) {
+			t.Fatalf("marshaled report missing %s: %s", key, b)
+		}
+	}
+}
+
+func mkLatencies(n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return out
+}
+
 func TestRunWhatIfRequiresOps(t *testing.T) {
 	_, err := Run(context.Background(), Config{Base: "http://unused", WhatIfWeight: 1})
 	if err == nil || !strings.Contains(err.Error(), "WhatIfOps") {

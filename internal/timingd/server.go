@@ -54,6 +54,11 @@ type Config struct {
 	// Obs, when non-nil, records request counters, latency histograms and
 	// sta-level spans, served at /metrics.
 	Obs *obs.Recorder
+	// FlightRequests / FlightCommits size the always-on flight-recorder
+	// rings (last N requests at /debug/requests, last M commits at
+	// /debug/epochs), rounded up to powers of two. Defaults 256 and 64.
+	FlightRequests int
+	FlightCommits  int
 	// Hooks, when non-nil, injects faults at writer and cache seams.
 	// Test-only; leave nil in production.
 	Hooks *Hooks
@@ -78,6 +83,12 @@ func (c *Config) withDefaults() *Config {
 	}
 	if out.AnalysisWorkers == 0 {
 		out.AnalysisWorkers = 1
+	}
+	if out.FlightRequests == 0 {
+		out.FlightRequests = 256
+	}
+	if out.FlightCommits == 0 {
+		out.FlightCommits = 64
 	}
 	return &out
 }
@@ -111,6 +122,12 @@ type Server struct {
 	// longer be guaranteed identical; writes are refused from then on.
 	degraded atomic.Bool
 
+	// flight is the always-on black box: the last N requests and last M
+	// commits, written lock-free from the hot path and served at
+	// /debug/requests, /debug/epochs and /debug/slow.
+	flight *obs.FlightRecorder
+	start  time.Time
+
 	mux *http.ServeMux
 }
 
@@ -127,9 +144,11 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("timingd: Config.Stack is nil")
 	}
 	s := &Server{
-		cfg:   c,
-		pool:  workpool.NewPool(c.QueryWorkers, c.QueueDepth),
-		cache: newQueryCache(c.CacheSize),
+		cfg:    c,
+		pool:   workpool.NewPool(c.QueryWorkers, c.QueueDepth),
+		cache:  newQueryCache(c.CacheSize),
+		flight: obs.NewFlightRecorder(c.FlightRequests, c.FlightCommits),
+		start:  time.Now(),
 	}
 	// Both snapshots are full builds from clones of the source design;
 	// the keyed binder guarantees they are bit-identical despite being
@@ -169,15 +188,23 @@ func (s *Server) Close() {
 	s.pool.Close()
 }
 
-// observe bumps a per-route counter and latency histogram when recording.
-func (s *Server) observe(route string, start time.Time) {
+// observe bumps the per-route request counter, latency histogram and —
+// for non-2xx answers — the per-route error counter when recording.
+func (s *Server) observe(route string, start time.Time, status int) {
 	if s.cfg.Obs == nil {
 		return
 	}
 	s.cfg.Obs.Counter("timingd." + route + ".requests").Add(1)
-	ms := float64(time.Since(start).Microseconds()) / 1000
+	if status >= 400 {
+		s.cfg.Obs.Counter("timingd." + route + ".errors").Add(1)
+	}
 	s.cfg.Obs.Histogram("timingd."+route+".latency_ms",
-		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000).Observe(ms)
+		0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000).Observe(msSince(start))
+}
+
+// msSince is the elapsed wall time in (fractional) milliseconds.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
 }
 
 // count bumps a named counter when recording.
@@ -192,11 +219,28 @@ func (s *Server) count(name string) {
 // it can serve as the next shadow. Reads never wait on any of this: they
 // keep resolving the old pointer until the swap, and the replay locks only
 // the retired session.
+//
+// Every commit — successful or not — leaves a CommitRecord with per-phase
+// durations in the flight recorder, so /debug/epochs reconstructs the
+// writer pipeline's audit timeline post hoc.
 func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	s.writerMu.Lock()
 	defer s.writerMu.Unlock()
+	cr := obs.CommitRecord{Start: time.Now(), OpsApplied: len(ops)}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		cr.TraceID = tr.ID
+	}
+	record := func(err error) {
+		if err != nil {
+			cr.Err = err.Error()
+		}
+		cr.TotalMs = msSince(cr.Start)
+		s.flight.Commits.Put(cr)
+	}
 	if s.degraded.Load() {
-		return nil, fmt.Errorf("server degraded by earlier failed commit; restart required")
+		err := fmt.Errorf("server degraded by earlier failed commit; restart required")
+		record(err)
+		return nil, err
 	}
 
 	sh := s.shadow
@@ -209,10 +253,12 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	err := guard(func() error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		phase := time.Now()
 		if err := s.fire(SiteCommitResolve); err != nil {
 			return err
 		}
 		edits, err := sh.resolve(ops)
+		cr.ResolveMs = msSince(phase)
 		if err != nil {
 			return err
 		}
@@ -221,10 +267,12 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 		if err := s.fire(SiteCommitApply); err != nil {
 			return err
 		}
+		phase = time.Now()
 		structural, err := sh.applyEdits(edits)
 		if err == nil {
 			err = sh.retime(ctx, s.cfg, structural)
 		}
+		cr.ApplyMs = msSince(phase)
 		if err == nil {
 			err = s.fire(SiteCommitSwap)
 		}
@@ -248,11 +296,15 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 			s.degraded.Store(true)
 			s.count("timingd.panics_recovered")
 		}
+		record(err)
 		return nil, err
 	}
 
+	phase := time.Now()
 	old := s.cur.Swap(sh)
-	s.cache.purge()
+	cr.CachePurged = s.cache.purge()
+	cr.Epoch = newEpoch
+	cr.SwapMs = msSince(phase)
 	s.count("timingd.commits")
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.Gauge("timingd.epoch").Set(float64(newEpoch))
@@ -262,6 +314,7 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	// RLock; the edit waits for them. Not cancellable: the commit is
 	// already visible. Guarded for the same reason as above — a panic
 	// mid-replay leaves the retired snapshot unusable as the next shadow.
+	phase = time.Now()
 	rerr := guard(func() error {
 		if err := s.fire(SiteCommitReplay); err != nil {
 			return err
@@ -279,14 +332,17 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 		old.epoch = newEpoch
 		return err
 	})
+	cr.ReplayMs = msSince(phase)
 	if rerr != nil {
 		if isRecoveredPanic(rerr) {
 			s.count("timingd.panics_recovered")
 		}
 		s.degraded.Store(true)
+		record(rerr)
 		return rep, nil // the commit itself succeeded
 	}
 	s.shadow = old
+	record(nil)
 	return rep, nil
 }
 

@@ -49,6 +49,14 @@ curl -sf "$BASE/slack" >/tmp/slack0.json || fail "GET /slack"
 curl -sf "$BASE/endpoints?kind=hold&limit=3" >/dev/null || fail "GET /endpoints"
 curl -sf "$BASE/paths?k=2" >/dev/null || fail "GET /paths"
 curl -sf "$BASE/metrics" >/dev/null || fail "GET /metrics"
+curl -sf "$BASE/metrics?format=prom" >/tmp/metrics.prom || fail "GET /metrics?format=prom"
+grep -q '^# TYPE ' /tmp/metrics.prom || fail "prom exposition has no TYPE lines"
+
+# Trace identity: the response must echo a trace ID, and ?debug=trace must
+# return the span tree inline.
+TRACE_ID="$(curl -sf -D - -o /dev/null "$BASE/slack" | tr -d '\r' | sed -n 's/^X-Trace-Id: //p')"
+[[ -n "$TRACE_ID" ]] || fail "no X-Trace-Id on response"
+curl -sf "$BASE/slack?debug=trace" | grep -q '"spans":' || fail "?debug=trace has no span tree"
 
 # What-if must not advance the epoch or perturb the baseline.
 curl -sf -d "{\"ops\":[$OP_JSON]}" "$BASE/whatif" >/tmp/whatif.json || fail "POST /whatif"
@@ -69,10 +77,24 @@ NOW="$(sed -n 's/.*"scenarios":\(\[.*\]\)}/\1/p' /tmp/slack1.json)"
   fail "post-eco baseline does not match the commit's after"
 }
 
-# Brief load burst: mixed reads + what-ifs, hard floor on throughput.
+# The flight recorder must have audited the commit above with its phase
+# timeline, and the request ring must be populated.
+curl -sf "$BASE/debug/epochs" >/tmp/epochs.json || fail "GET /debug/epochs"
+grep -q '"apply_ms":' /tmp/epochs.json || fail "commit record has no phase durations"
+grep -q '"epoch":1' /tmp/epochs.json || fail "commit record missing epoch 1"
+curl -sf "$BASE/debug/requests?limit=5" | grep -q '"route":' || fail "GET /debug/requests empty"
+curl -sf "$BASE/debug/slow?threshold_ms=0" >/dev/null || fail "GET /debug/slow"
+
+# Brief load burst: mixed reads + what-ifs, hard floor on throughput. The
+# JSON report (qps, per-route p50/p95/p99, mix) is archived by CI next to
+# the benchmark snapshot.
+LOADGEN_JSON="${LOADGEN_JSON:-loadgen-report.json}"
 "$BIN" -loadgen -target "$BASE" -duration 3s -clients 8 \
-  -whatif-cell "$OP_CELL" -whatif-to "$OP_TO" -min-qps 1000 \
+  -whatif-cell "$OP_CELL" -whatif-to "$OP_TO" -min-qps 1000 -json \
+  >"$LOADGEN_JSON" \
   || fail "loadgen under 1000 qps or errored"
+grep -q '"qps":' "$LOADGEN_JSON" || fail "loadgen JSON report malformed"
+echo "smoke: loadgen report written to $LOADGEN_JSON"
 
 # Graceful shutdown.
 kill -TERM "$DPID"
