@@ -6,9 +6,11 @@
 // Only shared benchmark names are compared — renamed, added or retired
 // benchmarks never trip the guard, so the suite can evolve without
 // ceremony; the baseline catches only genuine slowdowns of surviving
-// hot paths. The diff is printed for every shared benchmark, worst
-// regression first, so the CI log doubles as a perf report even when the
-// guard passes.
+// hot paths. Baseline benchmarks missing from the current snapshot are
+// reported as warnings (a disappeared benchmark is usually a rename, but
+// can be a bench regex that silently stopped matching). The diff is
+// printed for every shared benchmark, worst regression first, so the CI
+// log doubles as a perf report even when the guard passes.
 //
 // Usage:
 //
@@ -44,13 +46,22 @@ type diffLine struct {
 	Regression bool
 }
 
-// compare builds the shared-benchmark diff, worst regression first.
-// thresholdPct is the allowed ns/op slowdown in percent.
-func compare(base, cur snapshot, thresholdPct float64) []diffLine {
+// compare builds the shared-benchmark diff, worst regression first, and
+// returns the baseline benchmarks absent from the current snapshot. A
+// missing name is usually a deliberate rename or retirement, but it can
+// also mean a bench regex quietly stopped matching — so it is reported,
+// never silently dropped. thresholdPct is the allowed ns/op slowdown in
+// percent.
+func compare(base, cur snapshot, thresholdPct float64) ([]diffLine, []string) {
 	var lines []diffLine
+	var missing []string
 	for name, b := range base.Benchmarks {
 		c, ok := cur.Benchmarks[name]
-		if !ok || b.NsPerOp <= 0 {
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
 			continue
 		}
 		d := diffLine{
@@ -68,7 +79,8 @@ func compare(base, cur snapshot, thresholdPct float64) []diffLine {
 		}
 		return lines[i].Name < lines[j].Name
 	})
-	return lines
+	sort.Strings(missing)
+	return lines, missing
 }
 
 // render writes the human-readable diff table and returns the number of
@@ -124,13 +136,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	lines := compare(base, cur, *threshold)
+	lines, missing := compare(base, cur, *threshold)
 	if len(lines) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: snapshots share no benchmarks")
 		os.Exit(2)
 	}
 	fmt.Printf("benchdiff: %s -> %s, %d shared benchmarks, threshold %.0f%%\n",
 		base.Commit, cur.Commit, len(lines), *threshold)
+	for _, name := range missing {
+		fmt.Printf("?? %-55s in baseline only — renamed, retired, or no longer matched\n", name)
+	}
 	if render(os.Stdout, lines, *threshold) > 0 {
 		os.Exit(1)
 	}

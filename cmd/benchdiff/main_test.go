@@ -15,8 +15,8 @@ func snap(commit string, ns map[string]float64) snapshot {
 }
 
 // The guard compares only shared names, flags slowdowns past the
-// threshold, ignores speedups and benchmarks unique to either side, and
-// sorts worst-first.
+// threshold, ignores speedups and current-only benchmarks, reports
+// baseline-only benchmarks as missing, and sorts worst-first.
 func TestCompare(t *testing.T) {
 	base := snap("aaa", map[string]float64{
 		"BenchmarkA":       1000, // 50% slower -> regression
@@ -30,9 +30,12 @@ func TestCompare(t *testing.T) {
 		"BenchmarkC":   600,
 		"BenchmarkNew": 99999, // not in baseline -> ignored
 	})
-	lines := compare(base, cur, 25)
+	lines, missing := compare(base, cur, 25)
 	if len(lines) != 3 {
 		t.Fatalf("compared %d benchmarks, want 3 shared: %+v", len(lines), lines)
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkRetired" {
+		t.Fatalf("baseline-only benchmarks %v, want [BenchmarkRetired]", missing)
 	}
 	if lines[0].Name != "BenchmarkA" || !lines[0].Regression {
 		t.Fatalf("worst-first ordering: %+v", lines[0])
@@ -52,11 +55,11 @@ func TestCompare(t *testing.T) {
 func TestCompareThresholdBoundary(t *testing.T) {
 	base := snap("a", map[string]float64{"B": 1000})
 	cur := snap("b", map[string]float64{"B": 1250})
-	if lines := compare(base, cur, 25); lines[0].Regression {
+	if lines, _ := compare(base, cur, 25); lines[0].Regression {
 		t.Fatalf("exactly-at-threshold flagged: %+v", lines[0])
 	}
 	cur = snap("b", map[string]float64{"B": 1251})
-	if lines := compare(base, cur, 25); !lines[0].Regression {
+	if lines, _ := compare(base, cur, 25); !lines[0].Regression {
 		t.Fatalf("past-threshold not flagged: %+v", lines[0])
 	}
 }

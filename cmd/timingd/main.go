@@ -34,6 +34,7 @@ import (
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
 	"newgame/internal/obs"
+	"newgame/internal/pack"
 	"newgame/internal/parasitics"
 	"newgame/internal/timingd"
 	"newgame/internal/timingd/loadgen"
@@ -52,6 +53,9 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth (full queue answers 429)")
 	cacheSize := flag.Int("cache", 256, "query cache entries per epoch")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	snapshotDir := flag.String("snapshot-dir", "", "directory for snapshot packs and the epoch log (empty disables persistence)")
+	restore := flag.String("restore", "", "boot from this snapshot pack instead of generating the design")
+	rewindEpoch := flag.Int64("rewind-epoch", 0, "with -restore: stop epoch-log replay at this epoch and truncate the log there (0 = replay all)")
 
 	loadgenMode := flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
 	target := flag.String("target", "http://localhost:8374", "loadgen target base URL")
@@ -70,29 +74,58 @@ func main() {
 	}
 
 	rec := obs.NewRecorder()
-	stack := parasitics.Stack16()
-	recipe := buildRecipe(*recipeName, stack)
-	lib := recipe.Scenarios[0].Lib
-	d := circuits.Block(lib, circuits.BlockSpec{
-		Name: "soc", Inputs: 24, Outputs: 24, FFs: *ffs, Gates: *gates,
-		MaxDepth: 13, Seed: *seed, ClockBufferLevels: 3,
-		VtMix: [3]float64{0, 0.4, 0.6},
-	})
-
 	start := time.Now()
-	srv, err := timingd.NewServer(timingd.Config{
-		Design: d, Recipe: recipe, Stack: stack,
+	cfg := timingd.Config{
 		BasePeriod: *period, Seed: *seed,
 		Workers: *workers, QueryWorkers: *queryWorkers,
 		QueueDepth: *queue, CacheSize: *cacheSize,
 		RequestTimeout: *timeout, Obs: rec,
-	})
+		SnapshotDir: *snapshotDir, RestoreToEpoch: *rewindEpoch,
+	}
+	if *restore != "" {
+		// Warm boot: the whole resident state — design, libraries, recipe,
+		// parasitics, frozen timing topology — comes from the pack; no
+		// generation, no characterization, no levelization.
+		snap, err := pack.Load(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Restore = snap
+		cfg.RestorePath = *restore
+	} else {
+		stack := parasitics.Stack16()
+		recipe := buildRecipe(*recipeName, stack)
+		d := circuits.Block(recipe.Scenarios[0].Lib, circuits.BlockSpec{
+			Name: "soc", Inputs: 24, Outputs: 24, FFs: *ffs, Gates: *gates,
+			MaxDepth: 13, Seed: *seed, ClockBufferLevels: 3,
+			VtMix: [3]float64{0, 0.4, 0.6},
+		})
+		cfg.Design = d
+		cfg.Recipe = recipe
+		cfg.Stack = stack
+	}
+	if *snapshotDir != "" {
+		if err := os.MkdirAll(*snapshotDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	srv, err := timingd.NewServer(cfg)
 	if err != nil {
 		fatal(err)
 	}
+	d := cfg.Design
+	recipe := cfg.Recipe
+	if cfg.Restore != nil {
+		d = cfg.Restore.Design
+		recipe = *cfg.Restore.Recipe
+	}
+	lib := recipe.Scenarios[0].Lib
 	st := d.Stats()
 	fmt.Printf("timingd: %s ready in %.2fs: %d cells, %d nets, %d scenarios, epoch %d\n",
 		d.Name, time.Since(start).Seconds(), st.Cells, st.Nets, len(recipe.Scenarios), srv.Epoch())
+	if *restore != "" {
+		fmt.Printf("timingd: restored from %s (snapshot epoch %d)\n", *restore, cfg.Restore.Epoch)
+	}
 	if cell, to := exampleResize(d, lib); cell != "" {
 		fmt.Printf("timingd: example op: {\"op\":\"resize\",\"cell\":\"%s\",\"to\":\"%s\"}\n", cell, to)
 	}

@@ -112,6 +112,12 @@ func Registry() []Invariant {
 			Check: checkIncrementalMatchesFull,
 		},
 		{
+			Name:  "pack-roundtrip-identical",
+			Law:   "a snapshot pack round-trip — encode, decode, rebuild from decoded bytes only — reproduces the live analyzer's observable timing state bit-for-bit, with the frozen topology adopted unchanged",
+			Scope: PerDesign,
+			Check: checkPackRoundTrip,
+		},
+		{
 			Name:  "delay-monotone-load-slew",
 			Law:   "NLDM cell delay and output slew are nondecreasing in output load and input slew over every characterized arc",
 			Scope: PerRun,

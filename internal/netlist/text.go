@@ -1,0 +1,242 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText serializes the design in a line-oriented structural text
+// format — the human-readable interchange form (and the honest "cold boot
+// parses text" baseline the snapshot-pack benchmarks compare against).
+// The format preserves every order a rebuild must reproduce: net, cell,
+// pin and port declaration order, and per-net load order.
+//
+//	design <name> <nameSeq>
+//	net <name>
+//	cell <name> <typeName> <pin>:<i|o> ...
+//	port <name> <in|out> <netName>
+//	conn <netName> <driver cell/pin | -> [load cell/pin ...]
+//
+// Names containing whitespace are rejected; the generators never produce
+// them.
+func WriteText(w io.Writer, d *Design) error {
+	bw := bufio.NewWriter(w)
+	bp := d.Blueprint()
+	check := func(name string) error {
+		if name == "" || strings.ContainsAny(name, " \t\r\n") {
+			return fmt.Errorf("netlist: name %q not representable in text format", name)
+		}
+		return nil
+	}
+	if err := check(bp.Name); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "design %s %d\n", bp.Name, bp.NameSeq)
+	for _, n := range bp.Nets {
+		if err := check(n.Name); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "net %s\n", n.Name)
+	}
+	for _, c := range bp.Cells {
+		if err := check(c.Name); err != nil {
+			return err
+		}
+		if err := check(c.TypeName); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "cell %s %s", c.Name, c.TypeName)
+		for _, p := range c.Pins {
+			if err := check(p.Name); err != nil {
+				return err
+			}
+			dir := "i"
+			if p.Dir == Output {
+				dir = "o"
+			}
+			fmt.Fprintf(bw, " %s:%s", p.Name, dir)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, p := range bp.Ports {
+		if err := check(p.Name); err != nil {
+			return err
+		}
+		dir := "in"
+		if p.Dir == Output {
+			dir = "out"
+		}
+		fmt.Fprintf(bw, "port %s %s %s\n", p.Name, dir, bp.Nets[p.Net].Name)
+	}
+	ref := func(r PinRef) string {
+		c := bp.Cells[r.Cell]
+		return c.Name + "/" + c.Pins[r.Pin].Name
+	}
+	for _, n := range bp.Nets {
+		if n.Driver.Cell == -1 && len(n.Loads) == 0 {
+			continue
+		}
+		drv := "-"
+		if n.Driver.Cell != -1 {
+			drv = ref(n.Driver)
+		}
+		fmt.Fprintf(bw, "conn %s %s", n.Name, drv)
+		for _, l := range n.Loads {
+			fmt.Fprintf(bw, " %s", ref(l))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ParseText rebuilds a design from WriteText's format, reproducing the
+// original's slice orders exactly (it parses into a Blueprint and rebuilds
+// through FromBlueprint, which validates all structural invariants).
+func ParseText(r io.Reader) (*Design, error) {
+	bp := &Blueprint{}
+	netIdx := map[string]int32{}
+	cellIdx := map[string]int32{}
+	portIdx := map[string]bool{}
+	pinIdx := []map[string]int32{}
+	conns := map[string]bool{}
+	sawDesign := false
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("netlist: text line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+	resolveRef := func(s string) (PinRef, error) {
+		cellName, pinName, ok := strings.Cut(s, "/")
+		if !ok {
+			return PinRef{}, fail("bad pin reference %q (want cell/pin)", s)
+		}
+		ci, ok := cellIdx[cellName]
+		if !ok {
+			return PinRef{}, fail("unknown cell %q", cellName)
+		}
+		pi, ok := pinIdx[ci][pinName]
+		if !ok {
+			return PinRef{}, fail("cell %q has no pin %q", cellName, pinName)
+		}
+		return PinRef{Cell: ci, Pin: pi}, nil
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "design":
+			if sawDesign {
+				return nil, fail("duplicate design line")
+			}
+			if len(f) != 3 {
+				return nil, fail("want: design <name> <nameSeq>")
+			}
+			seq, err := strconv.Atoi(f[2])
+			if err != nil || seq < 0 {
+				return nil, fail("bad nameSeq %q", f[2])
+			}
+			bp.Name, bp.NameSeq = f[1], seq
+			sawDesign = true
+		case "net":
+			if len(f) != 2 {
+				return nil, fail("want: net <name>")
+			}
+			if _, dup := netIdx[f[1]]; dup {
+				return nil, fail("duplicate net %q", f[1])
+			}
+			netIdx[f[1]] = int32(len(bp.Nets))
+			bp.Nets = append(bp.Nets, BlueprintNet{Name: f[1], Driver: PinRef{Cell: -1, Pin: -1}, Port: -1})
+		case "cell":
+			if len(f) < 3 {
+				return nil, fail("want: cell <name> <type> <pin>:<i|o> ...")
+			}
+			if _, dup := cellIdx[f[1]]; dup {
+				return nil, fail("duplicate cell %q", f[1])
+			}
+			bc := BlueprintCell{Name: f[1], TypeName: f[2]}
+			pins := map[string]int32{}
+			for _, spec := range f[3:] {
+				name, dir, ok := strings.Cut(spec, ":")
+				if !ok || (dir != "i" && dir != "o") {
+					return nil, fail("bad pin spec %q (want name:i or name:o)", spec)
+				}
+				if _, dup := pins[name]; dup {
+					return nil, fail("duplicate pin %q on cell %q", name, f[1])
+				}
+				pd := In(name)
+				if dir == "o" {
+					pd = Out(name)
+				}
+				pins[name] = int32(len(bc.Pins))
+				bc.Pins = append(bc.Pins, pd)
+			}
+			cellIdx[f[1]] = int32(len(bp.Cells))
+			bp.Cells = append(bp.Cells, bc)
+			pinIdx = append(pinIdx, pins)
+		case "port":
+			if len(f) != 4 || (f[2] != "in" && f[2] != "out") {
+				return nil, fail("want: port <name> <in|out> <net>")
+			}
+			if portIdx[f[1]] {
+				return nil, fail("duplicate port %q", f[1])
+			}
+			ni, ok := netIdx[f[3]]
+			if !ok {
+				return nil, fail("unknown net %q", f[3])
+			}
+			if bp.Nets[ni].Port != -1 {
+				return nil, fail("net %q already has a port", f[3])
+			}
+			dir := Input
+			if f[2] == "out" {
+				dir = Output
+			}
+			bp.Nets[ni].Port = int32(len(bp.Ports))
+			bp.Ports = append(bp.Ports, BlueprintPort{Name: f[1], Dir: dir, Net: ni})
+			portIdx[f[1]] = true
+		case "conn":
+			if len(f) < 3 {
+				return nil, fail("want: conn <net> <driver|-> [loads...]")
+			}
+			ni, ok := netIdx[f[1]]
+			if !ok {
+				return nil, fail("unknown net %q", f[1])
+			}
+			if conns[f[1]] {
+				return nil, fail("duplicate conn for net %q", f[1])
+			}
+			conns[f[1]] = true
+			if f[2] != "-" {
+				ref, err := resolveRef(f[2])
+				if err != nil {
+					return nil, err
+				}
+				bp.Nets[ni].Driver = ref
+			}
+			for _, l := range f[3:] {
+				ref, err := resolveRef(l)
+				if err != nil {
+					return nil, err
+				}
+				bp.Nets[ni].Loads = append(bp.Nets[ni].Loads, ref)
+			}
+		default:
+			return nil, fail("unknown directive %q", f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("netlist: reading text: %w", err)
+	}
+	if !sawDesign {
+		return nil, fmt.Errorf("netlist: text input has no design line")
+	}
+	return FromBlueprint(bp)
+}

@@ -1,0 +1,105 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestBlueprintRoundTrip(t *testing.T) {
+	d := cloneFixture(t)
+	bp := d.Blueprint()
+	d2, err := FromBlueprint(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := connectivitySig(d2), connectivitySig(d); got != want {
+		t.Fatalf("rebuilt design differs:\n%s\nwant:\n%s", got, want)
+	}
+	if !reflect.DeepEqual(d2.Blueprint(), bp) {
+		t.Fatal("blueprint of rebuilt design differs")
+	}
+	// The name sequence must carry over so post-rebuild FreshName picks the
+	// same names the original would have.
+	n1 := d.FreshName("eco")
+	n2 := d2.FreshName("eco")
+	if n1 != n2 {
+		t.Fatalf("FreshName diverged after rebuild: %q vs %q", n1, n2)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	d := cloneFixture(t)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\ntext was:\n%s", err, buf.String())
+	}
+	if got, want := connectivitySig(d2), connectivitySig(d); got != want {
+		t.Fatalf("parsed design differs:\n%s\nwant:\n%s", got, want)
+	}
+	if !reflect.DeepEqual(d2.Blueprint(), d.Blueprint()) {
+		t.Fatal("blueprint differs after text round trip")
+	}
+	// Serialization must be deterministic.
+	var buf2 bytes.Buffer
+	if err := WriteText(&buf2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-serialized text differs")
+	}
+}
+
+func TestWriteTextRejectsBadNames(t *testing.T) {
+	d := New("has space")
+	var buf bytes.Buffer
+	if err := WriteText(&buf, d); err == nil {
+		t.Fatal("design name with space serialized without error")
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"empty", ""},
+		{"no design", "net n1\n"},
+		{"dup design", "design a 0\ndesign b 0\n"},
+		{"bad seq", "design a -1\n"},
+		{"dup net", "design a 0\nnet n\nnet n\n"},
+		{"dup cell", "design a 0\ncell c T A:i\ncell c T A:i\n"},
+		{"bad pin dir", "design a 0\ncell c T A:x\n"},
+		{"dup pin", "design a 0\ncell c T A:i A:o\n"},
+		{"port unknown net", "design a 0\nport p in n\n"},
+		{"dup port", "design a 0\nnet n\nnet m\nport p in n\nport p in m\n"},
+		{"two ports one net", "design a 0\nnet n\nport p in n\nport q out n\n"},
+		{"conn unknown net", "design a 0\nconn n -\n"},
+		{"conn dup", "design a 0\nnet n\nconn n -\nconn n -\n"},
+		{"conn bad ref", "design a 0\nnet n\nconn n nosuch/Z\n"},
+		{"conn bad pin", "design a 0\nnet n\ncell c T A:i\nconn n c/Z\n"},
+		{"conn malformed ref", "design a 0\nnet n\ncell c T A:i\nconn n cA\n"},
+		{"unknown directive", "design a 0\nfrobnicate\n"},
+		{"two drivers", "design a 0\nnet n\ncell c T Z:o Y:o\nconn n c/Z c/Y\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseText(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}
+
+func TestParseTextIgnoresCommentsAndBlanks(t *testing.T) {
+	text := "# header\ndesign a 0\n\nnet n\n  # indented comment\nport p in n\n"
+	d, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Port("p") == nil || d.Net("n") == nil {
+		t.Fatal("comment-laden text lost structure")
+	}
+}

@@ -1,0 +1,177 @@
+package pack
+
+import (
+	"fmt"
+
+	"newgame/internal/pack/wire"
+	"newgame/internal/parasitics"
+	"newgame/internal/units"
+)
+
+func encodeStack(w *wire.Writer, s *parasitics.Stack) {
+	w.String(s.Name)
+	w.U32(uint32(len(s.Layers)))
+	for _, l := range s.Layers {
+		w.String(l.Name)
+		w.F64(float64(l.RPerUm))
+		w.F64(float64(l.CPerUm))
+		w.F64(float64(l.CcPerUm))
+		w.Bool(l.MultiPatterned)
+		w.F64(l.RSigma)
+		w.F64(l.CSigma)
+		w.F64(l.CcSigma)
+		w.F64(l.MinWidthUm)
+		w.F64(l.JMaxPerUm)
+	}
+}
+
+func decodeStack(r *wire.Reader) (*parasitics.Stack, error) {
+	s := &parasitics.Stack{Name: r.String()}
+	n := r.Count(8)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.Layers = make([]parasitics.Layer, 0, n)
+	for i := 0; i < n; i++ {
+		var l parasitics.Layer
+		l.Name = r.String()
+		l.RPerUm = units.KOhm(r.F64())
+		l.CPerUm = units.FF(r.F64())
+		l.CcPerUm = units.FF(r.F64())
+		l.MultiPatterned = r.Bool()
+		l.RSigma = r.F64()
+		l.CSigma = r.F64()
+		l.CcSigma = r.F64()
+		l.MinWidthUm = r.F64()
+		l.JMaxPerUm = r.F64()
+		s.Layers = append(s.Layers, l)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// encodeScaling writes an optional per-layer BEOL corner scaling.
+func encodeScaling(w *wire.Writer, s *parasitics.Scaling) {
+	w.Bool(s != nil)
+	if s == nil {
+		return
+	}
+	w.F64Slab(s.R)
+	w.F64Slab(s.C)
+	w.F64Slab(s.Cc)
+}
+
+// decodeScaling validates each factor array against the stack's layer
+// count: trees index the scaling arrays by segment layer.
+func decodeScaling(r *wire.Reader, nLayers int) (*parasitics.Scaling, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	s := &parasitics.Scaling{R: r.F64Slab(), C: r.F64Slab(), Cc: r.F64Slab()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.R) != nLayers || len(s.C) != nLayers || len(s.Cc) != nLayers {
+		return nil, fmt.Errorf("pack: scaling for %d/%d/%d layers against a %d-layer stack",
+			len(s.R), len(s.C), len(s.Cc), nLayers)
+	}
+	return s, nil
+}
+
+func encodeTrees(w *wire.Writer, trees []NetTree) error {
+	w.U32(uint32(len(trees)))
+	for _, nt := range trees {
+		if nt.Tree == nil {
+			return fmt.Errorf("pack: saved tree for net %q is nil", nt.Net)
+		}
+		w.String(nt.Net)
+		w.I64(int64(nt.Need))
+		encodeTree(w, nt.Tree)
+	}
+	return nil
+}
+
+func decodeTrees(r *wire.Reader, nLayers int) ([]NetTree, error) {
+	n := r.Count(12)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	trees := make([]NetTree, 0, n)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		nt := NetTree{Net: r.String()}
+		need := r.I64()
+		t, err := decodeTree(r, nLayers)
+		if err != nil {
+			return nil, err
+		}
+		if seen[nt.Net] {
+			return nil, fmt.Errorf("pack: duplicate saved tree for net %q", nt.Net)
+		}
+		seen[nt.Net] = true
+		if need < 1 || int(need) != len(t.Sinks) {
+			return nil, fmt.Errorf("pack: net %q tree routed for %d sinks but has %d", nt.Net, need, len(t.Sinks))
+		}
+		nt.Need = int(need)
+		nt.Tree = t
+		trees = append(trees, nt)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return trees, nil
+}
+
+func encodeTree(w *wire.Writer, t *parasitics.Tree) {
+	w.U32(uint32(len(t.Parent)))
+	for _, p := range t.Parent {
+		w.U32(uint32(int32(p)))
+	}
+	w.F64Slab(t.R)
+	w.F64Slab(t.C)
+	w.F64Slab(t.Cc)
+	w.U32(uint32(len(t.Layer)))
+	for _, l := range t.Layer {
+		w.U32(uint32(int32(l)))
+	}
+	w.U32(uint32(len(t.Sinks)))
+	for _, s := range t.Sinks {
+		w.U32(uint32(int32(s)))
+	}
+}
+
+func decodeTree(r *wire.Reader, nLayers int) (*parasitics.Tree, error) {
+	ints := func() []int {
+		vs := r.I32Slab()
+		if vs == nil {
+			return nil
+		}
+		out := make([]int, len(vs))
+		for i, v := range vs {
+			out[i] = int(v)
+		}
+		return out
+	}
+	t := &parasitics.Tree{Parent: ints()}
+	t.R = r.F64Slab()
+	t.C = r.F64Slab()
+	t.Cc = r.F64Slab()
+	t.Layer = ints()
+	t.Sinks = ints()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Validate covers root/parent topology, array lengths, and sink
+	// ranges; layer indices additionally must address the decoded stack.
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	for i, l := range t.Layer {
+		if l < -1 || l >= nLayers {
+			return nil, fmt.Errorf("pack: tree node %d on layer %d of a %d-layer stack", i, l, nLayers)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,196 @@
+package pack
+
+import (
+	"fmt"
+
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/pack/wire"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// collectLibs deduplicates the recipe's corner libraries by pointer in
+// first-seen scenario order: NewGoalPosts shares one library across several
+// scenarios, and the pack stores each exactly once.
+func collectLibs(rec *core.Recipe) ([]*liberty.Library, map[*liberty.Library]int, error) {
+	var libs []*liberty.Library
+	idx := map[*liberty.Library]int{}
+	for i := range rec.Scenarios {
+		l := rec.Scenarios[i].Lib
+		if l == nil {
+			return nil, nil, fmt.Errorf("pack: scenario %q has no library", rec.Scenarios[i].Name)
+		}
+		if _, ok := idx[l]; !ok {
+			idx[l] = len(libs)
+			libs = append(libs, l)
+		}
+	}
+	return libs, idx, nil
+}
+
+func encodeRecipe(w *wire.Writer, rec *core.Recipe, libIdx map[*liberty.Library]int) error {
+	w.String(rec.Name)
+	w.U32(uint32(len(rec.Scenarios)))
+	for i := range rec.Scenarios {
+		sc := &rec.Scenarios[i]
+		w.String(sc.Name)
+		w.U32(uint32(libIdx[sc.Lib]))
+		encodeScaling(w, sc.Scaling)
+		w.F64(sc.PeriodScale)
+		if err := encodeDerater(w, sc.Derate); err != nil {
+			return fmt.Errorf("pack: scenario %q: %w", sc.Name, err)
+		}
+		w.Bool(sc.SI.Enabled)
+		w.F64(sc.SI.SwitchingFraction)
+		w.F64(sc.SI.NoiseThreshold)
+		w.Bool(sc.MIS)
+		w.Bool(sc.ForSetup)
+		w.Bool(sc.ForHold)
+		w.F64(float64(sc.SetupUncertainty))
+		w.F64(float64(sc.HoldUncertainty))
+		w.Bool(sc.DynamicIR)
+	}
+	w.I64(int64(rec.MaxIterations))
+	w.Bool(rec.UsePBA)
+	w.I64(int64(rec.PBAEndpoints))
+	w.Bool(rec.UseUsefulSkew)
+	w.Bool(rec.MinIAAware)
+	w.Bool(rec.RecoverAfterClose)
+	w.F64(float64(rec.RecoverySlackFloor))
+	return nil
+}
+
+func decodeRecipe(r *wire.Reader, libs []*liberty.Library, nLayers int) (*core.Recipe, error) {
+	rec := &core.Recipe{Name: r.String()}
+	n := r.Count(8)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	rec.Scenarios = make([]core.Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		var sc core.Scenario
+		sc.Name = r.String()
+		li := r.U32()
+		if r.Err() == nil && int(li) >= len(libs) {
+			return nil, fmt.Errorf("pack: scenario %q references library %d of %d", sc.Name, li, len(libs))
+		}
+		if r.Err() == nil {
+			sc.Lib = libs[li]
+		}
+		scaling, err := decodeScaling(r, nLayers)
+		if err != nil {
+			return nil, err
+		}
+		sc.Scaling = scaling
+		sc.PeriodScale = r.F64()
+		if sc.Derate, err = decodeDerater(r); err != nil {
+			return nil, fmt.Errorf("pack: scenario %q: %w", sc.Name, err)
+		}
+		sc.SI.Enabled = r.Bool()
+		sc.SI.SwitchingFraction = r.F64()
+		sc.SI.NoiseThreshold = r.F64()
+		sc.MIS = r.Bool()
+		sc.ForSetup = r.Bool()
+		sc.ForHold = r.Bool()
+		sc.SetupUncertainty = units.Ps(r.F64())
+		sc.HoldUncertainty = units.Ps(r.F64())
+		sc.DynamicIR = r.Bool()
+		rec.Scenarios = append(rec.Scenarios, sc)
+	}
+	rec.MaxIterations = int(r.I64())
+	rec.UsePBA = r.Bool()
+	rec.PBAEndpoints = int(r.I64())
+	rec.UseUsefulSkew = r.Bool()
+	rec.MinIAAware = r.Bool()
+	rec.RecoverAfterClose = r.Bool()
+	rec.RecoverySlackFloor = units.Ps(r.F64())
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Derater wire tags. The Derater field is an interface; the pack stores a
+// tagged union over the concrete OCV models the engine ships.
+const (
+	derateNil  = 255
+	derateNone = 0
+	derateFlat = 1
+	derateAOCV = 2
+	deratePOCV = 3
+	derateLVF  = 4
+)
+
+func encodeDerater(w *wire.Writer, d sta.Derater) error {
+	switch v := d.(type) {
+	case nil:
+		w.U8(derateNil)
+	case sta.NoDerate:
+		w.U8(derateNone)
+	case sta.FlatOCV:
+		w.U8(derateFlat)
+		w.F64(v.CellLate)
+		w.F64(v.CellEarly)
+		w.F64(v.NetLate)
+		w.F64(v.NetEarly)
+	case sta.AOCV:
+		w.U8(derateAOCV)
+		w.F64Slab(v.LateByDepth)
+		w.F64Slab(v.EarlyByDepth)
+		w.F64(v.NetLate)
+		w.F64(v.NetEarly)
+	case sta.POCV:
+		w.U8(deratePOCV)
+		w.F64(v.SigmaFrac)
+		w.F64(v.N)
+	case sta.LVF:
+		w.U8(derateLVF)
+		w.F64(v.N)
+		w.F64(v.Fallback)
+	default:
+		return fmt.Errorf("unsupported derater type %T", d)
+	}
+	return nil
+}
+
+func decodeDerater(r *wire.Reader) (sta.Derater, error) {
+	switch tag := r.U8(); tag {
+	case derateNil:
+		return nil, r.Err()
+	case derateNone:
+		return sta.NoDerate{}, r.Err()
+	case derateFlat:
+		var v sta.FlatOCV
+		v.CellLate = r.F64()
+		v.CellEarly = r.F64()
+		v.NetLate = r.F64()
+		v.NetEarly = r.F64()
+		return v, r.Err()
+	case derateAOCV:
+		var v sta.AOCV
+		v.LateByDepth = r.F64Slab()
+		v.EarlyByDepth = r.F64Slab()
+		v.NetLate = r.F64()
+		v.NetEarly = r.F64()
+		if r.Err() == nil && (len(v.LateByDepth) == 0 || len(v.EarlyByDepth) == 0) {
+			return nil, fmt.Errorf("empty AOCV depth table")
+		}
+		return v, r.Err()
+	case deratePOCV:
+		var v sta.POCV
+		v.SigmaFrac = r.F64()
+		v.N = r.F64()
+		return v, r.Err()
+	case derateLVF:
+		var v sta.LVF
+		v.N = r.F64()
+		v.Fallback = r.F64()
+		return v, r.Err()
+	default:
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		return nil, fmt.Errorf("unknown derater tag %d", tag)
+	}
+}

@@ -1,0 +1,17 @@
+package pack
+
+import "testing"
+
+func BenchmarkDecodeFixture(b *testing.B) {
+	data, err := Encode(testSnapshot(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

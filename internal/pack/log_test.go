@@ -1,0 +1,185 @@
+package pack
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRecords() []EpochRecord {
+	return []EpochRecord{
+		{Epoch: 1, Ops: []EpochOp{{Kind: "resize", Cell: "u1", To: "INV_X2_LVT"}}},
+		{Epoch: 2, Ops: []EpochOp{
+			{Kind: "buffer", Net: "n42", Loads: []string{"u7/A", "u9/B"}, To: "BUF_X1_SVT"},
+			{Kind: "resize", Cell: "u3", To: "NAND2_X1_HVT"},
+		}},
+		{Epoch: 3, Ops: []EpochOp{{Kind: "resize", Cell: "u5", To: "INV_X1_SVT"}}},
+	}
+}
+
+func writeLog(t *testing.T, path string, recs []EpochRecord) {
+	t.Helper()
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogAppendRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	got, truncated, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("clean log reported truncated")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("read back %+v, want %+v", got, want)
+	}
+}
+
+func TestLogMissingFile(t *testing.T) {
+	recs, truncated, err := ReadLog(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || truncated || recs != nil {
+		t.Fatalf("missing file: got %v, %v, %v; want nil, false, nil", recs, truncated, err)
+	}
+}
+
+// Reopening an existing log and appending must continue the same stream.
+func TestLogReopenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	want := testRecords()
+	writeLog(t, path, want[:2])
+	writeLog(t, path, want[2:])
+	got, truncated, err := ReadLog(path)
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("read back %+v, want %+v", got, want)
+	}
+}
+
+// A torn final frame — the crash case — must surface the intact prefix with
+// the truncated flag, not an error.
+func TestLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut <= 9; cut += 4 {
+		if err := os.WriteFile(path, b[:len(b)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, truncated, err := ReadLog(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !truncated {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if !reflect.DeepEqual(got, want[:2]) {
+			t.Fatalf("cut %d: got %+v, want first two records", cut, got)
+		}
+	}
+}
+
+// A corrupted byte mid-stream stops reading at the bad frame: prefix +
+// truncated, same as a torn tail. (The caller then rewrites the log, so the
+// poisoned suffix never resurrects.)
+func TestLogCRCCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x40 // inside the last frame's payload
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Fatal("corrupt frame not reported as truncation")
+	}
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("got %+v, want first two records", got)
+	}
+}
+
+// CRC-valid frames with non-increasing epochs mean the file is not a log we
+// wrote — hard error, not a salvage.
+func TestLogEpochOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	writeLog(t, path, []EpochRecord{
+		{Epoch: 1, Ops: []EpochOp{{Kind: "resize", Cell: "a", To: "X"}}},
+	})
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(EpochRecord{Epoch: 1, Ops: []EpochOp{{Kind: "resize", Cell: "b", To: "Y"}}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, _, err := ReadLog(path); err == nil {
+		t.Fatal("duplicate epoch read without error")
+	}
+}
+
+func TestLogBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	if err := os.WriteFile(path, []byte("NOTALOG!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadLog(path); err == nil {
+		t.Fatal("bad header read without error")
+	}
+	if _, err := OpenLog(path); err == nil {
+		t.Fatal("OpenLog accepted a foreign file")
+	}
+}
+
+func TestRewriteLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.log")
+	want := testRecords()
+	writeLog(t, path, want)
+	if err := RewriteLog(path, want[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := ReadLog(path)
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if !reflect.DeepEqual(got, want[:1]) {
+		t.Fatalf("got %+v, want first record only", got)
+	}
+	// A rewritten log must accept further appends where it left off.
+	writeLog(t, path, want[1:2])
+	got, _, err = ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("after re-append: got %+v, want first two records", got)
+	}
+}

@@ -67,6 +67,25 @@ func NewNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *paras
 // also deterministic — the replacement tree depends on the new sink count,
 // not on how many nets were generated in between.
 func NewKeyedNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *parasitics.Tree {
+	return NewSnapshotNetBinder(stack, seed, nil)
+}
+
+// SavedTree pairs a previously synthesized RC tree with the sink count it
+// was routed for, keyed by net name in a snapshot binder.
+type SavedTree struct {
+	Need int
+	Tree *parasitics.Tree
+}
+
+// NewSnapshotNetBinder is NewKeyedNetBinder seeded with trees decoded from
+// a state snapshot: a net whose name and sink count match a saved entry is
+// served the saved tree verbatim; everything else (new nets from later
+// ECOs, re-routes after load splitting) falls back to keyed synthesis.
+// Because the keyed generator is a pure function of (seed, name, fanout),
+// the saved trees are exactly what synthesis would produce — the snapshot
+// only skips the generation cost — so a restored server and a live one
+// stay bit-identical. saved may be shared across binders; it is read-only.
+func NewSnapshotNetBinder(stack *parasitics.Stack, seed int64, saved map[string]SavedTree) func(*netlist.Net) *parasitics.Tree {
 	type entry struct {
 		need int
 		tree *parasitics.Tree
@@ -86,13 +105,22 @@ func NewKeyedNetBinder(stack *parasitics.Stack, seed int64) func(*netlist.Net) *
 		if need == 0 {
 			return nil
 		}
-		h := fnv.New64a()
-		h.Write([]byte(n.Name))
-		// Mix the fanout into the key so a re-route after load-splitting
-		// draws a fresh topology instead of a re-scaled copy of the old one.
-		h.Write([]byte{byte(need), byte(need >> 8)})
-		t := parasitics.NewNetGen(stack, seed^int64(h.Sum64())).Net(need)
+		if s, ok := saved[n.Name]; ok && s.Need == need && len(s.Tree.Sinks) == need {
+			cache[n] = entry{need: need, tree: s.Tree}
+			return s.Tree
+		}
+		t := keyedTree(stack, seed, n.Name, need)
 		cache[n] = entry{need: need, tree: t}
 		return t
 	}
+}
+
+// keyedTree synthesizes the deterministic tree for (seed, name, need).
+func keyedTree(stack *parasitics.Stack, seed int64, name string, need int) *parasitics.Tree {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	// Mix the fanout into the key so a re-route after load-splitting
+	// draws a fresh topology instead of a re-scaled copy of the old one.
+	h.Write([]byte{byte(need), byte(need >> 8)})
+	return parasitics.NewNetGen(stack, seed^int64(h.Sum64())).Net(need)
 }

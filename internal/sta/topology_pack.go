@@ -1,0 +1,194 @@
+package sta
+
+import (
+	"fmt"
+	"sort"
+
+	"newgame/internal/pack/wire"
+)
+
+// PackTopology serializes the frozen graph into w. The CSR arrays go out
+// as raw little-endian int32 slabs, so decoding is a bulk copy rather than
+// a rebuild — the whole point of snapshotting the topology is that a
+// restore skips the pointer walk, Kahn levelization and clock marking.
+// Fields are private to this package, so the codec lives here; the pack
+// container wraps the stream in a checksummed section.
+func PackTopology(w *wire.Writer, t *Topology) {
+	w.U32(uint32(t.numCells))
+	w.U32(uint32(t.numNets))
+	w.U32(uint32(t.numPorts))
+	w.U32(uint32(len(t.kind)))
+	for _, k := range t.kind {
+		w.U8(k)
+	}
+	w.I32Slab(t.cellOf)
+	w.BoolSlab(t.clockPath)
+	w.BoolSlab(t.isCKPin)
+	w.I32Slab(t.succOff)
+	w.I32Slab(t.succ)
+	w.I32Slab(t.faninDriver)
+	w.I32Slab(t.faninNet)
+	w.I32Slab(t.faninSink)
+	w.I32Slab(t.netDriver)
+	w.I32Slab(t.order)
+	w.I32Slab(t.level)
+	w.I32Slab(t.levelOff)
+	w.I32Slab(t.levelVerts)
+	w.I32Slab(t.clockRoots)
+	sigs := make([]string, 0, len(t.arcSig))
+	for k := range t.arcSig {
+		sigs = append(sigs, k)
+	}
+	sort.Strings(sigs)
+	w.U32(uint32(len(sigs)))
+	for _, k := range sigs {
+		w.String(k)
+		w.String(t.arcSig[k])
+	}
+}
+
+// UnpackTopology decodes a topology serialized by PackTopology and
+// structurally validates it (index ranges, CSR monotonicity, level-bucket
+// consistency), so corrupt or hostile bytes yield an error instead of a
+// graph that panics inside the wave loops. Semantic compatibility with a
+// particular design and library is still checked at adoption time by
+// Config.Topology's compatible() validation, exactly as for a live shared
+// topology.
+func UnpackTopology(r *wire.Reader) (*Topology, error) {
+	t := &Topology{}
+	t.numCells = int(r.U32())
+	t.numNets = int(r.U32())
+	t.numPorts = int(r.U32())
+	nk := r.Count(1)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	t.kind = make([]uint8, nk)
+	for i := range t.kind {
+		t.kind[i] = r.U8()
+	}
+	t.cellOf = r.I32Slab()
+	t.clockPath = r.BoolSlab()
+	t.isCKPin = r.BoolSlab()
+	t.succOff = r.I32Slab()
+	t.succ = r.I32Slab()
+	t.faninDriver = r.I32Slab()
+	t.faninNet = r.I32Slab()
+	t.faninSink = r.I32Slab()
+	t.netDriver = r.I32Slab()
+	t.order = r.I32Slab()
+	t.level = r.I32Slab()
+	t.levelOff = r.I32Slab()
+	t.levelVerts = r.I32Slab()
+	t.clockRoots = r.I32Slab()
+	nSig := r.Count(2)
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	t.arcSig = make(map[string]string, nSig)
+	for i := 0; i < nSig; i++ {
+		k := r.String()
+		t.arcSig[k] = r.String()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// validate checks the decoded topology's internal structure: every array
+// sized to the vertex universe, every stored index in range, CSR offsets
+// monotone and closed over their value arrays, the topological order a
+// permutation, and the level buckets a partition. It accepts exactly the
+// graphs buildTopologyCSR can produce.
+func (t *Topology) validate() error {
+	n := len(t.kind)
+	if t.numCells < 0 || t.numNets < 0 || t.numPorts < 0 {
+		return fmt.Errorf("sta: topology with negative element counts")
+	}
+	for i, k := range t.kind {
+		if k > vkOutPort {
+			return fmt.Errorf("sta: topology vertex %d has unknown kind %d", i, k)
+		}
+	}
+	for _, arr := range [][]int32{t.cellOf, t.faninDriver, t.faninNet, t.faninSink, t.order, t.level} {
+		if len(arr) != n {
+			return fmt.Errorf("sta: topology array length %d does not match %d vertices", len(arr), n)
+		}
+	}
+	if len(t.clockPath) != n || len(t.isCKPin) != n {
+		return fmt.Errorf("sta: topology flag array does not match %d vertices", n)
+	}
+	if len(t.netDriver) != t.numNets {
+		return fmt.Errorf("sta: topology netDriver length %d for %d nets", len(t.netDriver), t.numNets)
+	}
+	inRange := func(v int32, hi int) bool { return v >= 0 && int(v) < hi }
+	for i := 0; i < n; i++ {
+		if t.cellOf[i] != -1 && !inRange(t.cellOf[i], t.numCells) {
+			return fmt.Errorf("sta: topology cellOf[%d]=%d out of range", i, t.cellOf[i])
+		}
+		if t.faninDriver[i] != -1 && !inRange(t.faninDriver[i], n) {
+			return fmt.Errorf("sta: topology faninDriver[%d]=%d out of range", i, t.faninDriver[i])
+		}
+		if t.faninNet[i] != -1 && !inRange(t.faninNet[i], t.numNets) {
+			return fmt.Errorf("sta: topology faninNet[%d]=%d out of range", i, t.faninNet[i])
+		}
+	}
+	for i, d := range t.netDriver {
+		if d != -1 && !inRange(d, n) {
+			return fmt.Errorf("sta: topology netDriver[%d]=%d out of range", i, d)
+		}
+	}
+	// CSR successors: monotone offsets closed over succ, targets in range.
+	if len(t.succOff) != n+1 || t.succOff[0] != 0 || int(t.succOff[n]) != len(t.succ) {
+		return fmt.Errorf("sta: topology successor offsets malformed")
+	}
+	for i := 0; i < n; i++ {
+		if t.succOff[i+1] < t.succOff[i] {
+			return fmt.Errorf("sta: topology successor offsets not monotone at %d", i)
+		}
+	}
+	for _, j := range t.succ {
+		if !inRange(j, n) {
+			return fmt.Errorf("sta: topology successor %d out of range", j)
+		}
+	}
+	// Topological order must be a permutation of the vertices.
+	seen := make([]bool, n)
+	for _, v := range t.order {
+		if !inRange(v, n) || seen[v] {
+			return fmt.Errorf("sta: topology order is not a permutation")
+		}
+		seen[v] = true
+	}
+	// Level buckets: monotone offsets partitioning levelVerts, every level
+	// value addressing a bucket, every bucketed vertex in range.
+	nl := len(t.levelOff) - 1
+	if nl < 0 || t.levelOff[0] != 0 || int(t.levelOff[nl]) != len(t.levelVerts) || len(t.levelVerts) != n {
+		return fmt.Errorf("sta: topology level buckets malformed")
+	}
+	for l := 0; l < nl; l++ {
+		if t.levelOff[l+1] < t.levelOff[l] {
+			return fmt.Errorf("sta: topology level offsets not monotone at %d", l)
+		}
+	}
+	for i, l := range t.level {
+		if !inRange(l, nl) {
+			return fmt.Errorf("sta: topology level[%d]=%d out of range", i, l)
+		}
+	}
+	for _, v := range t.levelVerts {
+		if !inRange(v, n) {
+			return fmt.Errorf("sta: topology level bucket vertex %d out of range", v)
+		}
+	}
+	for _, rt := range t.clockRoots {
+		if !inRange(rt, n) {
+			return fmt.Errorf("sta: topology clock root %d out of range", rt)
+		}
+	}
+	return nil
+}

@@ -116,12 +116,40 @@ type Health struct {
 	Degraded bool `json:"degraded"`
 	// UptimeSec is seconds since the server came up.
 	UptimeSec float64 `json:"uptime_sec"`
+	// Snapshot reports persistence provenance; omitted when the server
+	// runs without snapshot support.
+	Snapshot *SnapshotHealth `json:"snapshot,omitempty"`
 	// Flight-recorder ring occupancy and capacity (requests and commits
 	// currently held for /debug post-hoc diagnosis).
 	FlightRequests    int `json:"flight_requests"`
 	FlightRequestsCap int `json:"flight_requests_cap"`
 	FlightCommits     int `json:"flight_commits"`
 	FlightCommitsCap  int `json:"flight_commits_cap"`
+}
+
+// SnapshotHealth is the snapshot provenance block inside /healthz: where
+// the state came from and whether the crash-recovery log is healthy.
+type SnapshotHealth struct {
+	// Dir is the snapshot directory packs and the epoch log live in.
+	Dir string `json:"dir,omitempty"`
+	// RestoredFrom is the pack this process booted from ("" = cold boot).
+	RestoredFrom string `json:"restored_from,omitempty"`
+	// SnapshotEpoch is the epoch the restored pack carried.
+	SnapshotEpoch int64 `json:"snapshot_epoch"`
+	// LogReplayed counts epoch-log records replayed at boot.
+	LogReplayed int `json:"log_replayed"`
+	// LogAppended counts commits appended to the log by this process.
+	LogAppended int64 `json:"log_appended"`
+	// LogError is the last epoch-log append failure ("" = healthy). A
+	// non-empty value means commits since then are NOT crash-recoverable.
+	LogError string `json:"log_error,omitempty"`
+}
+
+// SaveReport answers POST /admin/save.
+type SaveReport struct {
+	Path  string `json:"path"`
+	Epoch int64  `json:"epoch"`
+	Bytes int    `json:"bytes"`
 }
 
 // TraceReport wraps a query's normal response when ?debug=trace is set:

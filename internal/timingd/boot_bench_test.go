@@ -1,0 +1,124 @@
+package timingd
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"newgame/internal/circuits"
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/netlist"
+	"newgame/internal/pack"
+	"newgame/internal/parasitics"
+)
+
+// The boot benchmark pair measures the same outcome — a server answering
+// queries at the snapshot epoch — by the two available roads. Text boot is
+// the honest cold path: parse every scenario library and the netlist from
+// their text interchange forms, then build the server (tree synthesis plus
+// levelization included). Pack restore reads one binary snapshot and
+// adopts the frozen topology and saved trees. cmd/benchdiff guards the
+// ratio via scripts/bench_snapshot.sh.
+//
+// The bench design is deliberately modest: boot cost on a small block is
+// dominated by the fixed multi-megabyte library payload, which is exactly
+// the asymmetry the pack exploits (binary slabs vs float text parsing).
+// STA run time is identical on both roads and would only dilute the
+// comparison.
+
+var (
+	benchOnce   sync.Once
+	benchDesign *netlist.Design
+)
+
+func benchFixture(b *testing.B) (core.Recipe, *parasitics.Stack, *netlist.Design) {
+	recipe, stack, _ := fixture(b)
+	benchOnce.Do(func() {
+		benchDesign = circuits.Block(recipe.Scenarios[0].Lib, circuits.BlockSpec{
+			Name: "boot", Inputs: 6, Outputs: 6, FFs: 8, Gates: 48,
+			MaxDepth: 6, Seed: 7, ClockBufferLevels: 1,
+			VtMix: [3]float64{0, 0.5, 0.5},
+		})
+	})
+	return recipe, stack, benchDesign
+}
+
+func BenchmarkBootTextParse(b *testing.B) {
+	recipe, stack, d := benchFixture(b)
+	var libTexts []*bytes.Buffer
+	libAt := map[*liberty.Library]int{}
+	for _, sc := range recipe.Scenarios {
+		if _, ok := libAt[sc.Lib]; ok {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := liberty.WriteLib(&buf, sc.Lib); err != nil {
+			b.Fatal(err)
+		}
+		libAt[sc.Lib] = len(libTexts)
+		libTexts = append(libTexts, &buf)
+	}
+	var designText bytes.Buffer
+	if err := netlist.WriteText(&designText, d); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		libs := make([]*liberty.Library, len(libTexts))
+		for j, txt := range libTexts {
+			lib, err := liberty.ParseLib(bytes.NewReader(txt.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			libs[j] = lib
+		}
+		pd, err := netlist.ParseText(bytes.NewReader(designText.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := recipe
+		rec.Scenarios = append([]core.Scenario(nil), recipe.Scenarios...)
+		for j := range rec.Scenarios {
+			rec.Scenarios[j].Lib = libs[libAt[recipe.Scenarios[j].Lib]]
+		}
+		s, err := NewServer(Config{
+			Design: pd, Recipe: rec, Stack: stack,
+			BasePeriod: 560, Seed: 7, QueryWorkers: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+func BenchmarkBootPackRestore(b *testing.B) {
+	dir := b.TempDir()
+	recipe, stack, d := benchFixture(b)
+	s, err := NewServer(Config{
+		Design: d, Recipe: recipe, Stack: stack,
+		BasePeriod: 560, Seed: 7, QueryWorkers: 4,
+		SnapshotDir: dir,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := s.save()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := pack.Load(rep.Path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewServer(Config{QueryWorkers: 4, Restore: snap, RestorePath: rep.Path})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}

@@ -23,6 +23,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/paths", s.handle("paths", http.MethodGet, s.handlePaths))
 	s.mux.HandleFunc("/whatif", s.handle("whatif", http.MethodPost, s.handleWhatIf))
 	s.mux.HandleFunc("/eco", s.handle("eco", http.MethodPost, s.handleECO))
+	s.mux.HandleFunc("/admin/save", s.handle("save", http.MethodPost, s.handleSave))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
@@ -403,6 +404,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		h.Degraded = true
 	}
 	h.UptimeSec = time.Since(s.start).Seconds()
+	h.Snapshot = s.snapshotHealth()
 	h.FlightRequests = s.flight.Requests.Len()
 	h.FlightRequestsCap = s.flight.Requests.Cap()
 	h.FlightCommits = s.flight.Commits.Len()

@@ -11,7 +11,9 @@ import (
 	"newgame/internal/core"
 	"newgame/internal/netlist"
 	"newgame/internal/obs"
+	"newgame/internal/pack"
 	"newgame/internal/parasitics"
+	"newgame/internal/sta"
 	"newgame/internal/units"
 	"newgame/internal/workpool"
 )
@@ -62,6 +64,28 @@ type Config struct {
 	// Hooks, when non-nil, injects faults at writer and cache seams.
 	// Test-only; leave nil in production.
 	Hooks *Hooks
+
+	// SnapshotDir, when non-empty, enables state persistence: POST
+	// /admin/save writes binary packs there, and every committed ECO is
+	// appended (CRC-framed, fsynced) to the epoch log epochs.log in the
+	// same directory. At boot an existing log is replayed onto the built
+	// state — crash recovery.
+	SnapshotDir string
+	// Restore, when non-nil, boots from a decoded snapshot pack: Design,
+	// Recipe, Stack, clocking and seed are taken from it, the frozen
+	// timing topology is adopted (skipping levelization), and the saved
+	// parasitic trees seed the binders.
+	Restore *pack.Snapshot
+	// RestorePath is the pack the snapshot came from, for /healthz
+	// provenance.
+	RestorePath string
+	// RestoreToEpoch, when > 0, stops epoch-log replay at that epoch
+	// (point-in-time rewind) and truncates the log there; 0 replays the
+	// whole log.
+	RestoreToEpoch int64
+
+	// savedTrees seeds the session binders from a restored snapshot.
+	savedTrees map[string]sta.SavedTree
 }
 
 func (c *Config) withDefaults() *Config {
@@ -128,12 +152,27 @@ type Server struct {
 	flight *obs.FlightRecorder
 	start  time.Time
 
+	// snap is the boot-time snapshot provenance; wal the open epoch log.
+	// walAppended/walErr track the log's health for /healthz.
+	snap        snapshotInfo
+	wal         *pack.Log
+	walAppended atomic.Int64
+	walErr      atomic.Pointer[string]
+
 	mux *http.ServeMux
 }
 
-// NewServer loads the design once and brings both epoch snapshots up.
+// NewServer loads the design once and brings both epoch snapshots up. With
+// Config.Restore set it boots from the decoded snapshot instead — no text
+// parsing, no levelization — and with a SnapshotDir it then replays the
+// epoch log's tail onto the restored state and opens the log for appends.
 func NewServer(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
+	var restoreTopo *sta.Topology
+	if c.Restore != nil {
+		c.applyRestore()
+		restoreTopo = c.Restore.Topology
+	}
 	if c.Design == nil {
 		return nil, fmt.Errorf("timingd: Config.Design is nil")
 	}
@@ -156,7 +195,9 @@ func NewServer(cfg Config) (*Server, error) {
 	// session adopts the front's (clones preserve vertex numbering), so
 	// the dual-snapshot scheme levelizes the graph once, not 2×scenarios
 	// times.
-	front, err := newSession(c, c.Design, nil)
+	// A restored boot seeds the first build with the snapshot's frozen
+	// topology, so even the initial session skips Kahn levelization.
+	front, err := newSession(c, c.Design, restoreTopo)
 	if err != nil {
 		return nil, err
 	}
@@ -166,6 +207,19 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.cur.Store(front)
 	s.shadow = back
+	if c.Restore != nil {
+		s.epoch.Store(c.Restore.Epoch)
+		front.epoch = c.Restore.Epoch
+		back.epoch = c.Restore.Epoch
+		s.snap.restoredFrom = c.RestorePath
+		s.snap.snapshotEpoch = c.Restore.Epoch
+	}
+	if c.SnapshotDir != "" {
+		s.snap.dir = c.SnapshotDir
+		if err := s.recoverLog(); err != nil {
+			return nil, err
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -183,9 +237,17 @@ func (s *Server) Epoch() int64 { return s.epoch.Load() }
 // worker pool down. Safe to call more than once.
 func (s *Server) Close() {
 	s.closeMu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	s.closeMu.Unlock()
 	s.pool.Close()
+	if !alreadyClosed && s.wal != nil {
+		// Appends hold writerMu; taking it orders the close after any
+		// in-flight commit's log write.
+		s.writerMu.Lock()
+		s.wal.Close()
+		s.writerMu.Unlock()
+	}
 }
 
 // observe bumps the per-route request counter, latency histogram and —
@@ -309,6 +371,9 @@ func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.Gauge("timingd.epoch").Set(float64(newEpoch))
 	}
+	// The commit is visible; make it durable. Runs under writerMu, so the
+	// log's record order is the epoch order.
+	s.logCommit(newEpoch, ops)
 
 	// Replay onto the retired snapshot. Stragglers still reading it hold
 	// RLock; the edit waits for them. Not cancellable: the commit is

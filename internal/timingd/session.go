@@ -60,7 +60,7 @@ func newSession(cfg *Config, src *netlist.Design, topo *sta.Topology) (*session,
 	s := &session{
 		d:         d,
 		clockPort: ck,
-		binder:    sta.NewKeyedNetBinder(cfg.Stack, cfg.Seed),
+		binder:    cfg.newBinder(),
 		views:     make([]*view, len(cfg.Recipe.Scenarios)),
 	}
 	if len(cfg.Recipe.Scenarios) == 0 {

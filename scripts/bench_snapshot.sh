@@ -2,8 +2,9 @@
 # Snapshot the hot-path benchmark pairs into a per-commit JSON record:
 # BENCH_<sha>.json maps each benchmark name to its ns/op, B/op and
 # allocs/op as measured with -benchmem. The pairs cover the SoA STA core
-# (full Run serial/parallel, incremental vs full retime, MCMM survey) and
-# the resident daemon's query surface (BenchmarkTimingdQuery sub-benches).
+# (full Run serial/parallel, incremental vs full retime, MCMM survey), the
+# resident daemon's query surface (BenchmarkTimingdQuery sub-benches), and
+# the snapshot-pack boot pair (text-parse cold boot vs pack restore).
 #
 # Usage: scripts/bench_snapshot.sh [out.json]
 #   out.json defaults to BENCH_<short-sha>.json in the repo root.
@@ -20,7 +21,7 @@ trap 'rm -f "$RAW"' EXIT
 
 PAIRS='^(BenchmarkSTARunSerial|BenchmarkSTARunParallel|BenchmarkIncrementalRetime|BenchmarkFullRetime|BenchmarkMCMMSurveySerial|BenchmarkMCMMSurveyParallel)$'
 go test -run='^$' -bench "$PAIRS" -benchmem -benchtime "$BT" . | tee "$RAW"
-go test -run='^$' -bench '^BenchmarkTimingdQuery$' -benchmem -benchtime "$BT" ./internal/timingd/ | tee -a "$RAW"
+go test -run='^$' -bench '^(BenchmarkTimingdQuery|BenchmarkBootTextParse|BenchmarkBootPackRestore)$' -benchmem -benchtime "$BT" ./internal/timingd/ | tee -a "$RAW"
 
 awk -v sha="$SHA" '
   /^Benchmark/ {

@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # CI smoke for the timingd daemon: start it on the example design, walk the
 # query surface, commit an ECO and verify the re-queried baseline matches
-# the commit's "after" exactly, then push a brief load burst through it.
-# Fails on any non-2xx answer, on a baseline mismatch, or when the load
-# burst falls under -min-qps.
+# the commit's "after" exactly, push a brief load burst through it, then
+# snapshot the state, hard-kill the daemon, and verify a -restore boot
+# (snapshot + epoch-log replay) serves byte-identical answers. Fails on any
+# non-2xx answer, on a baseline mismatch, on a restore divergence, or when
+# the load burst falls under -min-qps.
 set -euo pipefail
 
 ADDR="127.0.0.1:18374"
 BASE="http://$ADDR"
 LOG="$(mktemp)"
 BIN="$(mktemp -d)/timingd"
+SNAPDIR="$(mktemp -d)"
 
 cleanup() {
   if [[ -n "${DPID:-}" ]] && kill -0 "$DPID" 2>/dev/null; then
@@ -17,12 +20,13 @@ cleanup() {
     wait "$DPID" 2>/dev/null || true
   fi
   rm -f "$LOG"
+  rm -rf "$SNAPDIR"
 }
 trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/timingd
 
-"$BIN" -addr "$ADDR" -gates 900 -ffs 64 >"$LOG" 2>&1 &
+"$BIN" -addr "$ADDR" -gates 900 -ffs 64 -snapshot-dir "$SNAPDIR" >"$LOG" 2>&1 &
 DPID=$!
 
 # Wait for the ready banner (full MCMM load, so allow a little time).
@@ -95,6 +99,38 @@ LOADGEN_JSON="${LOADGEN_JSON:-loadgen-report.json}"
   || fail "loadgen under 1000 qps or errored"
 grep -q '"qps":' "$LOADGEN_JSON" || fail "loadgen JSON report malformed"
 echo "smoke: loadgen report written to $LOADGEN_JSON"
+
+# Snapshot persistence: save a pack at epoch 1, commit a second ECO (only
+# the epoch log records it), hard-kill the daemon, and boot a new one from
+# the pack. Log replay must carry it to epoch 2 and /slack must come back
+# byte-identical — the warm server is indistinguishable from the dead one.
+curl -sf -X POST "$BASE/admin/save" >/tmp/save.json || fail "POST /admin/save"
+SNAP_PATH="$(sed -n 's/.*"path":"\([^"]*\)".*/\1/p' /tmp/save.json)"
+[[ -f "$SNAP_PATH" ]] || fail "snapshot pack $SNAP_PATH not on disk"
+curl -sf -d "{\"ops\":[$OP_JSON]}" "$BASE/eco" >/dev/null || fail "POST /eco (second)"
+curl -sf "$BASE/slack" >/tmp/slack2.json || fail "GET /slack after second eco"
+kill -9 "$DPID"; wait "$DPID" 2>/dev/null || true
+
+"$BIN" -addr "$ADDR" -restore "$SNAP_PATH" -snapshot-dir "$SNAPDIR" >"$LOG" 2>&1 &
+DPID=$!
+for i in $(seq 1 100); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DPID" 2>/dev/null; then
+    echo "restored timingd exited during startup:"; cat "$LOG"; exit 1
+  fi
+  sleep 0.2
+done
+grep -q "restored from" "$LOG" || fail "no restore banner"
+curl -sf "$BASE/healthz" >/tmp/health.json || fail "GET /healthz after restore"
+grep -q '"restored_from":' /tmp/health.json || fail "healthz has no restore provenance"
+grep -q '"log_replayed":1' /tmp/health.json || fail "healthz did not count the replayed epoch"
+curl -sf "$BASE/slack" >/tmp/slack_restored.json || fail "GET /slack after restore"
+cmp -s /tmp/slack2.json /tmp/slack_restored.json || {
+  echo "pre-kill:  $(cat /tmp/slack2.json)"
+  echo "restored:  $(cat /tmp/slack_restored.json)"
+  fail "restored /slack differs from the killed daemon's"
+}
+echo "smoke: restore from $SNAP_PATH verified byte-identical at epoch 2"
 
 # Graceful shutdown.
 kill -TERM "$DPID"
