@@ -1,7 +1,7 @@
 // Command benchdiff is the CI benchmark-regression guard: it compares a
 // fresh bench snapshot (scripts/bench_snapshot.sh output) against the
 // committed baseline and exits nonzero when any benchmark present in both
-// files regressed in ns/op beyond the threshold.
+// files regressed — in ns/op, or in allocs/op — beyond the budget.
 //
 // Only shared benchmark names are compared — renamed, added or retired
 // benchmarks never trip the guard, so the suite can evolve without
@@ -12,9 +12,18 @@
 // printed for every shared benchmark, worst regression first, so the CI
 // log doubles as a perf report even when the guard passes.
 //
+// Allocation counts only guard benchmarks that allocate at least
+// allocsNoiseFloor objects per op in the baseline: near-zero counts flip
+// whole multiples of their budget when a single allocation moves in or
+// out of a fast path, which is noise at 3 allocs and a real signal at
+// 300.
+//
 // Usage:
 //
-//	benchdiff -baseline BENCH_fe5308c.json -current bench-snapshot.json [-threshold 25]
+//	benchdiff -baseline BENCH_fe5308c.json -current bench-snapshot.json [-max-regress 25]
+//
+// -threshold is the deprecated spelling of -max-regress and keeps
+// working.
 package main
 
 import (
@@ -37,13 +46,26 @@ type benchEntry struct {
 	AllocsPerOp *float64 `json:"allocs_per_op"`
 }
 
+// allocsNoiseFloor is the minimum baseline allocs/op before allocation
+// regressions count: below it a single moved allocation is a large
+// percentage but not a meaningful signal.
+const allocsNoiseFloor = 8
+
 // diffLine is one shared benchmark's comparison.
 type diffLine struct {
-	Name       string
-	BaseNs     float64
-	CurNs      float64
-	DeltaPct   float64 // positive = slower
-	Regression bool
+	Name     string
+	BaseNs   float64
+	CurNs    float64
+	DeltaPct float64 // positive = slower
+	// Alloc deltas, present only when both snapshots carried allocs/op.
+	BaseAllocs    float64
+	CurAllocs     float64
+	AllocDeltaPct float64
+	HasAllocs     bool
+	// Regression flags the ns/op budget, AllocRegression the allocs/op
+	// budget (past the noise floor); either one trips the guard.
+	Regression      bool
+	AllocRegression bool
 }
 
 // compare builds the shared-benchmark diff, worst regression first, and
@@ -71,6 +93,13 @@ func compare(base, cur snapshot, thresholdPct float64) ([]diffLine, []string) {
 			DeltaPct: 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp,
 		}
 		d.Regression = d.DeltaPct > thresholdPct
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil && *b.AllocsPerOp > 0 {
+			d.HasAllocs = true
+			d.BaseAllocs = *b.AllocsPerOp
+			d.CurAllocs = *c.AllocsPerOp
+			d.AllocDeltaPct = 100 * (d.CurAllocs - d.BaseAllocs) / d.BaseAllocs
+			d.AllocRegression = d.AllocDeltaPct > thresholdPct && d.BaseAllocs >= allocsNoiseFloor
+		}
 		lines = append(lines, d)
 	}
 	sort.Slice(lines, func(i, j int) bool {
@@ -84,22 +113,35 @@ func compare(base, cur snapshot, thresholdPct float64) ([]diffLine, []string) {
 }
 
 // render writes the human-readable diff table and returns the number of
-// regressions.
+// regressions (ns/op and allocs/op combined).
 func render(w *os.File, lines []diffLine, thresholdPct float64) int {
-	regressions := 0
+	nsRegressions, allocRegressions := 0, 0
 	for _, d := range lines {
 		mark := "  "
 		if d.Regression {
 			mark = "!!"
-			regressions++
+			nsRegressions++
 		}
-		fmt.Fprintf(w, "%s %-55s %12.0f -> %12.0f ns/op  %+7.1f%%\n",
-			mark, d.Name, d.BaseNs, d.CurNs, d.DeltaPct)
+		allocs := ""
+		if d.HasAllocs {
+			am := " "
+			if d.AllocRegression {
+				am = "!"
+				allocRegressions++
+			}
+			allocs = fmt.Sprintf("  |%s %8.0f -> %8.0f allocs/op  %+7.1f%%", am, d.BaseAllocs, d.CurAllocs, d.AllocDeltaPct)
+		}
+		fmt.Fprintf(w, "%s %-55s %12.0f -> %12.0f ns/op  %+7.1f%%%s\n",
+			mark, d.Name, d.BaseNs, d.CurNs, d.DeltaPct, allocs)
 	}
-	if regressions > 0 {
-		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", regressions, thresholdPct)
+	if nsRegressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in ns/op\n", nsRegressions, thresholdPct)
 	}
-	return regressions
+	if allocRegressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%% in allocs/op (baseline >= %d allocs)\n",
+			allocRegressions, thresholdPct, allocsNoiseFloor)
+	}
+	return nsRegressions + allocRegressions
 }
 
 func load(path string) (snapshot, error) {
@@ -120,11 +162,27 @@ func load(path string) (snapshot, error) {
 func main() {
 	baseline := flag.String("baseline", "", "committed baseline BENCH_<sha>.json")
 	current := flag.String("current", "", "freshly measured snapshot to check")
-	threshold := flag.Float64("threshold", 25, "allowed ns/op slowdown, percent")
+	maxRegress := flag.Float64("max-regress", 25, "allowed ns/op and allocs/op slowdown, percent")
+	threshold := flag.Float64("threshold", 25, "deprecated alias for -max-regress")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
 		os.Exit(2)
+	}
+	// -threshold predates -max-regress; honor it only when explicitly set
+	// and -max-regress was not, so old CI invocations keep working.
+	budget := *maxRegress
+	var sawMaxRegress, sawThreshold bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "max-regress":
+			sawMaxRegress = true
+		case "threshold":
+			sawThreshold = true
+		}
+	})
+	if sawThreshold && !sawMaxRegress {
+		budget = *threshold
 	}
 	base, err := load(*baseline)
 	if err != nil {
@@ -136,17 +194,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	lines, missing := compare(base, cur, *threshold)
+	lines, missing := compare(base, cur, budget)
 	if len(lines) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: snapshots share no benchmarks")
 		os.Exit(2)
 	}
-	fmt.Printf("benchdiff: %s -> %s, %d shared benchmarks, threshold %.0f%%\n",
-		base.Commit, cur.Commit, len(lines), *threshold)
+	fmt.Printf("benchdiff: %s -> %s, %d shared benchmarks, max regress %.0f%%\n",
+		base.Commit, cur.Commit, len(lines), budget)
 	for _, name := range missing {
 		fmt.Printf("?? %-55s in baseline only — renamed, retired, or no longer matched\n", name)
 	}
-	if render(os.Stdout, lines, *threshold) > 0 {
+	if render(os.Stdout, lines, budget) > 0 {
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,17 @@ func snap(commit string, ns map[string]float64) snapshot {
 	return s
 }
 
+// snapAllocs builds a snapshot where each benchmark carries both ns/op
+// and allocs/op.
+func snapAllocs(commit string, entries map[string][2]float64) snapshot {
+	s := snapshot{Commit: commit, Benchmarks: map[string]benchEntry{}}
+	for name, v := range entries {
+		a := v[1]
+		s.Benchmarks[name] = benchEntry{NsPerOp: v[0], AllocsPerOp: &a}
+	}
+	return s
+}
+
 // The guard compares only shared names, flags slowdowns past the
 // threshold, ignores speedups and current-only benchmarks, reports
 // baseline-only benchmarks as missing, and sorts worst-first.
@@ -61,6 +72,58 @@ func TestCompareThresholdBoundary(t *testing.T) {
 	cur = snap("b", map[string]float64{"B": 1251})
 	if lines, _ := compare(base, cur, 25); !lines[0].Regression {
 		t.Fatalf("past-threshold not flagged: %+v", lines[0])
+	}
+}
+
+// Alloc counts guard like ns/op but only above the noise floor, and
+// benchmarks without alloc data never produce alloc deltas.
+func TestCompareAllocs(t *testing.T) {
+	base := snapAllocs("a", map[string][2]float64{
+		"BenchmarkHot":    {1000, 100}, // allocs +50% -> regression
+		"BenchmarkSteady": {1000, 100}, // allocs +10% -> within budget
+		"BenchmarkTiny":   {1000, 3},   // +100% but base 3 < floor -> noise
+		"BenchmarkLean":   {1000, 50},  // allocs halved -> fine
+	})
+	cur := snapAllocs("b", map[string][2]float64{
+		"BenchmarkHot":    {1000, 150},
+		"BenchmarkSteady": {1000, 110},
+		"BenchmarkTiny":   {1000, 6},
+		"BenchmarkLean":   {1000, 25},
+	})
+	lines, _ := compare(base, cur, 25)
+	byName := map[string]diffLine{}
+	for _, d := range lines {
+		byName[d.Name] = d
+	}
+	hot := byName["BenchmarkHot"]
+	if !hot.HasAllocs || !hot.AllocRegression || hot.AllocDeltaPct != 50 {
+		t.Fatalf("alloc regression missed: %+v", hot)
+	}
+	if hot.Regression {
+		t.Fatalf("ns/op budget tripped by allocs: %+v", hot)
+	}
+	if d := byName["BenchmarkSteady"]; d.AllocRegression {
+		t.Fatalf("within-budget alloc growth flagged: %+v", d)
+	}
+	if d := byName["BenchmarkTiny"]; d.AllocRegression {
+		t.Fatalf("below-noise-floor alloc delta flagged: %+v", d)
+	}
+	if d := byName["BenchmarkLean"]; d.AllocRegression || d.AllocDeltaPct != -50 {
+		t.Fatalf("alloc improvement mishandled: %+v", d)
+	}
+
+	// ns/op-only entries (nil allocs pointers) carry no alloc delta.
+	plain, _ := compare(snap("a", map[string]float64{"B": 1000}),
+		snap("b", map[string]float64{"B": 1000}), 25)
+	if plain[0].HasAllocs {
+		t.Fatalf("alloc delta invented from nil allocs: %+v", plain[0])
+	}
+
+	// Mixed: alloc data present in only one snapshot -> no alloc delta.
+	mixed, _ := compare(snapAllocs("a", map[string][2]float64{"B": {1000, 100}}),
+		snap("b", map[string]float64{"B": 1000}), 25)
+	if mixed[0].HasAllocs {
+		t.Fatalf("alloc delta from one-sided data: %+v", mixed[0])
 	}
 }
 

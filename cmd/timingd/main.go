@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"newgame/internal/circuits"
+	"newgame/internal/cluster"
 	"newgame/internal/core"
 	"newgame/internal/liberty"
 	"newgame/internal/netlist"
@@ -57,6 +58,13 @@ func main() {
 	restore := flag.String("restore", "", "boot from this snapshot pack instead of generating the design")
 	rewindEpoch := flag.Int64("rewind-epoch", 0, "with -restore: stop epoch-log replay at this epoch and truncate the log there (0 = replay all)")
 
+	role := flag.String("role", "single", "cluster role: single, worker, coordinator")
+	join := flag.String("join", "", "worker: coordinator base URL to register with")
+	advertise := flag.String("advertise", "", "worker: base URL peers reach this process at (default http://127.0.0.1<addr>)")
+	nodeID := flag.String("node-id", "", "worker: stable cluster identity (default derived from the advertise URL)")
+	scenarioNames := flag.String("scenarios", "", "worker: comma-separated scenario subset to serve (empty = all in the recipe)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "cluster heartbeat interval")
+
 	loadgenMode := flag.Bool("loadgen", false, "run as load generator against -target instead of serving")
 	target := flag.String("target", "http://localhost:8374", "loadgen target base URL")
 	duration := flag.Duration("duration", 3*time.Second, "loadgen run duration")
@@ -72,6 +80,18 @@ func main() {
 		runLoadgen(*target, *duration, *clients, *qps, *minQPS, *whatIfCell, *whatIfTo, *jsonOut)
 		return
 	}
+	switch *role {
+	case "single", "worker", "coordinator":
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want single, worker or coordinator)", *role))
+	}
+	if *role == "coordinator" {
+		runCoordinator(*addr, *restore, *recipeName, *heartbeat)
+		return
+	}
+	if *role == "worker" && *join == "" {
+		fatal(fmt.Errorf("-role worker requires -join <coordinator URL>"))
+	}
 
 	rec := obs.NewRecorder()
 	start := time.Now()
@@ -81,6 +101,16 @@ func main() {
 		QueueDepth: *queue, CacheSize: *cacheSize,
 		RequestTimeout: *timeout, Obs: rec,
 		SnapshotDir: *snapshotDir, RestoreToEpoch: *rewindEpoch,
+	}
+	if *role == "worker" {
+		cfg.Role = "worker"
+	}
+	if *scenarioNames != "" {
+		for _, name := range strings.Split(*scenarioNames, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				cfg.ScenarioFilter = append(cfg.ScenarioFilter, name)
+			}
+		}
 	}
 	if *restore != "" {
 		// Warm boot: the whole resident state — design, libraries, recipe,
@@ -136,16 +166,104 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	var agent *cluster.Agent
+	if *role == "worker" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseFromAddr(*addr)
+		}
+		id := *nodeID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(adv, "http://"), "https://")
+		}
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			ID: id, AdvertiseURL: adv, CoordinatorURL: *join,
+			Interval: *heartbeat, Source: srv,
+			Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("timingd: worker %s joining cluster at %s (advertising %s)\n", id, *join, adv)
+	}
+
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
 	}
 	fmt.Println("timingd: draining...")
+	if agent != nil {
+		agent.Stop()
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(shutCtx)
 	srv.Close()
+	fmt.Println("timingd: bye")
+}
+
+// advertiseFromAddr derives a reachable base URL from a listen address:
+// ":8374" → "http://127.0.0.1:8374", "0.0.0.0:8374" likewise.
+func advertiseFromAddr(addr string) string {
+	host, port, ok := strings.Cut(addr, ":")
+	if !ok {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return fmt.Sprintf("http://%s:%s", host, port)
+}
+
+// runCoordinator serves the cluster front-end: no timing graphs of its
+// own, just the canonical scenario list (from the shared pack or the
+// named recipe) and the scatter-gather/barrier machinery.
+func runCoordinator(addr, restore, recipeName string, heartbeat time.Duration) {
+	start := time.Now()
+	var names []string
+	if restore != "" {
+		snap, err := pack.Load(restore)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sc := range snap.Recipe.Scenarios {
+			names = append(names, sc.Name)
+		}
+	} else {
+		recipe := buildRecipe(recipeName, parasitics.Stack16())
+		for _, sc := range recipe.Scenarios {
+			names = append(names, sc.Name)
+		}
+	}
+	rec := obs.NewRecorder()
+	c, err := cluster.New(cluster.Config{
+		Scenarios: names, HeartbeatInterval: heartbeat, Obs: rec,
+		Logf: func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("timingd: coordinator ready in %.2fs: %d scenarios (%s)\n",
+		time.Since(start).Seconds(), len(names), strings.Join(names, ", "))
+	fmt.Printf("timingd: coordinator listening on %s\n", addr)
+
+	httpSrv := &http.Server{Addr: addr, Handler: c.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("timingd: coordinator draining...")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutCtx)
+	c.Close()
 	fmt.Println("timingd: bye")
 }
 

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"newgame/internal/timingd"
+	"newgame/internal/timingd/client"
+)
+
+// commitBarrier drives one epoch barrier: prepare on every shard,
+// verify every shard is still reachable, then commit everywhere. The
+// invariant it buys is that the cluster epoch is a real barrier — no
+// shard serves epoch N+1 until every shard prepared it, and a shard
+// death inside the window aborts (prepare phase) or degrades with a
+// catch-up repair path (commit phase) instead of wedging or forking.
+func (c *Coordinator) commitBarrier(ctx context.Context, ops []timingd.Op) (*timingd.WhatIfReport, error) {
+	c.barrierMu.Lock()
+	defer c.barrierMu.Unlock()
+	start := time.Now()
+
+	// Writes need the whole cluster: a dead or syncing member would miss
+	// the epoch and fork. Refuse cleanly; reads keep serving meanwhile.
+	c.mu.Lock()
+	if len(c.members) == 0 {
+		c.mu.Unlock()
+		return nil, &statusError{503, "no workers registered"}
+	}
+	for _, m := range c.members {
+		if m.state != memberAlive {
+			c.mu.Unlock()
+			c.count("cluster.barrier.refused")
+			return nil, &statusError{503,
+				fmt.Sprintf("cluster degraded: worker %s is %s; writes refused until it re-registers", m.id, m.state)}
+		}
+	}
+	if stale := c.staleLocked(); len(stale) > 0 {
+		c.mu.Unlock()
+		c.count("cluster.barrier.refused")
+		return nil, &statusError{503, fmt.Sprintf("cluster degraded: scenario %q has no live shard", stale[0])}
+	}
+	base := c.epoch
+	members := make([]*member, 0, len(c.members))
+	for _, m := range c.members {
+		members = append(members, m)
+	}
+	c.txnSeq++
+	txn := fmt.Sprintf("eco-%d-%d", base+1, c.txnSeq)
+	c.mu.Unlock()
+
+	rec := BarrierRecord{Txn: txn, Epoch: base + 1}
+	for _, m := range members {
+		rec.Members = append(rec.Members, m.id)
+	}
+	fail := func(outcome string, status *statusError) (*timingd.WhatIfReport, error) {
+		rec.Outcome = outcome
+		rec.Err = status.msg
+		rec.TotalMs = msSince(start)
+		c.flight.Put(rec)
+		return nil, status
+	}
+
+	// Phase one: prepare everywhere. Each shard applies and re-times the
+	// ops on its shadow and holds them pending, guarded by its own
+	// expiry timer so a coordinator death cannot wedge it.
+	phase := time.Now()
+	reports := make([]*timingd.PrepareResponse, len(members))
+	errs := make([]error, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.WriteTimeout)
+			defer cancel()
+			rep, err := m.cl.Prepare(cctx, txn, base, ops)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			reports[i] = &rep
+		}(i, m)
+	}
+	wg.Wait()
+	rec.PrepareMs = msSince(phase)
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		c.abortAll(members, txn)
+		c.count("cluster.barrier.prepare_failures")
+		if se, ok := err.(*client.StatusError); ok && se.Code < 500 {
+			// The ops themselves were rejected (validation, epoch
+			// mismatch): every shard would refuse identically, the
+			// member is healthy. Propagate the shard's own answer.
+			c.logf("cluster: barrier %s aborted, shard %s refused prepare: %v", txn, members[i].id, err)
+			return fail("aborted", &statusError{se.Code, se.Msg})
+		}
+		c.markDead(members[i], "prepare failed")
+		c.logf("cluster: barrier %s aborted, worker %s unreachable in prepare: %v", txn, members[i].id, err)
+		return fail("aborted", &statusError{503,
+			fmt.Sprintf("prepare failed on worker %s: %v; cluster degraded, edit aborted", members[i].id, err)})
+	}
+
+	if c.cfg.Hooks.BetweenPrepareAndCommit != nil {
+		c.cfg.Hooks.BetweenPrepareAndCommit(txn)
+	}
+
+	// Verify: every shard must still be reachable before anyone commits.
+	// This closes most of the commit-phase death window — a worker
+	// killed between prepare and here aborts the barrier with no shard
+	// having advanced (its own expiry timer rolls the dead one back).
+	phase = time.Now()
+	verifyTimeout := c.cfg.ShardTimeout
+	if verifyTimeout > 2*time.Second {
+		verifyTimeout = 2 * time.Second
+	}
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, verifyTimeout)
+			defer cancel()
+			_, errs[i] = m.cl.Health(cctx)
+		}(i, m)
+	}
+	wg.Wait()
+	rec.VerifyMs = msSince(phase)
+	for i, err := range errs {
+		if err != nil {
+			c.abortAll(members, txn)
+			c.markDead(members[i], "failed verify")
+			c.count("cluster.barrier.verify_failures")
+			c.logf("cluster: barrier %s aborted, worker %s failed verify: %v", txn, members[i].id, err)
+			return fail("aborted", &statusError{503,
+				fmt.Sprintf("worker %s unreachable between prepare and commit: %v; edit aborted, cluster degraded", members[i].id, err)})
+		}
+	}
+
+	// Phase two: commit everywhere. A failure here is the residual 2PC
+	// window — survivors have already published epoch base+1, so the
+	// commit stands, the failed worker is evicted, and catch-up replay
+	// repairs it on re-registration (see DESIGN.md §15).
+	phase = time.Now()
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.WriteTimeout)
+			defer cancel()
+			_, errs[i] = m.cl.CommitTxn(cctx, txn)
+		}(i, m)
+	}
+	wg.Wait()
+	rec.CommitMs = msSince(phase)
+
+	c.mu.Lock()
+	c.epoch = base + 1
+	c.oplog = append(c.oplog, append([]timingd.Op(nil), ops...))
+	for i, m := range members {
+		if errs[i] == nil {
+			m.epoch = base + 1
+		}
+	}
+	c.mu.Unlock()
+	c.purgeCache()
+
+	committed := true
+	for i, err := range errs {
+		if err != nil {
+			c.markDead(members[i], "failed commit")
+			c.count("cluster.barrier.commit_failures")
+			c.logf("cluster: barrier %s: worker %s failed commit (%v); evicted, catch-up will repair", txn, members[i].id, err)
+			committed = false
+		}
+	}
+	c.count("cluster.barrier.commits")
+	rec.Outcome = "committed"
+	if !committed {
+		rec.Outcome = "committed-degraded"
+	}
+	rec.TotalMs = msSince(start)
+	c.flight.Put(rec)
+	c.logf("cluster: barrier %s committed epoch %d across %d workers (%.1fms)", txn, base+1, len(members), rec.TotalMs)
+
+	return c.mergeBarrierReports(base+1, members, reports)
+}
+
+// mergeBarrierReports assembles the client-facing WhatIfReport from the
+// shards' prepare reports, canonical scenario order.
+func (c *Coordinator) mergeBarrierReports(epoch int64, members []*member, reports []*timingd.PrepareResponse) (*timingd.WhatIfReport, error) {
+	inner := make([]*timingd.WhatIfReport, 0, len(reports))
+	for _, r := range reports {
+		if r != nil && r.Report != nil {
+			inner = append(inner, r.Report)
+		}
+	}
+	out := &timingd.WhatIfReport{Epoch: epoch, Committed: true}
+	var err error
+	out.Before, err = mergeScenarioOrder(c.cfg.Scenarios, inner, func(r *timingd.WhatIfReport) []timingd.ScenarioSlack { return r.Before })
+	if err != nil {
+		return nil, err
+	}
+	out.After, err = mergeScenarioOrder(c.cfg.Scenarios, inner, func(r *timingd.WhatIfReport) []timingd.ScenarioSlack { return r.After })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// abortAll best-effort aborts txn on every member in parallel. Worker
+// aborts are idempotent (unknown txn answers Done=false), so members
+// that never prepared are safe to hit too.
+func (c *Coordinator) abortAll(members []*member, txn string) {
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(context.Background(), c.cfg.ShardTimeout)
+			defer cancel()
+			m.cl.AbortTxn(cctx, txn)
+		}(m)
+	}
+	wg.Wait()
+	c.count("cluster.barrier.aborts")
+}
+
+// markDead evicts a member immediately (barrier saw it fail; no reason
+// to wait for the heartbeat sweep).
+func (c *Coordinator) markDead(m *member, why string) {
+	c.mu.Lock()
+	if m.state != memberDead {
+		m.state = memberDead
+		c.rebuildLocked()
+	}
+	c.mu.Unlock()
+	c.purgeCache()
+	c.logf("cluster: worker %s marked dead (%s)", m.id, why)
+}
+
+// msSince is the elapsed wall time in fractional milliseconds.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t).Microseconds()) / 1000
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"newgame/internal/timingd"
+)
+
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("/healthz", c.handleHealth)
+	c.mux.HandleFunc("/slack", c.handleSlack)
+	c.mux.HandleFunc("/endpoints", c.handleEndpoints)
+	c.mux.HandleFunc("/paths", c.handlePaths)
+	c.mux.HandleFunc("/whatif", c.handleWhatIf)
+	c.mux.HandleFunc("/eco", c.handleECO)
+	c.mux.HandleFunc("/cluster/register", c.handleRegister)
+	c.mux.HandleFunc("/cluster/heartbeat", c.handleHeartbeat)
+	c.mux.HandleFunc("/debug/barriers", c.handleDebugBarriers)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeRaw(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// writeErr maps an error (statusError or not) onto the same JSON error
+// envelope single-node timingd uses, so clients parse both identically.
+func writeErr(w http.ResponseWriter, err error) int {
+	status := http.StatusInternalServerError
+	if se, ok := err.(*statusError); ok {
+		status = se.code
+	}
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+	return status
+}
+
+func methodCheck(w http.ResponseWriter, r *http.Request, want string) bool {
+	if r.Method != want {
+		writeErr(w, &statusError{http.StatusMethodNotAllowed, "use " + want})
+		return false
+	}
+	return true
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, &statusError{http.StatusBadRequest, "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	c.mu.Lock()
+	h := ClusterHealth{
+		Role:      "coordinator",
+		Epoch:     c.epoch,
+		Scenarios: len(c.cfg.Scenarios),
+		Degraded:  c.degradedLocked(),
+		Stale:     c.staleLocked(),
+		UptimeSec: time.Since(c.start).Seconds(),
+	}
+	for _, m := range c.members {
+		mh := MemberHealth{ID: m.id, URL: m.url, State: m.state.String(), Epoch: m.epoch}
+		for _, ref := range m.scenarios {
+			mh.Scenarios = append(mh.Scenarios, ref.Name)
+		}
+		h.Members = append(h.Members, mh)
+	}
+	c.mu.Unlock()
+	sort.Slice(h.Members, func(i, j int) bool { return h.Members[i].ID < h.Members[j].ID })
+	h.Status = "ok"
+	if h.Degraded {
+		h.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (c *Coordinator) handleSlack(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodGet) {
+		c.observe("slack", start, http.StatusMethodNotAllowed)
+		return
+	}
+	if body, ok := c.cacheGet("/slack"); ok {
+		writeRaw(w, body)
+		c.observe("slack", start, http.StatusOK)
+		return
+	}
+	var rep *SlackReport
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		rep, err = c.gatherSlack(r.Context())
+		if err != errEpochSkew {
+			break
+		}
+	}
+	if err != nil {
+		c.observe("slack", start, writeErr(w, err))
+		return
+	}
+	body, _ := json.Marshal(rep)
+	if !rep.Degraded {
+		c.cachePut("/slack", rep.Epoch, body)
+	}
+	writeRaw(w, body)
+	c.observe("slack", start, http.StatusOK)
+}
+
+// handleEndpoints proxies GET /endpoints to the shard owning the
+// requested scenario, replica fallback included; the response body is
+// the shard's own, so it is bit-identical to single-node timingd.
+func (c *Coordinator) handleEndpoints(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodGet) {
+		c.observe("endpoints", start, http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	idx, name, err := c.scenarioIdx(q.Get("scenario"))
+	if err != nil {
+		c.observe("endpoints", start, writeErr(w, err))
+		return
+	}
+	key := "/endpoints?" + r.URL.RawQuery
+	if body, ok := c.cacheGet(key); ok {
+		writeRaw(w, body)
+		c.observe("endpoints", start, http.StatusOK)
+		return
+	}
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		var perr error
+		if limit, perr = strconv.Atoi(s); perr != nil || limit < 0 {
+			c.observe("endpoints", start, writeErr(w, &statusError{400, "bad limit " + s}))
+			return
+		}
+	}
+	var rep timingd.EndpointsReport
+	err = c.proxyScenario(r.Context(), idx, func(ctx2 context.Context, m *member) error {
+		var ferr error
+		rep, ferr = m.cl.Endpoints(ctx2, name, q.Get("kind"), limit)
+		return ferr
+	})
+	if err != nil {
+		c.observe("endpoints", start, writeErr(w, err))
+		return
+	}
+	body, _ := json.Marshal(rep)
+	c.cachePut(key, rep.Epoch, body)
+	writeRaw(w, body)
+	c.observe("endpoints", start, http.StatusOK)
+}
+
+func (c *Coordinator) handlePaths(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodGet) {
+		c.observe("paths", start, http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	idx, name, err := c.scenarioIdx(q.Get("scenario"))
+	if err != nil {
+		c.observe("paths", start, writeErr(w, err))
+		return
+	}
+	key := "/paths?" + r.URL.RawQuery
+	if body, ok := c.cacheGet(key); ok {
+		writeRaw(w, body)
+		c.observe("paths", start, http.StatusOK)
+		return
+	}
+	k := 0
+	if s := q.Get("k"); s != "" {
+		var perr error
+		if k, perr = strconv.Atoi(s); perr != nil || k < 0 {
+			c.observe("paths", start, writeErr(w, &statusError{400, "bad k " + s}))
+			return
+		}
+	}
+	var rep timingd.PathsReport
+	err = c.proxyScenario(r.Context(), idx, func(ctx2 context.Context, m *member) error {
+		var ferr error
+		rep, ferr = m.cl.Paths(ctx2, name, q.Get("kind"), k)
+		return ferr
+	})
+	if err != nil {
+		c.observe("paths", start, writeErr(w, err))
+		return
+	}
+	body, _ := json.Marshal(rep)
+	c.cachePut(key, rep.Epoch, body)
+	writeRaw(w, body)
+	c.observe("paths", start, http.StatusOK)
+}
+
+func (c *Coordinator) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodPost) {
+		c.observe("whatif", start, http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Ops []timingd.Op `json:"ops"`
+	}
+	if !decodeBody(w, r, &req) {
+		c.observe("whatif", start, http.StatusBadRequest)
+		return
+	}
+	rep, err := c.gatherWhatIf(r.Context(), req.Ops)
+	if err != nil {
+		c.observe("whatif", start, writeErr(w, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+	c.observe("whatif", start, http.StatusOK)
+}
+
+func (c *Coordinator) handleECO(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodPost) {
+		c.observe("eco", start, http.StatusMethodNotAllowed)
+		return
+	}
+	var req struct {
+		Ops []timingd.Op `json:"ops"`
+	}
+	if !decodeBody(w, r, &req) {
+		c.observe("eco", start, http.StatusBadRequest)
+		return
+	}
+	rep, err := c.commitBarrier(r.Context(), req.Ops)
+	if err != nil {
+		c.observe("eco", start, writeErr(w, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+	c.observe("eco", start, http.StatusOK)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodPost) {
+		c.observe("register", start, http.StatusMethodNotAllowed)
+		return
+	}
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		c.observe("register", start, http.StatusBadRequest)
+		return
+	}
+	resp, err := c.register(r.Context(), req)
+	if err != nil {
+		c.observe("register", start, writeErr(w, err))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+	c.observe("register", start, http.StatusOK)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodPost) {
+		return
+	}
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.heartbeat(req))
+}
+
+func (c *Coordinator) handleDebugBarriers(w http.ResponseWriter, r *http.Request) {
+	if !methodCheck(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, DebugBarriersReport{
+		Barriers: c.flight.Snapshot(0),
+		Dropped:  c.flight.Dropped(),
+	})
+}

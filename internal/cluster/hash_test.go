@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingDeterministic: identical member sets give identical rings and
+// owner orders regardless of input order.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing([]string{"w1", "w2", "w3"}, 64)
+	b := buildRing([]string{"w3", "w1", "w2"}, 64)
+	for _, key := range []string{"func_ss_cw", "func_ff_cb", "scan_shift", "retention"} {
+		if got, want := a.Owners(key, 3), b.Owners(key, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("owner order differs for %q: %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestRingOwnersDistinct: Owners never repeats a member and caps at the
+// member count.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := buildRing([]string{"w1", "w2", "w3"}, 16)
+	owners := r.Owners("some_scenario", 10)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if r.Owners("x", 0) != nil || buildRing(nil, 8).Owners("x", 2) != nil {
+		t.Fatal("empty cases must return nil")
+	}
+}
+
+// TestRingStability: removing one member must not move keys whose
+// primary survives — the consistent-hashing property that makes
+// eviction rebalancing cheap.
+func TestRingStability(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	full := buildRing(members, 64)
+	without := buildRing([]string{"w1", "w2", "w3"}, 64)
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("scenario-%d", i)
+		p := full.Owners(key, 1)[0]
+		q := without.Owners(key, 1)[0]
+		if p == "w4" {
+			continue // its keys must move somewhere
+		}
+		if p != q {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys with surviving primaries moved on member removal", moved)
+	}
+}

@@ -135,6 +135,12 @@ func Registry() []Invariant {
 			Scope: PerRun,
 			Check: checkSurveyWorkers,
 		},
+		{
+			Name:  "cluster-merge-identical",
+			Law:   "a scenario-sharded timingd cluster is invisible: merged reads are bit-identical to a single node at every shard count, merged WNS/TNS are exactly min/sum, and an epoch-barrier ECO lands on the single node's post-commit state",
+			Scope: PerRun,
+			Check: checkClusterMerge,
+		},
 	}
 }
 

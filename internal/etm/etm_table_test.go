@@ -1,0 +1,170 @@
+package etm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"newgame/internal/units"
+)
+
+// tableModels is a hand-built three-block system: cpu and dsp feed noc,
+// noc feeds both back — enough fan-out to exercise multi-block glue
+// without an STA run.
+func tableModels() map[string]*Model {
+	return map[string]*Model{
+		"cpu": {
+			Name:       "cpu",
+			OutLate:    map[string]units.Ps{"req": 120, "data": 140},
+			InputSetup: map[string]units.Ps{"ack": 60},
+		},
+		"dsp": {
+			Name:       "dsp",
+			OutLate:    map[string]units.Ps{"sample": 200},
+			InputSetup: map[string]units.Ps{"cfg": 90},
+		},
+		"noc": {
+			Name:       "noc",
+			OutLate:    map[string]units.Ps{"grant": 80},
+			InputSetup: map[string]units.Ps{"req_in": 150, "sample_in": 180},
+		},
+	}
+}
+
+// TestTopLevelCheckTable drives TopLevelCheck through multi-block glue
+// topologies and every error arm from one table.
+func TestTopLevelCheckTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		wires   []Wire
+		slacks  []units.Ps // expected per-wire, in order (nil when wantErr)
+		worst   units.Ps
+		wantErr string
+	}{
+		{
+			name:   "empty wires",
+			wires:  nil,
+			slacks: nil,
+			worst:  math.Inf(1),
+		},
+		{
+			name: "single passing wire",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "req", ToBlock: "noc", ToPort: "req_in", Delay: 10},
+			},
+			slacks: []units.Ps{150 - (120 + 10)},
+			worst:  20,
+		},
+		{
+			name: "multi-block fanout with one violation",
+			wires: []Wire{
+				// cpu → noc: 150 - 130 = +20
+				{FromBlock: "cpu", FromPort: "req", ToBlock: "noc", ToPort: "req_in", Delay: 10},
+				// dsp → noc: 180 - 215 = -35 (the violator)
+				{FromBlock: "dsp", FromPort: "sample", ToBlock: "noc", ToPort: "sample_in", Delay: 15},
+				// noc → cpu: 60 - 85 = -25
+				{FromBlock: "noc", FromPort: "grant", ToBlock: "cpu", ToPort: "ack", Delay: 5},
+				// noc → dsp: 90 - 80 = +10
+				{FromBlock: "noc", FromPort: "grant", ToBlock: "dsp", ToPort: "cfg", Delay: 0},
+			},
+			slacks: []units.Ps{20, -35, -25, 10},
+			worst:  -35,
+		},
+		{
+			name: "self-loop block",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "data", ToBlock: "cpu", ToPort: "ack", Delay: 0},
+			},
+			slacks: []units.Ps{60 - 140},
+			worst:  -80,
+		},
+		{
+			name: "unknown from-block",
+			wires: []Wire{
+				{FromBlock: "gpu", FromPort: "x", ToBlock: "noc", ToPort: "req_in"},
+			},
+			wantErr: `unknown block "gpu"`,
+		},
+		{
+			name: "unknown to-block",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "req", ToBlock: "gpu", ToPort: "x"},
+			},
+			wantErr: `unknown block "gpu"`,
+		},
+		{
+			name: "missing output port",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "irq", ToBlock: "noc", ToPort: "req_in"},
+			},
+			wantErr: `block cpu has no output "irq"`,
+		},
+		{
+			name: "unconstrained input port",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "req", ToBlock: "noc", ToPort: "float_in"},
+			},
+			wantErr: `block noc has no constrained input "float_in"`,
+		},
+		{
+			name: "error after valid wires still fails whole check",
+			wires: []Wire{
+				{FromBlock: "cpu", FromPort: "req", ToBlock: "noc", ToPort: "req_in", Delay: 10},
+				{FromBlock: "noc", FromPort: "grant", ToBlock: "gpu", ToPort: "x"},
+			},
+			wantErr: `unknown block "gpu"`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gs, err := TopLevelCheck(tableModels(), tc.wires)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gs) != len(tc.slacks) {
+				t.Fatalf("%d glue checks, want %d", len(gs), len(tc.slacks))
+			}
+			for i, g := range gs {
+				if g.Slack != tc.slacks[i] {
+					t.Errorf("wire %d slack = %v, want %v", i, g.Slack, tc.slacks[i])
+				}
+				if g.Slack != g.Allowed-g.Arrival {
+					t.Errorf("wire %d: slack %v != allowed %v - arrival %v", i, g.Slack, g.Allowed, g.Arrival)
+				}
+			}
+			if w := WorstGlue(gs); w != tc.worst {
+				t.Errorf("WorstGlue = %v, want %v", w, tc.worst)
+			}
+		})
+	}
+}
+
+// TestWorstGlueTable pins WorstGlue's reduction including the empty
+// edge case used by callers as "no inter-block constraints".
+func TestWorstGlueTable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []GlueSlack
+		want units.Ps
+	}{
+		{"nil", nil, math.Inf(1)},
+		{"empty", []GlueSlack{}, math.Inf(1)},
+		{"single", []GlueSlack{{Slack: 7}}, 7},
+		{"negative wins", []GlueSlack{{Slack: 12}, {Slack: -3}, {Slack: 0}}, -3},
+		{"all equal", []GlueSlack{{Slack: 5}, {Slack: 5}}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := WorstGlue(tc.in); got != tc.want {
+				t.Fatalf("WorstGlue = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

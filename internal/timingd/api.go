@@ -112,6 +112,9 @@ type Health struct {
 	Epoch     int64  `json:"epoch"`
 	Scenarios int    `json:"scenarios"`
 	Cells     int    `json:"cells"`
+	// Role tags the instance's cluster role: "single" (standalone),
+	// "worker" (scenario shard behind a coordinator).
+	Role string `json:"role,omitempty"`
 	// Degraded mirrors Status == "degraded" as a machine-checkable bool.
 	Degraded bool `json:"degraded"`
 	// UptimeSec is seconds since the server came up.
@@ -187,4 +190,57 @@ type DebugSlowReport struct {
 // errorBody is the JSON error envelope for non-2xx responses.
 type errorBody struct {
 	Error string `json:"error"`
+}
+
+// ScenarioRef names one scenario this server serves together with its
+// index in the FULL recipe order — the canonical ordering a cluster
+// coordinator merges shard answers in. For an unfiltered server the
+// indices are simply 0..N-1.
+type ScenarioRef struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+}
+
+// PrepareRequest is phase one of the cluster epoch barrier (POST
+// /cluster/prepare): apply and re-time Ops on the shadow, hold the result
+// pending the coordinator's decision. BaseEpoch must match the shard's
+// current epoch — a stale coordinator gets a clean 409 instead of a
+// diverging commit.
+type PrepareRequest struct {
+	Txn       string `json:"txn"`
+	BaseEpoch int64  `json:"base_epoch"`
+	Ops       []Op   `json:"ops"`
+}
+
+// PrepareResponse acks a prepare: the epoch this shard will move to on
+// commit, plus the full before/after report (the coordinator merges the
+// shards' reports into the client-facing answer).
+type PrepareResponse struct {
+	Txn    string        `json:"txn"`
+	Epoch  int64         `json:"epoch"`
+	Report *WhatIfReport `json:"report"`
+}
+
+// TxnRequest drives phase two (POST /cluster/commit or /cluster/abort).
+type TxnRequest struct {
+	Txn string `json:"txn"`
+}
+
+// TxnResponse answers commit/abort: the shard's epoch after the operation
+// and whether the named transaction was actually consumed (an abort of an
+// already-expired transaction answers Done=false, idempotently).
+type TxnResponse struct {
+	Txn   string `json:"txn"`
+	Epoch int64  `json:"epoch"`
+	Done  bool   `json:"done"`
+}
+
+// ClusterInfo answers GET /cluster/info: what a coordinator needs to place
+// this shard in the ring.
+type ClusterInfo struct {
+	Role       string        `json:"role"`
+	Epoch      int64         `json:"epoch"`
+	Degraded   bool          `json:"degraded"`
+	Scenarios  []ScenarioRef `json:"scenarios"`
+	PendingTxn string        `json:"pending_txn,omitempty"`
 }

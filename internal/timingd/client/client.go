@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"newgame/internal/timingd"
 )
@@ -23,6 +24,9 @@ type Client struct {
 	Base string
 	// HTTP is the transport; nil uses http.DefaultClient.
 	HTTP *http.Client
+	// Retry bounds automatic backoff-retry of 429 refusals; the zero
+	// value keeps the old single-attempt behavior.
+	Retry RetryPolicy
 }
 
 // New returns a client for the given base URL.
@@ -32,6 +36,9 @@ func New(base string) *Client { return &Client{Base: base} }
 type StatusError struct {
 	Code int
 	Msg  string
+	// RetryAfter is the server's Retry-After advice on 429 answers
+	// (zero when absent).
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
@@ -52,7 +59,34 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// do issues the request, transparently retrying backpressure refusals
+// within the client's RetryPolicy: exponential backoff from BaseDelay,
+// floored at the server's Retry-After advice, jittered, bounded by
+// MaxAttempts and MaxElapsed. An exhausted budget returns the last 429
+// unchanged, so IsBackpressure still classifies it.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	p := c.Retry.withDefaults()
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		err := c.doOnce(ctx, method, path, body, out)
+		se, ok := err.(*StatusError)
+		if err == nil || !ok || se.Code != http.StatusTooManyRequests {
+			return err
+		}
+		if attempt >= p.MaxAttempts {
+			return err
+		}
+		delay := p.backoffDelay(attempt, se.RetryAfter)
+		if time.Since(start)+delay > p.MaxElapsed {
+			return err
+		}
+		if serr := p.doSleep(ctx, delay); serr != nil {
+			return err
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -82,7 +116,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			Error string `json:"error"`
 		}
 		json.Unmarshal(data, &eb)
-		return &StatusError{Code: resp.StatusCode, Msg: eb.Error}
+		return &StatusError{
+			Code:       resp.StatusCode,
+			Msg:        eb.Error,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil

@@ -1,0 +1,110 @@
+package client
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// RetryPolicy bounds automatic retries of the daemon's backpressure
+// (429) refusals. A 429 means the request was refused at admission and
+// never executed, so retrying is safe for reads and writes alike. Only
+// 429 is retried: every other failure — validation, timeout, transport —
+// surfaces immediately.
+//
+// The zero value disables retries (single attempt), preserving the old
+// client behavior.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (<=1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the first backoff step; it doubles per attempt
+	// (default 50ms when retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step (default 2s).
+	MaxDelay time.Duration
+	// MaxElapsed caps the whole retry budget including the sleeps about
+	// to be taken; when the next wait would cross it, the last 429 is
+	// returned instead (default 5s).
+	MaxElapsed time.Duration
+	// Seed perturbs the jitter stream, making test runs reproducible.
+	Seed uint64
+
+	// sleep is a test seam; nil uses a context-aware timer sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts > 1 {
+		if p.BaseDelay <= 0 {
+			p.BaseDelay = 50 * time.Millisecond
+		}
+		if p.MaxDelay <= 0 {
+			p.MaxDelay = 2 * time.Second
+		}
+		if p.MaxElapsed <= 0 {
+			p.MaxElapsed = 5 * time.Second
+		}
+	}
+	return p
+}
+
+// jitterSeq decorrelates concurrent clients sharing a Seed (or the zero
+// Seed) without unseeded global randomness.
+var jitterSeq atomic.Uint64
+
+// jitter scales d by a factor in [0.75, 1.25) drawn from a splitmix64
+// stream — enough spread to break retry synchronization across a fleet
+// of clients hammering one recovering daemon.
+func jitter(d time.Duration, seed uint64) time.Duration {
+	z := seed + jitterSeq.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	f := 0.75 + 0.5*float64(z%1024)/1024
+	return time.Duration(float64(d) * f)
+}
+
+// backoffDelay computes the wait before retry number attempt (1-based):
+// exponential from BaseDelay, floored at the server's Retry-After
+// advice, capped at MaxDelay, then jittered.
+func (p RetryPolicy) backoffDelay(attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d < p.BaseDelay { // shift overflow
+		d = p.MaxDelay
+	}
+	if d < retryAfter {
+		d = retryAfter
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return jitter(d, p.Seed)
+}
+
+func (p RetryPolicy) doSleep(ctx context.Context, d time.Duration) error {
+	if p.sleep != nil {
+		return p.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads the daemon's Retry-After advice (delta-seconds
+// form; timingd sends "1"). Unparseable or absent values mean no floor.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	return 0
+}

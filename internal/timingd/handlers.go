@@ -29,6 +29,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.mux.HandleFunc("/debug/epochs", s.handleDebugEpochs)
 	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+	s.clusterRoutes()
 }
 
 // reqInfo is the lightweight per-request carrier the render path fills in
@@ -397,6 +398,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Epoch:     sess.epoch,
 		Scenarios: len(sess.views),
 		Cells:     len(sess.d.Cells),
+		Role:      s.role(),
 	}
 	sess.mu.RUnlock()
 	if s.degraded.Load() {

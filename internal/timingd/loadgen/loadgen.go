@@ -36,6 +36,11 @@ type Config struct {
 	// WhatIfOps is the op batch what-if requests send; required when
 	// WhatIfWeight > 0.
 	WhatIfOps []timingd.Op
+	// Retry overrides the per-client backoff-retry policy for 429
+	// refusals. Nil uses a small default budget (3 attempts within
+	// ~250ms), so Refused counts only refusals that outlasted fast
+	// retries — sustained saturation, not scheduling blips.
+	Retry *client.RetryPolicy
 	// Obs, when non-nil, records per-route latency histograms.
 	Obs *obs.Recorder
 }
@@ -204,9 +209,20 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	var wg sync.WaitGroup
 	for g := 0; g < cfg.Clients; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			cl := client.New(cfg.Base)
+			if cfg.Retry != nil {
+				cl.Retry = *cfg.Retry
+			} else {
+				// Fast-retryable refusals are part of normal admission
+				// behavior under load; only budget-exhausted ones count.
+				cl.Retry = client.RetryPolicy{
+					MaxAttempts: 3, BaseDelay: 2 * time.Millisecond,
+					MaxDelay: 50 * time.Millisecond, MaxElapsed: 250 * time.Millisecond,
+					Seed: uint64(g + 1),
+				}
+			}
 			for range tickets {
 				mu.Lock()
 				route := mix[seq%int64(len(mix))]
@@ -248,7 +264,7 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 						Observe(float64(lat.Microseconds()) / 1000)
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

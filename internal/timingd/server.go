@@ -65,6 +65,22 @@ type Config struct {
 	// Test-only; leave nil in production.
 	Hooks *Hooks
 
+	// ScenarioFilter, when non-empty, restricts the server to the named
+	// scenarios of the recipe — a cluster worker serving its shard of the
+	// MCMM scenario space. The kept scenarios stay in recipe order, and
+	// ScenarioSet() reports their indices in the FULL recipe order so a
+	// coordinator can merge shard answers canonically. Applied after
+	// Restore, so workers booting from one shared pack can each keep a
+	// different subset.
+	ScenarioFilter []string
+	// Role tags this instance for /healthz and /cluster/info ("" reads as
+	// "single"; cmd/timingd sets "worker" or leaves it).
+	Role string
+	// PrepareTimeout bounds how long a prepared-but-uncommitted cluster
+	// transaction may hold the writer before it is auto-aborted — a dead
+	// coordinator must not wedge the shard. Default 15s.
+	PrepareTimeout time.Duration
+
 	// SnapshotDir, when non-empty, enables state persistence: POST
 	// /admin/save writes binary packs there, and every committed ECO is
 	// appended (CRC-framed, fsynced) to the epoch log epochs.log in the
@@ -114,6 +130,9 @@ func (c *Config) withDefaults() *Config {
 	if out.FlightCommits == 0 {
 		out.FlightCommits = 64
 	}
+	if out.PrepareTimeout == 0 {
+		out.PrepareTimeout = 15 * time.Second
+	}
 	return &out
 }
 
@@ -145,6 +164,16 @@ type Server struct {
 	// the replay onto the retired snapshot) and the two sessions can no
 	// longer be guaranteed identical; writes are refused from then on.
 	degraded atomic.Bool
+
+	// pending is the at-most-one prepared-but-uncommitted cluster
+	// transaction (it holds writerMu); pendingMu arbitrates between the
+	// commit handler, the abort handler, the expiry timer and Close.
+	pendingMu sync.Mutex
+	pending   *preparedTxn
+
+	// scenarioSet is the served scenario subset, each entry carrying its
+	// index in the full recipe order (identity for unfiltered servers).
+	scenarioSet []ScenarioRef
 
 	// flight is the always-on black box: the last N requests and last M
 	// commits, written lock-free from the hot path and served at
@@ -182,12 +211,30 @@ func NewServer(cfg Config) (*Server, error) {
 	if c.Stack == nil {
 		return nil, fmt.Errorf("timingd: Config.Stack is nil")
 	}
+	// Resolve the scenario shard AFTER a restore: workers booting from one
+	// shared pack each keep their own subset of the pack's full recipe.
+	full := make([]ScenarioRef, len(c.Recipe.Scenarios))
+	for i, sc := range c.Recipe.Scenarios {
+		full[i] = ScenarioRef{Index: i, Name: sc.Name}
+	}
+	kept, err := scenarioSubset(full, c.ScenarioFilter)
+	if err != nil {
+		return nil, err
+	}
+	if len(kept) != len(full) {
+		scenarios := make([]core.Scenario, len(kept))
+		for i, ref := range kept {
+			scenarios[i] = c.Recipe.Scenarios[ref.Index]
+		}
+		c.Recipe.Scenarios = scenarios
+	}
 	s := &Server{
-		cfg:    c,
-		pool:   workpool.NewPool(c.QueryWorkers, c.QueueDepth),
-		cache:  newQueryCache(c.CacheSize),
-		flight: obs.NewFlightRecorder(c.FlightRequests, c.FlightCommits),
-		start:  time.Now(),
+		cfg:         c,
+		pool:        workpool.NewPool(c.QueryWorkers, c.QueueDepth),
+		cache:       newQueryCache(c.CacheSize),
+		flight:      obs.NewFlightRecorder(c.FlightRequests, c.FlightCommits),
+		start:       time.Now(),
+		scenarioSet: kept,
 	}
 	// Both snapshots are full builds from clones of the source design;
 	// the keyed binder guarantees they are bit-identical despite being
@@ -240,6 +287,13 @@ func (s *Server) Close() {
 	alreadyClosed := s.closed
 	s.closed = true
 	s.closeMu.Unlock()
+	// A prepared-but-undecided cluster transaction holds writerMu; abort
+	// it now so shutdown (and the wal close below) cannot deadlock behind
+	// a coordinator that will never answer.
+	if p := s.takePending(""); p != nil {
+		p.timer.Stop()
+		s.abortPrepared(p, fmt.Errorf("server closing"))
+	}
 	s.pool.Close()
 	if !alreadyClosed && s.wal != nil {
 		// Appends hold writerMu; taking it orders the close after any
@@ -282,133 +336,19 @@ func (s *Server) count(name string) {
 // keep resolving the old pointer until the swap, and the replay locks only
 // the retired session.
 //
-// Every commit — successful or not — leaves a CommitRecord with per-phase
-// durations in the flight recorder, so /debug/epochs reconstructs the
-// writer pipeline's audit timeline post hoc.
+// The implementation is the two-phase pipeline of twophase.go run
+// back-to-back: prepare (resolve + apply + re-time the shadow) immediately
+// followed by commitPrepared (epoch bump, swap, log, replay) — the cluster
+// barrier drives the same two halves with a coordinator decision in
+// between. Every commit — successful or not — leaves a CommitRecord with
+// per-phase durations in the flight recorder, so /debug/epochs
+// reconstructs the writer pipeline's audit timeline post hoc.
 func (s *Server) commit(ctx context.Context, ops []Op) (*WhatIfReport, error) {
-	s.writerMu.Lock()
-	defer s.writerMu.Unlock()
-	cr := obs.CommitRecord{Start: time.Now(), OpsApplied: len(ops)}
-	if tr := obs.TraceFrom(ctx); tr != nil {
-		cr.TraceID = tr.ID
-	}
-	record := func(err error) {
-		if err != nil {
-			cr.Err = err.Error()
-		}
-		cr.TotalMs = msSince(cr.Start)
-		s.flight.Commits.Put(cr)
-	}
-	if s.degraded.Load() {
-		err := fmt.Errorf("server degraded by earlier failed commit; restart required")
-		record(err)
-		return nil, err
-	}
-
-	sh := s.shadow
-	var rep *WhatIfReport
-	var newEpoch int64
-	// The whole pre-swap phase runs guarded: a panic in it means the
-	// shadow's state is unknown, so the server degrades rather than risk
-	// publishing or reusing a half-edited snapshot. Locks are deferred so
-	// the panic path cannot leak them.
-	err := guard(func() error {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		phase := time.Now()
-		if err := s.fire(SiteCommitResolve); err != nil {
-			return err
-		}
-		edits, err := sh.resolve(ops)
-		cr.ResolveMs = msSince(phase)
-		if err != nil {
-			return err
-		}
-		rep = &WhatIfReport{Before: sh.slacks(), Committed: true}
-		mark := sh.d.NameMark()
-		if err := s.fire(SiteCommitApply); err != nil {
-			return err
-		}
-		phase = time.Now()
-		structural, err := sh.applyEdits(edits)
-		if err == nil {
-			err = sh.retime(ctx, s.cfg, structural)
-		}
-		cr.ApplyMs = msSince(phase)
-		if err == nil {
-			err = s.fire(SiteCommitSwap)
-		}
-		if err != nil {
-			// Roll the shadow back to match cur; the undo's own re-time
-			// must not be cancellable or the snapshots diverge.
-			sh.undoEdits(edits, mark)
-			if rerr := sh.retime(context.Background(), s.cfg, structural); rerr != nil {
-				s.degraded.Store(true)
-			}
-			return err
-		}
-		newEpoch = s.epoch.Add(1)
-		sh.epoch = newEpoch
-		rep.Epoch = newEpoch
-		rep.After = sh.slacks()
-		return nil
-	})
+	p, err := s.prepare(ctx, ops, nil)
 	if err != nil {
-		if isRecoveredPanic(err) {
-			s.degraded.Store(true)
-			s.count("timingd.panics_recovered")
-		}
-		record(err)
 		return nil, err
 	}
-
-	phase := time.Now()
-	old := s.cur.Swap(sh)
-	cr.CachePurged = s.cache.purge()
-	cr.Epoch = newEpoch
-	cr.SwapMs = msSince(phase)
-	s.count("timingd.commits")
-	if s.cfg.Obs != nil {
-		s.cfg.Obs.Gauge("timingd.epoch").Set(float64(newEpoch))
-	}
-	// The commit is visible; make it durable. Runs under writerMu, so the
-	// log's record order is the epoch order.
-	s.logCommit(newEpoch, ops)
-
-	// Replay onto the retired snapshot. Stragglers still reading it hold
-	// RLock; the edit waits for them. Not cancellable: the commit is
-	// already visible. Guarded for the same reason as above — a panic
-	// mid-replay leaves the retired snapshot unusable as the next shadow.
-	phase = time.Now()
-	rerr := guard(func() error {
-		if err := s.fire(SiteCommitReplay); err != nil {
-			return err
-		}
-		old.mu.Lock()
-		defer old.mu.Unlock()
-		oldEdits, err := old.resolve(ops)
-		if err == nil {
-			var oldStructural bool
-			oldStructural, err = old.applyEdits(oldEdits)
-			if err == nil {
-				err = old.retime(context.Background(), s.cfg, oldStructural)
-			}
-		}
-		old.epoch = newEpoch
-		return err
-	})
-	cr.ReplayMs = msSince(phase)
-	if rerr != nil {
-		if isRecoveredPanic(rerr) {
-			s.count("timingd.panics_recovered")
-		}
-		s.degraded.Store(true)
-		record(rerr)
-		return rep, nil // the commit itself succeeded
-	}
-	s.shadow = old
-	record(nil)
-	return rep, nil
+	return s.commitPrepared(p), nil
 }
 
 // whatIf evaluates an edit batch against the shadow and rolls it back,

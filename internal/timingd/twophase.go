@@ -1,0 +1,456 @@
+package timingd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"newgame/internal/obs"
+)
+
+// This file splits the writer pipeline into an explicit two-phase protocol
+// so a cluster coordinator can drive an epoch barrier across shards:
+//
+//	prepare  — resolve + apply + re-time the op batch on the shadow, keep
+//	           the edits live and the writer lock held, publish nothing;
+//	commit   — bump the epoch, swap the shadow in, log and replay;
+//	abort    — undo the edits exactly and release the writer.
+//
+// The single-node commit() is prepare immediately followed by commit, so
+// both paths share one implementation and the chaos-test semantics (fault
+// sites, degraded transitions, flight-recorder audit) are identical.
+//
+// A prepared transaction holds writerMu across the prepare→commit/abort
+// window — sync.Mutex explicitly permits unlocking from a different
+// goroutine, which is exactly what the commit/abort HTTP handlers do. A
+// coordinator that dies between phases cannot wedge the worker: every
+// registered prepare carries an abort timer (Config.PrepareTimeout) that
+// rolls the shadow back and releases the writer.
+
+// preparedTxn is one in-flight prepared-but-uncommitted edit batch. The
+// writer lock is held from prepare until exactly one of commitPrepared or
+// abortPrepared consumes the transaction.
+type preparedTxn struct {
+	id         string
+	baseEpoch  int64
+	newEpoch   int64
+	sh         *session
+	edits      []*edit
+	mark       int
+	structural bool
+	rep        *WhatIfReport
+	ops        []Op
+	cr         obs.CommitRecord
+	timer      *time.Timer
+}
+
+// errPrepareExpired is the abort cause when the coordinator never came back
+// with a commit or abort inside PrepareTimeout.
+var errPrepareExpired = fmt.Errorf("prepared transaction expired without commit or abort")
+
+// finishRecord completes the transaction's flight-recorder entry.
+func (s *Server) finishRecord(p *preparedTxn, err error) {
+	if err != nil {
+		p.cr.Err = err.Error()
+	}
+	p.cr.TotalMs = msSince(p.cr.Start)
+	s.flight.Commits.Put(p.cr)
+}
+
+// prepare runs the pre-publish half of a commit: it takes the writer lock,
+// resolves and applies ops to the shadow, re-times it, and returns with the
+// lock STILL HELD and the edits live. baseEpoch, when non-nil, must match
+// the current epoch (the cluster barrier's staleness check); a mismatch is
+// a clean 409. On any error the shadow is rolled back and the lock
+// released.
+func (s *Server) prepare(ctx context.Context, ops []Op, baseEpoch *int64) (*preparedTxn, error) {
+	s.writerMu.Lock()
+	p := &preparedTxn{
+		sh:  s.shadow,
+		ops: ops,
+		cr:  obs.CommitRecord{Start: time.Now(), OpsApplied: len(ops)},
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		p.cr.TraceID = tr.ID
+	}
+	fail := func(err error) (*preparedTxn, error) {
+		s.finishRecord(p, err)
+		s.writerMu.Unlock()
+		return nil, err
+	}
+	if s.degraded.Load() {
+		return fail(fmt.Errorf("server degraded by earlier failed commit; restart required"))
+	}
+	p.baseEpoch = s.epoch.Load()
+	if baseEpoch != nil && *baseEpoch != p.baseEpoch {
+		return fail(&apiError{
+			status: http.StatusConflict,
+			msg:    fmt.Sprintf("epoch mismatch: shard at epoch %d, prepare wants base %d", p.baseEpoch, *baseEpoch),
+		})
+	}
+	p.newEpoch = p.baseEpoch + 1
+
+	sh := p.sh
+	// The whole pre-swap phase runs guarded: a panic in it means the
+	// shadow's state is unknown, so the server degrades rather than risk
+	// publishing or reusing a half-edited snapshot. Locks are deferred so
+	// the panic path cannot leak them.
+	err := guard(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		phase := time.Now()
+		if err := s.fire(SiteCommitResolve); err != nil {
+			return err
+		}
+		edits, err := sh.resolve(ops)
+		p.cr.ResolveMs = msSince(phase)
+		if err != nil {
+			return err
+		}
+		p.edits = edits
+		p.rep = &WhatIfReport{Epoch: p.newEpoch, Before: sh.slacks(), Committed: true}
+		p.mark = sh.d.NameMark()
+		if err := s.fire(SiteCommitApply); err != nil {
+			return err
+		}
+		phase = time.Now()
+		p.structural, err = sh.applyEdits(edits)
+		if err == nil {
+			err = sh.retime(ctx, s.cfg, p.structural)
+		}
+		p.cr.ApplyMs = msSince(phase)
+		if err == nil {
+			err = s.fire(SiteCommitSwap)
+		}
+		if err != nil {
+			// Roll the shadow back to match cur; the undo's own re-time
+			// must not be cancellable or the snapshots diverge.
+			sh.undoEdits(edits, p.mark)
+			if rerr := sh.retime(context.Background(), s.cfg, p.structural); rerr != nil {
+				s.degraded.Store(true)
+			}
+			return err
+		}
+		p.rep.After = sh.slacks()
+		return nil
+	})
+	if err != nil {
+		if isRecoveredPanic(err) {
+			s.degraded.Store(true)
+			s.count("timingd.panics_recovered")
+		}
+		return fail(err)
+	}
+	return p, nil
+}
+
+// commitPrepared publishes a prepared transaction: epoch bump, snapshot
+// swap, cache purge, epoch-log append, replay onto the retired snapshot,
+// writer lock release. The commit is irrevocable once the swap happens; a
+// replay failure degrades the server but the commit stands, exactly as in
+// the single-node pipeline.
+func (s *Server) commitPrepared(p *preparedTxn) *WhatIfReport {
+	defer s.writerMu.Unlock()
+	sh := p.sh
+	phase := time.Now()
+	newEpoch := s.epoch.Add(1)
+	// The retiring snapshot may still have straggler readers holding RLock;
+	// the shadow about to be published may too (from two swaps ago), so its
+	// epoch tag is written under the lock.
+	sh.mu.Lock()
+	sh.epoch = newEpoch
+	sh.mu.Unlock()
+	old := s.cur.Swap(sh)
+	p.cr.CachePurged = s.cache.purge()
+	p.cr.Epoch = newEpoch
+	p.cr.SwapMs = msSince(phase)
+	s.count("timingd.commits")
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Gauge("timingd.epoch").Set(float64(newEpoch))
+	}
+	// The commit is visible; make it durable. Runs under writerMu, so the
+	// log's record order is the epoch order.
+	s.logCommit(newEpoch, p.ops)
+
+	// Replay onto the retired snapshot. Stragglers still reading it hold
+	// RLock; the edit waits for them. Not cancellable: the commit is
+	// already visible. Guarded for the same reason as prepare — a panic
+	// mid-replay leaves the retired snapshot unusable as the next shadow.
+	phase = time.Now()
+	rerr := guard(func() error {
+		if err := s.fire(SiteCommitReplay); err != nil {
+			return err
+		}
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		oldEdits, err := old.resolve(p.ops)
+		if err == nil {
+			var oldStructural bool
+			oldStructural, err = old.applyEdits(oldEdits)
+			if err == nil {
+				err = old.retime(context.Background(), s.cfg, oldStructural)
+			}
+		}
+		old.epoch = newEpoch
+		return err
+	})
+	p.cr.ReplayMs = msSince(phase)
+	if rerr != nil {
+		if isRecoveredPanic(rerr) {
+			s.count("timingd.panics_recovered")
+		}
+		s.degraded.Store(true)
+		s.finishRecord(p, rerr)
+		return p.rep // the commit itself succeeded
+	}
+	s.shadow = old
+	s.finishRecord(p, nil)
+	return p.rep
+}
+
+// abortPrepared rolls a prepared transaction back — exact netlist undo plus
+// a non-cancellable re-time — and releases the writer. A rollback failure
+// degrades the server: the shadow can no longer be trusted to match the
+// published snapshot.
+func (s *Server) abortPrepared(p *preparedTxn, cause error) {
+	defer s.writerMu.Unlock()
+	sh := p.sh
+	err := guard(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.undoEdits(p.edits, p.mark)
+		return sh.retime(context.Background(), s.cfg, p.structural)
+	})
+	if err != nil {
+		if isRecoveredPanic(err) {
+			s.count("timingd.panics_recovered")
+		}
+		s.degraded.Store(true)
+	}
+	s.count("timingd.barrier.aborts")
+	s.finishRecord(p, cause)
+}
+
+// registerPending parks a prepared transaction for a later commit/abort
+// call and arms its expiry timer. Caller must hold the transaction (i.e.
+// prepare succeeded and nothing consumed it yet).
+func (s *Server) registerPending(p *preparedTxn) {
+	s.pendingMu.Lock()
+	s.pending = p
+	s.pendingMu.Unlock()
+	p.timer = time.AfterFunc(s.cfg.PrepareTimeout, func() {
+		if q := s.takePending(p.id); q != nil {
+			s.count("timingd.barrier.expired")
+			s.abortPrepared(q, errPrepareExpired)
+		}
+	})
+}
+
+// takePending atomically claims the pending transaction with the given id
+// (any pending transaction when id is empty). Exactly one of the commit
+// handler, the abort handler, the expiry timer, or Close wins.
+func (s *Server) takePending(id string) *preparedTxn {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	p := s.pending
+	if p == nil || (id != "" && p.id != id) {
+		return nil
+	}
+	s.pending = nil
+	return p
+}
+
+// pendingTxnID reports the id of the in-flight prepared transaction, if
+// any ("" otherwise).
+func (s *Server) pendingTxnID() string {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	if s.pending == nil {
+		return ""
+	}
+	return s.pending.id
+}
+
+// --- HTTP surface -----------------------------------------------------
+
+// clusterRoutes registers the worker-side barrier endpoints. They bypass
+// the admission pool on purpose: an epoch barrier must not be starved or
+// 429'd by read traffic, and the writer lock already serializes them.
+func (s *Server) clusterRoutes() {
+	s.mux.HandleFunc("/cluster/prepare", s.handleClusterPrepare)
+	s.mux.HandleFunc("/cluster/commit", s.handleClusterCommit)
+	s.mux.HandleFunc("/cluster/abort", s.handleClusterAbort)
+	s.mux.HandleFunc("/cluster/info", s.handleClusterInfo)
+}
+
+// handleClusterPrepare is phase one of the epoch barrier: validate, apply
+// and re-time the batch on the shadow, answer with the epoch this shard
+// will move to, and hold everything pending the coordinator's decision.
+func (s *Server) handleClusterPrepare(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.observe("cluster.prepare", start, status) }()
+	if r.Method != http.MethodPost {
+		status = http.StatusMethodNotAllowed
+		writeError(w, status, "POST required")
+		return
+	}
+	var req PrepareRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		status = http.StatusBadRequest
+		writeError(w, status, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Txn == "" || len(req.Ops) == 0 {
+		status = http.StatusBadRequest
+		writeError(w, status, "prepare needs a txn id and ops")
+		return
+	}
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		status = http.StatusServiceUnavailable
+		writeError(w, status, "shutting down")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	p, err := s.prepare(ctx, req.Ops, &req.BaseEpoch)
+	if err != nil {
+		status = http.StatusInternalServerError
+		var ae *apiError
+		if asAPIError(wrapOpError(err), &ae) {
+			status = ae.status
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	p.id = req.Txn
+	s.registerPending(p)
+	writeJSON(w, PrepareResponse{Txn: p.id, Epoch: p.newEpoch, Report: p.rep})
+}
+
+// handleClusterCommit is phase two: publish the prepared transaction. An
+// unknown txn is a 409 — the prepare expired or was aborted, so the
+// coordinator must treat the shard as NOT committed.
+func (s *Server) handleClusterCommit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.observe("cluster.commit", start, status) }()
+	txn, ok := s.decodeTxn(w, r, &status)
+	if !ok {
+		return
+	}
+	p := s.takePending(txn)
+	if p == nil {
+		status = http.StatusConflict
+		writeError(w, status, fmt.Sprintf("no prepared transaction %q (expired or aborted)", txn))
+		return
+	}
+	p.timer.Stop()
+	rep := s.commitPrepared(p)
+	writeJSON(w, TxnResponse{Txn: txn, Epoch: rep.Epoch, Done: true})
+}
+
+// handleClusterAbort rolls a prepared transaction back. Aborting an
+// unknown txn is idempotent success — the expiry timer may have won.
+func (s *Server) handleClusterAbort(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.observe("cluster.abort", start, status) }()
+	txn, ok := s.decodeTxn(w, r, &status)
+	if !ok {
+		return
+	}
+	p := s.takePending(txn)
+	if p == nil {
+		writeJSON(w, TxnResponse{Txn: txn, Epoch: s.epoch.Load(), Done: false})
+		return
+	}
+	p.timer.Stop()
+	s.abortPrepared(p, fmt.Errorf("aborted by coordinator"))
+	writeJSON(w, TxnResponse{Txn: txn, Epoch: s.epoch.Load(), Done: true})
+}
+
+func (s *Server) decodeTxn(w http.ResponseWriter, r *http.Request, status *int) (string, bool) {
+	if r.Method != http.MethodPost {
+		*status = http.StatusMethodNotAllowed
+		writeError(w, *status, "POST required")
+		return "", false
+	}
+	var req TxnRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || req.Txn == "" {
+		*status = http.StatusBadRequest
+		writeError(w, *status, "request needs a txn id")
+		return "", false
+	}
+	return req.Txn, true
+}
+
+// handleClusterInfo reports this shard's role, epoch and scenario set —
+// what a coordinator (or operator) needs to place it in the ring.
+func (s *Server) handleClusterInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, ClusterInfo{
+		Role:       s.role(),
+		Epoch:      s.epoch.Load(),
+		Degraded:   s.degraded.Load(),
+		Scenarios:  s.ScenarioSet(),
+		PendingTxn: s.pendingTxnID(),
+	})
+}
+
+func (s *Server) role() string {
+	if s.cfg.Role == "" {
+		return "single"
+	}
+	return s.cfg.Role
+}
+
+// ScenarioSet returns the scenarios this server serves, each tagged with
+// its index in the full recipe order — the canonical ordering a
+// coordinator merges shard answers in.
+func (s *Server) ScenarioSet() []ScenarioRef {
+	out := make([]ScenarioRef, len(s.scenarioSet))
+	copy(out, s.scenarioSet)
+	return out
+}
+
+// Degraded reports whether a half-failed commit has poisoned the server.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// scenarioSubset resolves a scenario-name filter against the full recipe
+// order: the kept scenarios stay in recipe order regardless of filter
+// order, and each carries its full-recipe index. An empty filter keeps
+// everything; an unknown name is a configuration error.
+func scenarioSubset(full []ScenarioRef, filter []string) ([]ScenarioRef, error) {
+	if len(filter) == 0 {
+		return full, nil
+	}
+	want := make(map[string]bool, len(filter))
+	for _, name := range filter {
+		want[name] = true
+	}
+	var kept []ScenarioRef
+	for _, ref := range full {
+		if want[ref.Name] {
+			kept = append(kept, ref)
+			delete(want, ref.Name)
+		}
+	}
+	if len(want) > 0 {
+		for name := range want {
+			return nil, fmt.Errorf("timingd: scenario filter names unknown scenario %q", name)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("timingd: scenario filter keeps no scenarios")
+	}
+	return kept, nil
+}

@@ -1,0 +1,212 @@
+package timingd
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// prepareBody builds a /cluster/prepare request for the fixture's resize
+// target.
+func prepareBody(t *testing.T, txn string, baseEpoch int64) string {
+	t.Helper()
+	cell, to := resizeTarget(t)
+	return fmt.Sprintf(`{"txn":%q,"base_epoch":%d,"ops":[{"op":"resize","cell":%q,"to":%q}]}`,
+		txn, baseEpoch, cell, to)
+}
+
+// TestPrepareCommitPublishes walks the happy barrier path over HTTP: the
+// prepare must not advance the served epoch, the commit must, and the
+// post-commit baseline must equal the prepare report's After exactly.
+func TestPrepareCommitPublishes(t *testing.T) {
+	s, hs := newTestServer(t, nil)
+
+	code, body := post(t, hs.URL, "/cluster/prepare", prepareBody(t, "tx1", 0))
+	if code != 200 {
+		t.Fatalf("prepare: %d %s", code, body)
+	}
+	var pr PrepareResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Txn != "tx1" || pr.Epoch != 1 || pr.Report == nil || len(pr.Report.After) == 0 {
+		t.Fatalf("prepare response %+v", pr)
+	}
+
+	// Pending prepare: readers still see epoch 0 — nothing is published.
+	if _, b := get(t, hs.URL, "/slack"); !jsonHasEpoch(t, b, 0) {
+		t.Fatalf("slack moved during pending prepare: %s", b)
+	}
+	if got := s.pendingTxnID(); got != "tx1" {
+		t.Fatalf("pending txn %q", got)
+	}
+
+	code, body = post(t, hs.URL, "/cluster/commit", `{"txn":"tx1"}`)
+	if code != 200 {
+		t.Fatalf("commit: %d %s", code, body)
+	}
+	var tr TxnResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Done || tr.Epoch != 1 || s.Epoch() != 1 {
+		t.Fatalf("commit response %+v, server epoch %d", tr, s.Epoch())
+	}
+
+	_, b := get(t, hs.URL, "/slack")
+	var sr SlackReport
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Epoch != 1 {
+		t.Fatalf("post-commit epoch %d", sr.Epoch)
+	}
+	after, _ := json.Marshal(pr.Report.After)
+	now, _ := json.Marshal(sr.Scenarios)
+	if string(after) != string(now) {
+		t.Fatalf("post-commit baseline != prepare After:\n%s\n%s", after, now)
+	}
+
+	// Committing the consumed txn again is a clean 409, and the writer is
+	// free: a plain single-node ECO advances to epoch 2.
+	if code, _ := post(t, hs.URL, "/cluster/commit", `{"txn":"tx1"}`); code != 409 {
+		t.Fatalf("re-commit of consumed txn = %d", code)
+	}
+	cell, to := resizeTarget(t)
+	code, body = post(t, hs.URL, "/eco",
+		fmt.Sprintf(`{"ops":[{"op":"resize","cell":%q,"to":%q}]}`, cell, to))
+	if code != 200 || s.Epoch() != 2 {
+		t.Fatalf("eco after barrier: %d %s (epoch %d)", code, body, s.Epoch())
+	}
+}
+
+// TestPrepareAbortRollsBack proves an aborted prepare leaves the server
+// byte-identical to its pre-prepare state and free for later writes.
+func TestPrepareAbortRollsBack(t *testing.T) {
+	s, hs := newTestServer(t, nil)
+	_, before := get(t, hs.URL, "/slack")
+
+	if code, body := post(t, hs.URL, "/cluster/prepare", prepareBody(t, "tx2", 0)); code != 200 {
+		t.Fatalf("prepare: %d %s", code, body)
+	}
+	code, body := post(t, hs.URL, "/cluster/abort", `{"txn":"tx2"}`)
+	if code != 200 {
+		t.Fatalf("abort: %d %s", code, body)
+	}
+	var tr TxnResponse
+	json.Unmarshal(body, &tr)
+	if !tr.Done || tr.Epoch != 0 || s.Epoch() != 0 {
+		t.Fatalf("abort response %+v", tr)
+	}
+	// Aborting again is idempotent (Done=false), never an error.
+	code, body = post(t, hs.URL, "/cluster/abort", `{"txn":"tx2"}`)
+	json.Unmarshal(body, &tr)
+	if code != 200 || tr.Done {
+		t.Fatalf("second abort: %d %+v", code, tr)
+	}
+
+	_, now := get(t, hs.URL, "/slack")
+	if string(before) != string(now) {
+		t.Fatalf("abort did not restore baseline:\n%s\n%s", before, now)
+	}
+	if s.Degraded() {
+		t.Fatal("abort degraded the server")
+	}
+}
+
+// TestPrepareEpochMismatch: a stale coordinator (wrong base epoch) gets a
+// clean 409 and the shard state is untouched.
+func TestPrepareEpochMismatch(t *testing.T) {
+	s, hs := newTestServer(t, nil)
+	code, body := post(t, hs.URL, "/cluster/prepare", prepareBody(t, "tx3", 7))
+	if code != 409 {
+		t.Fatalf("stale prepare = %d %s", code, body)
+	}
+	if s.Epoch() != 0 || s.pendingTxnID() != "" {
+		t.Fatalf("stale prepare left state: epoch %d pending %q", s.Epoch(), s.pendingTxnID())
+	}
+}
+
+// TestPrepareExpires: a coordinator that dies after prepare cannot wedge
+// the worker — the expiry timer aborts, releases the writer, and a later
+// single-node commit succeeds at the expected epoch.
+func TestPrepareExpires(t *testing.T) {
+	s, hs := newTestServer(t, func(c *Config) { c.PrepareTimeout = 100 * time.Millisecond })
+	_, before := get(t, hs.URL, "/slack")
+
+	if code, body := post(t, hs.URL, "/cluster/prepare", prepareBody(t, "tx4", 0)); code != 200 {
+		t.Fatalf("prepare: %d %s", code, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.pendingTxnID() != "" {
+		if time.Now().After(deadline) {
+			t.Fatal("prepare never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Committing the expired txn must refuse — the shard rolled back.
+	if code, _ := post(t, hs.URL, "/cluster/commit", `{"txn":"tx4"}`); code != 409 {
+		t.Fatalf("commit of expired txn = %d", code)
+	}
+	_, now := get(t, hs.URL, "/slack")
+	if string(before) != string(now) {
+		t.Fatal("expiry did not restore baseline")
+	}
+
+	cell, to := resizeTarget(t)
+	code, body := post(t, hs.URL, "/eco",
+		fmt.Sprintf(`{"ops":[{"op":"resize","cell":%q,"to":%q}]}`, cell, to))
+	if code != 200 || s.Epoch() != 1 {
+		t.Fatalf("eco after expiry: %d %s (epoch %d)", code, body, s.Epoch())
+	}
+}
+
+// TestScenarioFilter: a worker restricted to one scenario serves only it,
+// reports full-recipe indices, and rejects unknown names.
+func TestScenarioFilter(t *testing.T) {
+	recipe, _, _ := fixture(t)
+	holdName := recipe.Scenarios[1].Name
+	s, hs := newTestServer(t, func(c *Config) {
+		c.ScenarioFilter = []string{holdName}
+		c.Role = "worker"
+	})
+	set := s.ScenarioSet()
+	if len(set) != 1 || set[0].Index != 1 || set[0].Name != holdName {
+		t.Fatalf("scenario set %+v", set)
+	}
+	_, b := get(t, hs.URL, "/slack")
+	var sr SlackReport
+	if err := json.Unmarshal(b, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Scenarios) != 1 || sr.Scenarios[0].Scenario != holdName {
+		t.Fatalf("filtered slack %+v", sr)
+	}
+	_, b = get(t, hs.URL, "/cluster/info")
+	var ci ClusterInfo
+	if err := json.Unmarshal(b, &ci); err != nil {
+		t.Fatal(err)
+	}
+	if ci.Role != "worker" || len(ci.Scenarios) != 1 || ci.Scenarios[0].Index != 1 {
+		t.Fatalf("cluster info %+v", ci)
+	}
+
+	cfg := testConfig(t)
+	cfg.ScenarioFilter = []string{"no_such_scenario"}
+	if _, err := NewServer(cfg); err == nil {
+		t.Fatal("unknown scenario filter accepted")
+	}
+}
+
+// jsonHasEpoch decodes {"epoch":N,...} and compares.
+func jsonHasEpoch(t *testing.T, b []byte, want int64) bool {
+	t.Helper()
+	var v struct {
+		Epoch int64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Epoch == want
+}

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# CI smoke for the scenario-sharded timingd cluster: save a snapshot pack
+# from a single daemon, boot a coordinator plus two workers restored from
+# that shared pack (one scenario each), commit an ECO through the epoch
+# barrier, kill -9 one worker under a mixed load, verify reads stay up
+# degraded while writes refuse 503, hold the coordinator read path above
+# -min-qps while degraded, then restart the worker and verify catch-up
+# replay reconverges the cluster so the next ECO commits everywhere.
+set -euo pipefail
+
+COORD_ADDR="127.0.0.1:18380"
+W1_ADDR="127.0.0.1:18381"
+W2_ADDR="127.0.0.1:18382"
+COORD="http://$COORD_ADDR"
+W1_SCEN="func_ss_cw"
+W2_SCEN="func_ff_cb"
+
+WORK="$(mktemp -d)"
+BIN="$WORK/timingd"
+SNAPDIR="$WORK/snap"
+
+cleanup() {
+  for pid in "${W2PID:-}" "${W1PID:-}" "${CPID:-}" "${LGPID:-}" "${DPID:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "cluster smoke FAILED: $1"
+  for log in seed coord w1 w2 w2b; do
+    [[ -f "$WORK/$log.log" ]] && { echo "--- $log.log"; tail -40 "$WORK/$log.log"; }
+  done
+  exit 1
+}
+
+# wait_until URL GREP_PATTERN DESC [TRIES]
+wait_until() {
+  local url="$1" pattern="$2" desc="$3" tries="${4:-100}"
+  for i in $(seq 1 "$tries"); do
+    if curl -s "$url" 2>/dev/null | grep -q "$pattern"; then return 0; fi
+    sleep 0.2
+  done
+  fail "timed out waiting for $desc"
+}
+
+go build -o "$BIN" ./cmd/timingd
+
+# Seed pack: one plain daemon builds the design, saves a snapshot, dies.
+# Everything after boots from that pack — the cluster's shared truth.
+"$BIN" -addr "$W1_ADDR" -gates 700 -ffs 48 -snapshot-dir "$SNAPDIR" >"$WORK/seed.log" 2>&1 &
+DPID=$!
+for i in $(seq 1 100); do
+  curl -sf "http://$W1_ADDR/healthz" >/dev/null 2>&1 && break
+  kill -0 "$DPID" 2>/dev/null || { echo "seed daemon exited:"; cat "$WORK/seed.log"; exit 1; }
+  sleep 0.2
+done
+OP_JSON="$(grep -o '{"op":.*}' "$WORK/seed.log" | head -1)"
+[[ -n "$OP_JSON" ]] || fail "no example op in seed banner"
+OP_CELL="$(sed -n 's/.*"cell":"\([^"]*\)".*/\1/p' <<<"$OP_JSON")"
+OP_TO="$(sed -n 's/.*"to":"\([^"]*\)".*/\1/p' <<<"$OP_JSON")"
+curl -sf -X POST "http://$W1_ADDR/admin/save" >"$WORK/save.json" || fail "POST /admin/save"
+PACK="$(sed -n 's/.*"path":"\([^"]*\)".*/\1/p' "$WORK/save.json")"
+[[ -f "$PACK" ]] || fail "snapshot pack $PACK not on disk"
+kill -9 "$DPID"; wait "$DPID" 2>/dev/null || true
+unset DPID
+echo "cluster smoke: pack saved at $PACK, example op cell=$OP_CELL to=$OP_TO"
+
+# Coordinator + two workers, one scenario each, all from the shared pack.
+"$BIN" -addr "$COORD_ADDR" -role coordinator -restore "$PACK" -heartbeat 100ms >"$WORK/coord.log" 2>&1 &
+CPID=$!
+wait_until "$COORD/healthz" '"role":"coordinator"' "coordinator boot"
+"$BIN" -addr "$W1_ADDR" -role worker -restore "$PACK" -join "$COORD" \
+  -scenarios "$W1_SCEN" -heartbeat 100ms >"$WORK/w1.log" 2>&1 &
+W1PID=$!
+"$BIN" -addr "$W2_ADDR" -role worker -restore "$PACK" -join "$COORD" \
+  -scenarios "$W2_SCEN" -heartbeat 100ms >"$WORK/w2.log" 2>&1 &
+W2PID=$!
+wait_until "$COORD/healthz" '"status":"ok"' "both workers alive"
+curl -s "$COORD/healthz" | grep -q '"degraded":false' || fail "cluster degraded at boot"
+echo "cluster smoke: coordinator + 2 workers converged"
+
+# Merged reads and one barrier commit across both shards.
+curl -sf "$COORD/slack" >"$WORK/slack0.json" || fail "GET /slack"
+grep -q "\"$W1_SCEN\"" "$WORK/slack0.json" && grep -q "\"$W2_SCEN\"" "$WORK/slack0.json" \
+  || fail "merged slack missing a scenario"
+curl -sf -d "{\"ops\":[$OP_JSON]}" "$COORD/eco" >"$WORK/eco1.json" || fail "POST /eco"
+grep -q '"committed":true' "$WORK/eco1.json" || fail "barrier eco not committed"
+grep -q '"epoch":1' "$WORK/eco1.json" || fail "barrier eco epoch did not advance"
+echo "cluster smoke: epoch-barrier ECO committed at epoch 1"
+
+# Mixed load in the background, then kill -9 a worker mid-run: the
+# cluster must degrade, not die.
+"$BIN" -loadgen -target "$COORD" -duration 6s -clients 4 \
+  -whatif-cell "$OP_CELL" -whatif-to "$OP_TO" >"$WORK/mixed.log" 2>&1 &
+LGPID=$!
+sleep 1
+kill -9 "$W2PID"; wait "$W2PID" 2>/dev/null || true
+unset W2PID
+wait_until "$COORD/healthz" '"degraded":true' "dead-worker eviction" 50
+
+curl -sf "$COORD/slack" >"$WORK/slackdeg.json" || fail "degraded GET /slack"
+grep -q '"degraded":true' "$WORK/slackdeg.json" || fail "degraded slack not flagged"
+grep -q "\"stale\":\[\"$W2_SCEN\"\]" "$WORK/slackdeg.json" || fail "stale scenario not reported"
+ECO_CODE="$(curl -s -o "$WORK/ecodeg.json" -w '%{http_code}' -d "{\"ops\":[$OP_JSON]}" "$COORD/eco")"
+[[ "$ECO_CODE" == "503" ]] || fail "eco against degraded cluster answered $ECO_CODE, want 503"
+wait "$LGPID" 2>/dev/null || true
+unset LGPID
+echo "cluster smoke: degraded reads up, writes refused 503"
+
+# Read-path floor while degraded: the surviving shard plus the reply
+# cache must keep the coordinator above 1000 qps.
+CLUSTER_LOADGEN_JSON="${CLUSTER_LOADGEN_JSON:-cluster-loadgen-report.json}"
+"$BIN" -loadgen -target "$COORD" -duration 3s -clients 8 -min-qps 1000 -json \
+  >"$CLUSTER_LOADGEN_JSON" || fail "degraded coordinator read path under 1000 qps"
+echo "cluster smoke: degraded read path held; report in $CLUSTER_LOADGEN_JSON"
+
+# Restart the dead worker from the same pack (epoch 0): registration
+# replays the barrier oplog, reconverging it to the cluster epoch.
+"$BIN" -addr "$W2_ADDR" -role worker -restore "$PACK" -join "$COORD" \
+  -scenarios "$W2_SCEN" -heartbeat 100ms >"$WORK/w2b.log" 2>&1 &
+W2PID=$!
+wait_until "$COORD/healthz" '"status":"ok"' "worker rejoin" 150
+curl -s "$COORD/healthz" | grep -q '"degraded":false' || fail "cluster still degraded after rejoin"
+
+# Post-rejoin barrier: both shards commit, epoch 2 everywhere.
+curl -sf -d "{\"ops\":[$OP_JSON]}" "$COORD/eco" >"$WORK/eco2.json" || fail "POST /eco after rejoin"
+grep -q '"committed":true' "$WORK/eco2.json" || fail "post-rejoin eco not committed"
+grep -q '"epoch":2' "$WORK/eco2.json" || fail "post-rejoin eco epoch wrong"
+curl -sf "$COORD/slack" >"$WORK/slack2.json" || fail "GET /slack after rejoin"
+grep -q '"epoch":2' "$WORK/slack2.json" || fail "merged slack not at epoch 2"
+grep -q '"degraded":true' "$WORK/slack2.json" && fail "merged slack degraded after reconvergence"
+echo "cluster smoke: worker rejoined, oplog replayed, epoch 2 committed everywhere"
+
+echo "cluster smoke OK"
