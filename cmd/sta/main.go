@@ -10,7 +10,13 @@
 // 1 = serial; results are bit-identical at every setting). -metrics and
 // -trace export the run's observability data — a JSON metrics dump and
 // Chrome trace-event JSON (Perfetto) respectively — matching the closure
-// command's flags. -cpuprofile and -memprofile write pprof profiles of
+// command's flags.
+//
+// -triage switches to MCMM debug mode: the circuit is analyzed under a
+// four-scenario recipe (tight/loose setup and hold views), violations are
+// linked across scenarios into a timing debug relation graph, and the
+// clustered root-cause report is printed — with the scenario-dominance
+// prune audit. -json prints the raw JSON report instead of tables. -cpuprofile and -memprofile write pprof profiles of
 // the analysis (the batch-run complement of closure's live -pprof
 // endpoint); the heap profile is taken after the run with one final GC so
 // it shows retained analyzer state, not transient propagation garbage.
@@ -60,6 +66,8 @@ func run(args []string, out io.Writer) error {
 	si := fs.Bool("si", true, "enable SI delta-delay analysis")
 	mis := fs.Bool("mis", true, "enable multi-input-switching derates")
 	paths := fs.Int("paths", 5, "worst paths to report")
+	triageMode := fs.Bool("triage", false, "run MCMM triage: cluster violations across scenarios by shared root cause")
+	jsonOut := fs.Bool("json", false, "with -triage: print the raw JSON report instead of tables")
 	workers := fs.Int("workers", 0, "propagation workers (0 = all CPUs, 1 = serial)")
 	metricsPath := fs.String("metrics", "", "write a JSON metrics dump to this file after the run")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to this file")
@@ -106,6 +114,17 @@ func run(args []string, out io.Writer) error {
 	}
 	d := buildCircuit(lib, *circuit)
 	stack := parasitics.Stack16()
+
+	if *triageMode {
+		tc := triageConfig{
+			period: *period, derate: derater(*derate), beol: beolKind(*beol),
+			mis: *mis, workers: *workers, json: *jsonOut,
+		}
+		if *si {
+			tc.si = sta.DefaultSI()
+		}
+		return runTriage(out, d, lib, stack, tc)
+	}
 
 	cons := sta.NewConstraints()
 	cons.AddClock("clk", *period, d.Port("clk"))

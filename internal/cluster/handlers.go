@@ -16,6 +16,7 @@ func (c *Coordinator) routes() {
 	c.mux.HandleFunc("/slack", c.handleSlack)
 	c.mux.HandleFunc("/endpoints", c.handleEndpoints)
 	c.mux.HandleFunc("/paths", c.handlePaths)
+	c.mux.HandleFunc("/triage", c.handleTriage)
 	c.mux.HandleFunc("/whatif", c.handleWhatIf)
 	c.mux.HandleFunc("/eco", c.handleECO)
 	c.mux.HandleFunc("/cluster/register", c.handleRegister)

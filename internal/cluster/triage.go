@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"newgame/internal/timingd"
+	"newgame/internal/triage"
+)
+
+// gatherTriage scatter-gathers the triage report: every scenario's raw
+// relation-graph extract is fetched from the shard that owns it (replica
+// fallback per scenario), then the coordinator runs the same pure merge
+// (triage.BuildReport) a single node runs over its local views. Because
+// the extracts are self-describing — each carries its own prune records
+// and inherited-feature tags — and Go's JSON float round-trip is exact,
+// the merged body is byte-identical to a single node serving the full
+// recipe. Triage is never partial: a scenario no live shard can answer
+// for refuses the whole report, since a cluster-dependent subset would
+// break that identity.
+func (c *Coordinator) gatherTriage(ctx context.Context, k, window string) (*timingd.TriageReport, error) {
+	_, plans := c.plan()
+
+	extracts := make([]timingd.TriageExtract, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for p := range plans {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = c.proxyScenario(ctx, plans[p].idx, func(ctx2 context.Context, m *member) error {
+				var ferr error
+				extracts[p], ferr = m.cl.TriageExtract(ctx2, plans[p].name, k, window)
+				return ferr
+			})
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err.(*statusError)
+		}
+	}
+
+	// All extracts must come from one epoch; a barrier landing mid-gather
+	// shows up as skew and the handler retries once.
+	rep := &timingd.TriageReport{}
+	ses := make([]triage.ScenarioExtract, len(extracts))
+	for i, ex := range extracts {
+		if i == 0 {
+			rep.Epoch = ex.Epoch
+		} else if ex.Epoch != rep.Epoch {
+			c.count("cluster.triage.epoch_skew")
+			return nil, errEpochSkew
+		}
+		ses[i] = ex.ScenarioExtract
+	}
+	rep.Report = triage.BuildReport(ses)
+	return rep, nil
+}
+
+// handleTriage serves GET /triage from the coordinator: epoch-scoped
+// cache, scatter to the owning shards, merge, one retry on epoch skew.
+func (c *Coordinator) handleTriage(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if !methodCheck(w, r, http.MethodGet) {
+		c.observe("triage", start, http.StatusMethodNotAllowed)
+		return
+	}
+	key := "/triage?" + r.URL.RawQuery
+	if body, ok := c.cacheGet(key); ok {
+		writeRaw(w, body)
+		c.observe("triage", start, http.StatusOK)
+		return
+	}
+	q := r.URL.Query()
+	var rep *timingd.TriageReport
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		rep, err = c.gatherTriage(r.Context(), q.Get("k"), q.Get("window"))
+		if err != errEpochSkew {
+			break
+		}
+	}
+	if err != nil {
+		c.observe("triage", start, writeErr(w, err))
+		return
+	}
+	body, _ := json.Marshal(rep)
+	c.cachePut(key, rep.Epoch, body)
+	writeRaw(w, body)
+	c.observe("triage", start, http.StatusOK)
+}

@@ -118,6 +118,18 @@ func Registry() []Invariant {
 			Check: checkPackRoundTrip,
 		},
 		{
+			Name:  "dominance-prune-sound",
+			Law:   "scenario-dominance pruning skips path walks, never numbers: every pruned (endpoint, scenario) pair re-analyzed without pruning has slack no worse than its dominating sibling reported, and the clustered report is unchanged",
+			Scope: PerDesign,
+			Check: checkDominancePruneSound,
+		},
+		{
+			Name:  "triage-cluster-merge-identical",
+			Law:   "the /triage relation graph merged from 1/2/4-shard clusters is byte-identical to a single node holding the full recipe",
+			Scope: PerDesign,
+			Check: checkTriageClusterMerge,
+		},
+		{
 			Name:  "delay-monotone-load-slew",
 			Law:   "NLDM cell delay and output slew are nondecreasing in output load and input slew over every characterized arc",
 			Scope: PerRun,
@@ -165,6 +177,9 @@ type Ctx struct {
 
 	rng  *rand.Rand
 	base *sta.Analyzer
+	// triagePd memoizes the violation-forcing period the triage laws
+	// share, so the probe analysis runs once per design.
+	triagePd units.Ps
 }
 
 // sharedLib memoizes the (expensive) generated characterization library:

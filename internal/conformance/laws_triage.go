@@ -1,0 +1,292 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+
+	"newgame/internal/core"
+	"newgame/internal/liberty"
+	"newgame/internal/parasitics"
+	"newgame/internal/sta"
+	"newgame/internal/timingd"
+	"newgame/internal/triage"
+	"newgame/internal/units"
+)
+
+// triageRecipe is the four-scenario lab recipe the triage laws quantify
+// over: two setup views and two hold views, all delay-identical (same
+// library, BEOL corner and flat OCV), distinguished only by uncertainty
+// margins. The loose sibling of each pair is provably dominated by the
+// tight one, so the dominance planner must prune exactly two
+// (scenario, kind) extractions — and the four scenarios give every shard
+// count in {1, 2, 4} at least one scenario per worker.
+func triageRecipe(lib *liberty.Library, stack *parasitics.Stack) core.Recipe {
+	scaling := stack.Corner(parasitics.CWorst, 3)
+	flat := sta.DefaultFlatOCV()
+	sc := func(name string) core.Scenario {
+		return core.Scenario{Name: name, Lib: lib, Scaling: scaling, PeriodScale: 1, Derate: flat}
+	}
+	tightSetup := sc("func_tight")
+	tightSetup.ForSetup, tightSetup.SetupUncertainty = true, 25
+	looseSetup := sc("func_loose")
+	looseSetup.ForSetup, looseSetup.SetupUncertainty = true, 10
+	tightHold := sc("hold_tight")
+	tightHold.ForHold, tightHold.HoldUncertainty = true, 15
+	looseHold := sc("hold_loose")
+	looseHold.ForHold, looseHold.HoldUncertainty = true, 5
+	return core.Recipe{
+		Name:      "triage_lab",
+		Scenarios: []core.Scenario{tightSetup, looseSetup, tightHold, looseHold},
+	}
+}
+
+// triagePeriod picks (and memoizes per design) a clock period that leaves
+// the tightest setup scenario with a worst slack near -60 ps, so every
+// design in the sweep actually has violations to cluster and the dominated
+// setup sibling (15 ps looser) still violates. Single-cycle setup slack is
+// linear in period (its own law), so one probe run suffices.
+func (cx *Ctx) triagePeriod() (units.Ps, error) {
+	if cx.triagePd != 0 {
+		return cx.triagePd, nil
+	}
+	rcp := triageRecipe(cx.Lib, cx.Stack)
+	tight := rcp.Scenarios[0]
+	probe := units.Ps(cx.Spec.Period)
+	cons := core.ConstraintsFor(cx.Design, cx.Design.Port("clk"), probe, 0, tight)
+	a, err := sta.New(cx.Design, cons, sta.Config{
+		Lib: tight.Lib, Parasitics: sta.NewNetBinder(cx.Stack, cx.Spec.Seed),
+		Scaling: tight.Scaling, Derate: tight.Derate, Workers: 1,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("triage period probe: %v", err)
+	}
+	if err := a.Run(); err != nil {
+		return 0, fmt.Errorf("triage period probe run: %v", err)
+	}
+	es := a.EndpointSlacks(sta.Setup)
+	if len(es) == 0 {
+		return 0, fmt.Errorf("design has no setup endpoints")
+	}
+	pd := probe - es[0].Slack - 60
+	if pd < 60 {
+		pd = 60
+	}
+	cx.triagePd = pd
+	return pd, nil
+}
+
+// checkDominancePruneSound: scenario-dominance pruning is an optimization,
+// never an approximation. For every pruned (endpoint, scenario) pair,
+// re-analysis without pruning reports a slack no better than the
+// dominating sibling reported for that endpoint — the dominator really is
+// a worse bound — and the pruned extraction is feature-identical to the
+// direct one: same violations, same slacks bit for bit, same clustered
+// report, with the skipped path walks exactly accounted for.
+func checkDominancePruneSound(cx *Ctx) error {
+	rcp := triageRecipe(cx.Lib, cx.Stack)
+	pd, err := cx.triagePeriod()
+	if err != nil {
+		return err
+	}
+	scens := rcp.Scenarios
+	plan := triage.PlanFor(scens, pd)
+	idx := make(map[string]int, len(scens))
+	for i, sc := range scens {
+		idx[sc.Name] = i
+	}
+	if plan.SetupDominator[idx["func_loose"]] != idx["func_tight"] ||
+		plan.SetupDominator[idx["func_tight"]] != -1 ||
+		plan.HoldDominator[idx["hold_loose"]] != idx["hold_tight"] ||
+		plan.HoldDominator[idx["hold_tight"]] != -1 {
+		return fmt.Errorf("plan dominators setup=%v hold=%v do not match the recipe's dominance structure",
+			plan.SetupDominator, plan.HoldDominator)
+	}
+	if len(plan.Prunes) != 2 {
+		return fmt.Errorf("want 2 prune records, got %+v", plan.Prunes)
+	}
+
+	// One resident analyzer per scenario, sharing parasitics and a frozen
+	// topology — the same arrangement timingd holds.
+	bind := sta.NewNetBinder(cx.Stack, cx.Spec.Seed)
+	var topo *sta.Topology
+	analyzers := make([]*sta.Analyzer, len(scens))
+	for i, s := range scens {
+		cons := core.ConstraintsFor(cx.Design, cx.Design.Port("clk"), pd, 0, s)
+		a, err := sta.New(cx.Design, cons, sta.Config{
+			Lib: s.Lib, Parasitics: bind, Scaling: s.Scaling, Derate: s.Derate,
+			SI: s.SI, MIS: s.MIS, Workers: 1, Topology: topo,
+		})
+		if err != nil {
+			return fmt.Errorf("scenario %s: %v", s.Name, err)
+		}
+		if err := a.Run(); err != nil {
+			return fmt.Errorf("scenario %s run: %v", s.Name, err)
+		}
+		if topo == nil {
+			topo = a.Topology()
+		}
+		analyzers[i] = a
+	}
+
+	var opts triage.Options
+	noPrune := triage.NoPrune(plan)
+	pruned := make([]triage.ScenarioExtract, len(scens))
+	direct := make([]triage.ScenarioExtract, len(scens))
+	for i := range scens {
+		pruned[i] = triage.ExtractScenario(analyzers[i], plan, i, opts)
+		direct[i] = triage.ExtractScenario(analyzers[i], noPrune, i, opts)
+	}
+
+	totalPruned := 0
+	for i := range scens {
+		p, f := pruned[i], direct[i]
+		if f.PrunedPairs != 0 {
+			return fmt.Errorf("%s: unpruned extraction claims %d pruned pairs", f.Scenario, f.PrunedPairs)
+		}
+		if p.AnalyzedPairs+p.PrunedPairs != f.AnalyzedPairs {
+			return fmt.Errorf("%s: pair accounting %d analyzed + %d pruned != %d analyzed unpruned",
+				p.Scenario, p.AnalyzedPairs, p.PrunedPairs, f.AnalyzedPairs)
+		}
+		if len(p.Violations) != len(f.Violations) {
+			return fmt.Errorf("%s: pruning changed the violation count %d -> %d",
+				p.Scenario, len(f.Violations), len(p.Violations))
+		}
+		totalPruned += p.PrunedPairs
+		for k := range p.Violations {
+			pv, fv := p.Violations[k], f.Violations[k]
+			if pv.Endpoint != fv.Endpoint || pv.Kind != fv.Kind || pv.RF != fv.RF || pv.Slack != fv.Slack {
+				return fmt.Errorf("%s: pruning changed a reported check:\n  pruned: %+v\n  direct: %+v",
+					p.Scenario, pv, fv)
+			}
+			if pv.PrunedBy == "" {
+				continue
+			}
+			// The soundness obligation itself: the dominator reported this
+			// endpoint, and at least as badly as direct re-analysis does.
+			dom := direct[idx[pv.PrunedBy]]
+			var dv *triage.Violation
+			for m := range dom.Violations {
+				if dom.Violations[m].Kind == pv.Kind && dom.Violations[m].Endpoint == pv.Endpoint {
+					dv = &dom.Violations[m]
+					break
+				}
+			}
+			if dv == nil {
+				return fmt.Errorf("%s/%s %s: pruned under %s, which does not report the endpoint",
+					p.Scenario, pv.Kind, pv.Endpoint, pv.PrunedBy)
+			}
+			if dv.Slack > fv.Slack {
+				return fmt.Errorf("%s/%s %s: dominator %s slack %v is better than re-analyzed %v — prune unsound",
+					p.Scenario, pv.Kind, pv.Endpoint, pv.PrunedBy, dv.Slack, fv.Slack)
+			}
+		}
+	}
+	if totalPruned == 0 {
+		return fmt.Errorf("dominated scenarios violate but nothing was pruned")
+	}
+
+	// The clustered report is invariant under pruning up to the audit tags:
+	// inherited features resolve to the very bytes direct analysis produces.
+	pc, _ := json.Marshal(stripPrunedBy(triage.BuildReport(pruned).Clusters))
+	fc, _ := json.Marshal(stripPrunedBy(triage.BuildReport(direct).Clusters))
+	if !bytes.Equal(pc, fc) {
+		return fmt.Errorf("pruning changed the clustered report:\n  pruned: %s\n  direct: %s", pc, fc)
+	}
+	return nil
+}
+
+// stripPrunedBy clears the audit tag, the one field pruning is allowed to
+// change, so the rest of the report can be compared byte for byte.
+func stripPrunedBy(cs []triage.Cluster) []triage.Cluster {
+	out := make([]triage.Cluster, len(cs))
+	for i, c := range cs {
+		c.Violations = append([]triage.Violation(nil), c.Violations...)
+		for j := range c.Violations {
+			c.Violations[j].PrunedBy = ""
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// checkTriageClusterMerge: the relation graph does not care where the
+// scenarios live. A coordinator scattering per-scenario extraction to 1,
+// 2 or 4 shards and merging at the center serves /triage byte-identical
+// to one timingd holding the whole recipe — clusters, ranks, prune audit
+// and pair accounting included.
+func checkTriageClusterMerge(cx *Ctx) error {
+	rcp := triageRecipe(cx.Lib, cx.Stack)
+	pd, err := cx.triagePeriod()
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(rcp.Scenarios))
+	for i, sc := range rcp.Scenarios {
+		names[i] = sc.Name
+	}
+
+	newWorker := func(filter []string) (*timingd.Server, *httptest.Server, error) {
+		cfg := timingd.Config{
+			Design: cx.Design, Recipe: rcp, Stack: cx.Stack,
+			BasePeriod: pd, Seed: cx.Spec.Seed, QueryWorkers: 2,
+		}
+		if filter != nil {
+			cfg.Role = "worker"
+			cfg.ScenarioFilter = filter
+		}
+		srv, err := timingd.NewServer(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		return srv, httptest.NewServer(srv), nil
+	}
+
+	refSrv, refHS, err := newWorker(nil)
+	if err != nil {
+		return fmt.Errorf("single-node boot: %v", err)
+	}
+	defer func() { refHS.Close(); refSrv.Close() }()
+	_, refBody, err := httpGet(refHS.URL + "/triage")
+	if err != nil {
+		return fmt.Errorf("single-node triage: %v", err)
+	}
+	var ref timingd.TriageReport
+	if err := json.Unmarshal(refBody, &ref); err != nil {
+		return fmt.Errorf("single-node triage body: %v", err)
+	}
+	if ref.Stats.Violations == 0 || len(ref.Clusters) == 0 {
+		return fmt.Errorf("triage lab produced no violations at period %v", pd)
+	}
+	if ref.Stats.PrunedPairs == 0 {
+		return fmt.Errorf("dominance pruning skipped nothing: %+v", ref.Stats)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		if err := checkTriageShardCount(shards, names, newWorker, refBody); err != nil {
+			return fmt.Errorf("shards=%d: %v", shards, err)
+		}
+	}
+	return nil
+}
+
+func checkTriageShardCount(shards int, names []string,
+	newWorker func([]string) (*timingd.Server, *httptest.Server, error), refBody []byte) error {
+	coord, workers, err := bootCluster(shards, names, newWorker)
+	if err != nil {
+		return err
+	}
+	defer coord.close()
+	defer workers.close()
+	_, body, err := httpGet(coord.url + "/triage")
+	if err != nil {
+		return fmt.Errorf("cluster triage: %v", err)
+	}
+	// The coordinator re-marshals the merged report without the worker
+	// encoder's trailing newline; the payload must match byte for byte.
+	if !bytes.Equal(bytes.TrimSpace(body), bytes.TrimSpace(refBody)) {
+		return fmt.Errorf("triage reports diverge from single node:\n  single: %s\n  cluster: %s", refBody, body)
+	}
+	return nil
+}

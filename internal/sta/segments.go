@@ -1,0 +1,39 @@
+package sta
+
+import "newgame/internal/units"
+
+// Segment is one edge of an extracted timing path, keyed by its endpoint
+// pin (or port) pair. Segments are the linking currency of cross-scenario
+// timing triage: two violations that traverse the same segment share a
+// physical root cause no matter which corner or endpoint surfaced them.
+type Segment struct {
+	// From/To are the pin or port names of the edge's tail and head.
+	From, To string
+	// IsCell marks cell-arc segments (vs wire segments).
+	IsCell bool
+	// Delay is the derated GBA delay of the edge.
+	Delay units.Ps
+}
+
+// Key is the canonical string identity of the segment — stable across
+// scenarios and analyzer instances because it is built from netlist names
+// only.
+func (s Segment) Key() string { return s.From + ">" + s.To }
+
+// Segments decomposes the path into its edges, root-first. A path with
+// fewer than two steps (a bare endpoint or port) has no segments.
+func (p Path) Segments() []Segment {
+	if len(p.Steps) < 2 {
+		return nil
+	}
+	out := make([]Segment, 0, len(p.Steps)-1)
+	for i := 1; i < len(p.Steps); i++ {
+		out = append(out, Segment{
+			From:   p.Steps[i-1].Name,
+			To:     p.Steps[i].Name,
+			IsCell: p.Steps[i].IsCell,
+			Delay:  p.Steps[i].Delay,
+		})
+	}
+	return out
+}

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 
 	"newgame/internal/obs"
+	"newgame/internal/triage"
 	"newgame/internal/units"
 )
 
@@ -185,6 +186,23 @@ type DebugEpochsReport struct {
 type DebugSlowReport struct {
 	ThresholdMs float64             `json:"threshold_ms"`
 	Requests    []obs.RequestRecord `json:"requests"`
+}
+
+// TriageReport answers GET /triage: the clustered root-cause report over
+// the scenarios this server serves, tagged with the epoch it was rendered
+// at. A cluster coordinator answers the same shape, merged from shard
+// extracts — byte-identical to a single node serving the full recipe.
+type TriageReport struct {
+	Epoch int64 `json:"epoch"`
+	triage.Report
+}
+
+// TriageExtract answers GET /triage/extract?scenario=: one scenario's
+// relation-graph contribution, the scatter unit a cluster coordinator
+// gathers from the owning shards before merging.
+type TriageExtract struct {
+	Epoch int64 `json:"epoch"`
+	triage.ScenarioExtract
 }
 
 // errorBody is the JSON error envelope for non-2xx responses.

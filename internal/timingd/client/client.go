@@ -171,6 +171,27 @@ func (c *Client) Paths(ctx context.Context, scenario, kind string, k int) (timin
 	return out, err
 }
 
+// TriageExtract fetches one scenario's relation-graph extract — the unit
+// a cluster coordinator gathers from the owning shard before merging the
+// triage report. k and window are forwarded verbatim when non-empty so
+// the shard applies exactly the knobs the client sent (defaults
+// otherwise).
+func (c *Client) TriageExtract(ctx context.Context, scenario, k, window string) (timingd.TriageExtract, error) {
+	q := url.Values{}
+	if scenario != "" {
+		q.Set("scenario", scenario)
+	}
+	if k != "" {
+		q.Set("k", k)
+	}
+	if window != "" {
+		q.Set("window", window)
+	}
+	var out timingd.TriageExtract
+	err := c.do(ctx, http.MethodGet, "/triage/extract?"+q.Encode(), nil, &out)
+	return out, err
+}
+
 // WhatIf evaluates ops against the current baseline and rolls them back.
 func (c *Client) WhatIf(ctx context.Context, ops []timingd.Op) (timingd.WhatIfReport, error) {
 	var out timingd.WhatIfReport

@@ -6,12 +6,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
 	"newgame/internal/obs"
 	"newgame/internal/sta"
+	"newgame/internal/triage"
+	"newgame/internal/units"
 )
 
 // routes wires the HTTP surface. Query endpoints go through the bounded
@@ -21,6 +24,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/slack", s.handle("slack", http.MethodGet, s.handleSlack))
 	s.mux.HandleFunc("/endpoints", s.handle("endpoints", http.MethodGet, s.handleEndpoints))
 	s.mux.HandleFunc("/paths", s.handle("paths", http.MethodGet, s.handlePaths))
+	s.mux.HandleFunc("/triage", s.handle("triage", http.MethodGet, s.handleTriage))
+	s.mux.HandleFunc("/triage/extract", s.handle("triage.extract", http.MethodGet, s.handleTriageExtract))
 	s.mux.HandleFunc("/whatif", s.handle("whatif", http.MethodPost, s.handleWhatIf))
 	s.mux.HandleFunc("/eco", s.handle("eco", http.MethodPost, s.handleECO))
 	s.mux.HandleFunc("/admin/save", s.handle("save", http.MethodPost, s.handleSave))
@@ -308,6 +313,68 @@ func (s *Server) handlePaths(ctx context.Context, r *http.Request) ([]byte, erro
 			Epoch: epoch, Scenario: v.scenario.Name,
 			Paths: v.paths(kind, k),
 		}, nil
+	})
+}
+
+// parseTriageOptions reads the shared /triage query knobs: ?k= bounds the
+// per-endpoint worst-path enumeration, ?window= (ps, float) the k-worst
+// arrival window. Defaults mirror triage.Options.
+func parseTriageOptions(q url.Values) (triage.Options, error) {
+	var opts triage.Options
+	k, err := parseInt(q.Get("k"), 3, 1, 100)
+	if err != nil {
+		return opts, err
+	}
+	opts.K = k
+	opts.Window = 10
+	if v := q.Get("window"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			return opts, badRequest("bad window %q (want positive ps)", v)
+		}
+		opts.Window = units.Ps(f)
+	}
+	return opts, nil
+}
+
+// handleTriage renders the clustered root-cause report over every served
+// scenario. Extraction honors the full-recipe dominance plan: a scenario
+// dominated by a sibling skips the k-worst path walks and inherits the
+// dominator's segments at merge time.
+func (s *Server) handleTriage(ctx context.Context, r *http.Request) ([]byte, error) {
+	opts, err := parseTriageOptions(r.URL.Query())
+	if err != nil {
+		return nil, err
+	}
+	return s.readSnapshot(ctx, r.URL.RequestURI(), func(sess *session, epoch int64) (any, error) {
+		extracts := make([]triage.ScenarioExtract, len(sess.views))
+		for i, v := range sess.views {
+			extracts[i] = triage.ExtractScenario(v.a, s.triagePlan, s.scenarioSet[i].Index, opts)
+		}
+		return TriageReport{Epoch: epoch, Report: triage.BuildReport(extracts)}, nil
+	})
+}
+
+// handleTriageExtract renders one scenario's raw relation-graph extract —
+// the scatter unit a cluster coordinator gathers from the shard that owns
+// the scenario.
+func (s *Server) handleTriageExtract(ctx context.Context, r *http.Request) ([]byte, error) {
+	q := r.URL.Query()
+	opts, err := parseTriageOptions(q)
+	if err != nil {
+		return nil, err
+	}
+	name := q.Get("scenario")
+	return s.readSnapshot(ctx, r.URL.RequestURI(), func(sess *session, epoch int64) (any, error) {
+		for i, v := range sess.views {
+			if v.scenario.Name == name || (name == "" && i == 0) {
+				return TriageExtract{
+					Epoch:           epoch,
+					ScenarioExtract: triage.ExtractScenario(v.a, s.triagePlan, s.scenarioSet[i].Index, opts),
+				}, nil
+			}
+		}
+		return nil, badRequest("unknown scenario %q", name)
 	})
 }
 

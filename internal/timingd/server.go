@@ -14,6 +14,7 @@ import (
 	"newgame/internal/pack"
 	"newgame/internal/parasitics"
 	"newgame/internal/sta"
+	"newgame/internal/triage"
 	"newgame/internal/units"
 	"newgame/internal/workpool"
 )
@@ -175,6 +176,12 @@ type Server struct {
 	// index in the full recipe order (identity for unfiltered servers).
 	scenarioSet []ScenarioRef
 
+	// triagePlan is the scenario-dominance pruning schedule, computed once
+	// over the FULL recipe (captured before ScenarioFilter narrows it) so
+	// every shard of a cluster derives the identical plan and a dominated
+	// scenario on one shard resolves against its dominator on another.
+	triagePlan triage.Plan
+
 	// flight is the always-on black box: the last N requests and last M
 	// commits, written lock-free from the hot path and served at
 	// /debug/requests, /debug/epochs and /debug/slow.
@@ -221,6 +228,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The triage plan must see the full recipe: the filter below replaces
+	// it with the shard's subset.
+	fullScenarios := c.Recipe.Scenarios
 	if len(kept) != len(full) {
 		scenarios := make([]core.Scenario, len(kept))
 		for i, ref := range kept {
@@ -235,6 +245,7 @@ func NewServer(cfg Config) (*Server, error) {
 		flight:      obs.NewFlightRecorder(c.FlightRequests, c.FlightCommits),
 		start:       time.Now(),
 		scenarioSet: kept,
+		triagePlan:  triage.PlanFor(fullScenarios, c.BasePeriod),
 	}
 	// Both snapshots are full builds from clones of the source design;
 	// the keyed binder guarantees they are bit-identical despite being

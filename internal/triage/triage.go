@@ -1,0 +1,381 @@
+// Package triage turns resident multi-scenario timing analysis into
+// clustered root-cause reports — the timing debug relation graph of
+// MCMM signoff. The paper's closing argument is that at modern corner
+// counts the bottleneck is no longer computing slack but explaining it:
+// hundreds of violations across dozens of scenarios usually trace back to
+// a handful of physical causes. The package extracts each violation's
+// critical-path segments (reusing the k-worst PBA machinery in
+// internal/sta), links violations across scenarios and endpoints by
+// shared segments, common launch-capture clock pairs and common derate
+// class, and reports the connected components ranked by summed TNS.
+//
+// Scenario-dominance pruning cuts the extraction bill: when a sibling
+// corner provably bounds an endpoint worse — identical delay
+// configuration (library, BEOL scaling, derates, SI, MIS), uniformly
+// tighter period and uncertainty — the dominated corner's path extraction
+// is skipped and the dominator's segments are inherited. The skipped
+// corner's slacks are still its own (they come from its resident
+// analyzer, one array pass), so pruning changes which endpoints get the
+// expensive k-worst path walk, never a reported number. Every prune
+// decision is recorded so the report stays auditable.
+package triage
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"newgame/internal/core"
+	"newgame/internal/sta"
+	"newgame/internal/units"
+)
+
+// Options bounds the per-violation path extraction.
+type Options struct {
+	// K is the maximum number of worst paths enumerated per violating
+	// setup endpoint (default 3). Hold extraction always uses the single
+	// worst path.
+	K int
+	// Window is the arrival window (ps) for the k-worst setup enumeration
+	// (default 10).
+	Window units.Ps
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 3
+	}
+	if o.Window <= 0 {
+		o.Window = 10
+	}
+	return o
+}
+
+// PruneRecord is the audit trail of one scenario-dominance decision: for
+// the named check kind, every endpoint of Scenario is provably bounded
+// worse by DominatedBy, so Scenario's path extraction was skipped.
+type PruneRecord struct {
+	Scenario    string `json:"scenario"`
+	Kind        string `json:"kind"`
+	DominatedBy string `json:"dominated_by"`
+	// Reason spells the proof obligation out: the delay configurations are
+	// identical and the dominator's period/uncertainty bound is uniformly
+	// at least as tight.
+	Reason string `json:"reason"`
+}
+
+// Plan is the dominance-pruning schedule for one recipe: per scenario and
+// check kind, either "analyze directly" (-1) or the index of the sibling
+// whose extraction provably covers it. A Plan is a pure function of the
+// FULL recipe, so every node of a sharded cluster computes the same one.
+type Plan struct {
+	Names []string
+	// SetupActive/HoldActive mirror each scenario's ForSetup/ForHold: a
+	// scenario only contributes violations for the checks it signs off.
+	SetupActive []bool
+	HoldActive  []bool
+	// SetupDominator/HoldDominator give, per scenario, the index of the
+	// sibling whose extraction provably covers it, or -1 when the
+	// scenario's checks are analyzed directly.
+	SetupDominator []int
+	HoldDominator  []int
+	Prunes         []PruneRecord
+}
+
+// delayIdentical reports whether two scenarios produce bit-identical
+// arrival/slew/predecessor state: same library and BEOL scaling (pointer
+// identity — recipes share corner objects), same derate model (deep
+// equality; AOCV carries table slices), same SI, MIS and IR switches.
+// Period and uncertainty are deliberately excluded: they shift checks,
+// not arrivals.
+func delayIdentical(a, b core.Scenario) bool {
+	return a.Lib == b.Lib && a.Scaling == b.Scaling &&
+		reflect.DeepEqual(a.Derate, b.Derate) &&
+		a.SI == b.SI && a.MIS == b.MIS && a.DynamicIR == b.DynamicIR
+}
+
+// dominatesSetup: i's setup check is uniformly at least as tight as j's —
+// same delays, period no longer, uncertainty no smaller — and the pair is
+// strictly ordered (period, uncertainty, then index) so dominance is a
+// strict partial order: no cycles, and the lexicographically minimal
+// dominator of any scenario is itself undominated.
+func dominatesSetup(s []core.Scenario, i, j int) bool {
+	if i == j || !s[i].ForSetup || !s[j].ForSetup || !delayIdentical(s[i], s[j]) {
+		return false
+	}
+	if s[i].PeriodScale > s[j].PeriodScale || s[i].SetupUncertainty < s[j].SetupUncertainty {
+		return false
+	}
+	return s[i].PeriodScale < s[j].PeriodScale ||
+		s[i].SetupUncertainty > s[j].SetupUncertainty || i < j
+}
+
+// dominatesHold mirrors dominatesSetup for hold checks, where the clock
+// period cancels out of the check entirely and only the uncertainty
+// margin orders siblings.
+func dominatesHold(s []core.Scenario, i, j int) bool {
+	if i == j || !s[i].ForHold || !s[j].ForHold || !delayIdentical(s[i], s[j]) {
+		return false
+	}
+	if s[i].HoldUncertainty < s[j].HoldUncertainty {
+		return false
+	}
+	return s[i].HoldUncertainty > s[j].HoldUncertainty || i < j
+}
+
+// PlanFor computes the dominance-pruning plan for a recipe's full
+// scenario list. For each dominated scenario the chosen dominator is the
+// lexicographically worst bound (smallest period, largest uncertainty,
+// lowest index) among its dominators; by transitivity that scenario is
+// itself undominated, so prune resolution never chases a chain.
+func PlanFor(scenarios []core.Scenario, basePeriod units.Ps) Plan {
+	p := Plan{
+		Names:          make([]string, len(scenarios)),
+		SetupActive:    make([]bool, len(scenarios)),
+		HoldActive:     make([]bool, len(scenarios)),
+		SetupDominator: make([]int, len(scenarios)),
+		HoldDominator:  make([]int, len(scenarios)),
+	}
+	for i, sc := range scenarios {
+		p.Names[i] = sc.Name
+		p.SetupActive[i] = sc.ForSetup
+		p.HoldActive[i] = sc.ForHold
+	}
+	for j := range scenarios {
+		p.SetupDominator[j] = -1
+		p.HoldDominator[j] = -1
+		for i := range scenarios {
+			if dominatesSetup(scenarios, i, j) && betterSetup(scenarios, i, p.SetupDominator[j]) {
+				p.SetupDominator[j] = i
+			}
+			if dominatesHold(scenarios, i, j) && betterHold(scenarios, i, p.HoldDominator[j]) {
+				p.HoldDominator[j] = i
+			}
+		}
+		if d := p.SetupDominator[j]; d >= 0 {
+			p.Prunes = append(p.Prunes, PruneRecord{
+				Scenario: scenarios[j].Name, Kind: "setup", DominatedBy: scenarios[d].Name,
+				Reason: fmt.Sprintf("delay-identical; period %g <= %g ps; setup uncertainty %g >= %g ps",
+					basePeriod*scenarios[d].PeriodScale, basePeriod*scenarios[j].PeriodScale,
+					scenarios[d].SetupUncertainty, scenarios[j].SetupUncertainty),
+			})
+		}
+		if d := p.HoldDominator[j]; d >= 0 {
+			p.Prunes = append(p.Prunes, PruneRecord{
+				Scenario: scenarios[j].Name, Kind: "hold", DominatedBy: scenarios[d].Name,
+				Reason: fmt.Sprintf("delay-identical; hold uncertainty %g >= %g ps",
+					scenarios[d].HoldUncertainty, scenarios[j].HoldUncertainty),
+			})
+		}
+	}
+	return p
+}
+
+// betterSetup: is candidate i a lexicographically worse (tighter) setup
+// bound than the current best? best == -1 accepts anything.
+func betterSetup(s []core.Scenario, i, best int) bool {
+	if best < 0 {
+		return true
+	}
+	if s[i].PeriodScale != s[best].PeriodScale {
+		return s[i].PeriodScale < s[best].PeriodScale
+	}
+	if s[i].SetupUncertainty != s[best].SetupUncertainty {
+		return s[i].SetupUncertainty > s[best].SetupUncertainty
+	}
+	return i < best
+}
+
+func betterHold(s []core.Scenario, i, best int) bool {
+	if best < 0 {
+		return true
+	}
+	if s[i].HoldUncertainty != s[best].HoldUncertainty {
+		return s[i].HoldUncertainty > s[best].HoldUncertainty
+	}
+	return i < best
+}
+
+// NoPrune returns the same plan with pruning disabled — every scenario
+// analyzed directly. The dominance-prune-sound conformance law compares
+// the two extractions.
+func NoPrune(p Plan) Plan {
+	out := Plan{Names: p.Names,
+		SetupActive:    p.SetupActive,
+		HoldActive:     p.HoldActive,
+		SetupDominator: make([]int, len(p.Names)),
+		HoldDominator:  make([]int, len(p.Names))}
+	for i := range out.SetupDominator {
+		out.SetupDominator[i] = -1
+		out.HoldDominator[i] = -1
+	}
+	return out
+}
+
+// Violation is one violating (endpoint, scenario, kind) check with the
+// relation-graph features extracted from its worst paths. For a pruned
+// scenario, Slack is still the scenario's own (computed from its resident
+// analyzer); only the path-derived fields (Segments, Depth, Pessimism,
+// ClockPair) are inherited from the dominating sibling — whose paths are
+// bit-identical, since dominance requires identical delay state.
+type Violation struct {
+	Scenario string   `json:"scenario"`
+	Kind     string   `json:"kind"`
+	Endpoint string   `json:"endpoint"`
+	RF       string   `json:"rf"`
+	Slack    units.Ps `json:"slack"`
+	// Depth is the cell-stage depth of the worst path.
+	Depth int `json:"depth"`
+	// Pessimism is the PBA-recoverable arrival pessimism of the worst
+	// path (GBA minus PBA arrival, oriented so positive = recoverable).
+	Pessimism units.Ps `json:"pessimism"`
+	// ClockPair is "launch>capture" — the path root (clock root or input
+	// port) and the capture clock.
+	ClockPair string `json:"clock_pair"`
+	// DerateClass names the scenario's OCV model type.
+	DerateClass string `json:"derate_class"`
+	// Segments are the canonical segment keys of the k worst paths,
+	// deduplicated in first-traversal order.
+	Segments []string `json:"segments"`
+	// PrunedBy names the dominating scenario whose extraction this
+	// violation inherited ("" = extracted directly).
+	PrunedBy string `json:"pruned_by,omitempty"`
+}
+
+// ScenarioExtract is one scenario's contribution to the relation graph —
+// the unit a cluster worker ships to the coordinator.
+type ScenarioExtract struct {
+	Scenario   string        `json:"scenario"`
+	Violations []Violation   `json:"violations"`
+	Prunes     []PruneRecord `json:"prunes,omitempty"`
+	// AnalyzedPairs counts (endpoint, kind) pairs that paid for path
+	// extraction; PrunedPairs counts pairs skipped under dominance.
+	AnalyzedPairs int `json:"analyzed_pairs"`
+	PrunedPairs   int `json:"pruned_pairs"`
+}
+
+// DerateClassOf names a derate model's concrete type, the triage linking
+// feature for "same OCV methodology" ("FlatOCV", "AOCV", "LVF", ...).
+func DerateClassOf(d sta.Derater) string {
+	if d == nil {
+		return "none"
+	}
+	name := fmt.Sprintf("%T", d)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+func rfName(rf int) string {
+	if rf == 0 {
+		return "rise"
+	}
+	return "fall"
+}
+
+// worstPerEndpoint keeps each endpoint's worst transition only, in the
+// worst-first order EndpointSlacks already established.
+func worstPerEndpoint(es []sta.EndpointSlack) []sta.EndpointSlack {
+	seen := make(map[string]bool, len(es))
+	out := es[:0:0]
+	for _, e := range es {
+		name := e.Name()
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// ExtractScenario computes scenario idx's violations against its resident
+// analyzer, honoring the plan: a kind dominated by a sibling skips path
+// extraction and tags its violations PrunedBy for BuildReport to resolve.
+// The scenario's own slacks are always reported — pruning trades the
+// per-endpoint k-worst path walk, not a number.
+func ExtractScenario(a *sta.Analyzer, plan Plan, idx int, opts Options) ScenarioExtract {
+	opts = opts.withDefaults()
+	name := plan.Names[idx]
+	out := ScenarioExtract{Scenario: name}
+	derate := DerateClassOf(a.Cfg.Derate)
+	capture := ""
+	if a.Cons != nil {
+		if clk := a.Cons.DefaultClock(); clk != nil {
+			capture = clk.Name
+		}
+	}
+	for _, kind := range []sta.CheckKind{sta.Setup, sta.Hold} {
+		active, dom := plan.SetupActive[idx], plan.SetupDominator[idx]
+		if kind == sta.Hold {
+			active, dom = plan.HoldActive[idx], plan.HoldDominator[idx]
+		}
+		if !active {
+			continue
+		}
+		for _, e := range worstPerEndpoint(a.EndpointSlacks(kind)) {
+			if e.Slack >= 0 {
+				break // worst-first: the first met endpoint ends the violations
+			}
+			v := Violation{
+				Scenario: name, Kind: kind.String(), Endpoint: e.Name(),
+				RF: rfName(e.RF), Slack: e.Slack, DerateClass: derate,
+			}
+			if dom >= 0 {
+				v.PrunedBy = plan.Names[dom]
+				out.PrunedPairs++
+			} else {
+				fillPathFeatures(&v, a, e, kind, opts, capture)
+				out.AnalyzedPairs++
+			}
+			out.Violations = append(out.Violations, v)
+		}
+	}
+	for _, rec := range plan.Prunes {
+		if rec.Scenario == name {
+			out.Prunes = append(out.Prunes, rec)
+		}
+	}
+	return out
+}
+
+// fillPathFeatures runs the expensive per-endpoint analysis: k-worst path
+// enumeration (setup) or the worst path (hold), PBA re-timing of the
+// worst path, and segment extraction across all enumerated paths.
+func fillPathFeatures(v *Violation, a *sta.Analyzer, e sta.EndpointSlack, kind sta.CheckKind, opts Options, capture string) {
+	var paths []sta.Path
+	if kind == sta.Setup {
+		paths = a.PathsWithin(e, opts.Window, opts.K)
+	}
+	if len(paths) == 0 {
+		paths = []sta.Path{a.WorstPath(e)}
+	}
+	worst := paths[0]
+	v.Depth = worst.Depth()
+	r := a.PBA(worst)
+	// Raw arrival delta, not PBAResult.Pessimism: the delta is a pure
+	// function of the (delay-identical) arrival state, so a dominated
+	// sibling inheriting it is bit-exact; Pessimism re-derived from the
+	// shifted slack would differ in the last ulp.
+	if kind == sta.Setup {
+		v.Pessimism = r.GBAArrival - r.PBAArrival
+	} else {
+		v.Pessimism = r.PBAArrival - r.GBAArrival
+	}
+	launch := ""
+	if len(worst.Steps) > 0 {
+		launch = worst.Steps[0].Name
+	}
+	v.ClockPair = launch + ">" + capture
+	seen := map[string]bool{}
+	for _, p := range paths {
+		for _, s := range p.Segments() {
+			key := s.Key()
+			if !seen[key] {
+				seen[key] = true
+				v.Segments = append(v.Segments, key)
+			}
+		}
+	}
+}

@@ -20,7 +20,7 @@ BIN="$WORK/timingd"
 SNAPDIR="$WORK/snap"
 
 cleanup() {
-  for pid in "${W2PID:-}" "${W1PID:-}" "${CPID:-}" "${LGPID:-}" "${DPID:-}"; do
+  for pid in "${W2PID:-}" "${W1PID:-}" "${CPID:-}" "${LGPID:-}" "${DPID:-}" "${SNPID:-}"; do
     if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
       kill "$pid" 2>/dev/null || true
       wait "$pid" 2>/dev/null || true
@@ -88,6 +88,28 @@ echo "cluster smoke: coordinator + 2 workers converged"
 curl -sf "$COORD/slack" >"$WORK/slack0.json" || fail "GET /slack"
 grep -q "\"$W1_SCEN\"" "$WORK/slack0.json" && grep -q "\"$W2_SCEN\"" "$WORK/slack0.json" \
   || fail "merged slack missing a scenario"
+# Triage merge identity: a single node restored from the same pack (all
+# scenarios resident) must serve /triage byte-identical to the 2-shard
+# coordinator merging per-scenario extracts — same clusters, same ranks,
+# same prune audit. tr strips the single node's trailing newline; the
+# JSON bodies themselves contain none.
+SN_ADDR="127.0.0.1:18383"
+"$BIN" -addr "$SN_ADDR" -restore "$PACK" >"$WORK/single.log" 2>&1 &
+SNPID=$!
+for i in $(seq 1 100); do
+  curl -sf "http://$SN_ADDR/healthz" >/dev/null 2>&1 && break
+  kill -0 "$SNPID" 2>/dev/null || fail "single-node reference exited"
+  sleep 0.2
+done
+curl -sf "http://$SN_ADDR/triage" >"$WORK/triage_single.json" || fail "single-node GET /triage"
+curl -sf "$COORD/triage" >"$WORK/triage_cluster.json" || fail "cluster GET /triage"
+grep -q '"stats"' "$WORK/triage_single.json" || fail "single-node /triage has no stats"
+cmp <(tr -d '\n' <"$WORK/triage_single.json") <(tr -d '\n' <"$WORK/triage_cluster.json") \
+  || fail "/triage diverges between single node and 2-shard cluster"
+kill "$SNPID"; wait "$SNPID" 2>/dev/null || true
+unset SNPID
+echo "cluster smoke: /triage byte-identical between single node and 2-shard cluster"
+
 curl -sf -d "{\"ops\":[$OP_JSON]}" "$COORD/eco" >"$WORK/eco1.json" || fail "POST /eco"
 grep -q '"committed":true' "$WORK/eco1.json" || fail "barrier eco not committed"
 grep -q '"epoch":1' "$WORK/eco1.json" || fail "barrier eco epoch did not advance"
